@@ -1,0 +1,47 @@
+# grouphash — reproduction of "A Write-efficient and Consistent Hashing
+# Scheme for Non-Volatile Memory" (ICPP 2018). Stdlib-only; any Go ≥ 1.22.
+
+GO ?= go
+
+.PHONY: all build test vet bench race fuzz figures figures-paper examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core ./internal/harness .
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+fuzz:
+	$(GO) test -fuzz=FuzzTableOps -fuzztime=30s ./internal/core
+	$(GO) test -fuzz=FuzzCrashRecovery -fuzztime=30s ./internal/core
+
+# Regenerate every table and figure of the paper at laptop scale,
+# with CSV data under ./figures/.
+figures:
+	$(GO) run ./cmd/ghbench -scale default -csv figures | tee experiments_default.txt
+
+# Exact §4.1 sizes: needs several GB of RAM and tens of minutes.
+figures-paper:
+	$(GO) run ./cmd/ghbench -scale paper -csv figures-paper
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/crashrecovery
+	$(GO) run ./examples/dedup
+	$(GO) run ./examples/backup
+	$(GO) run ./examples/kvstore
+
+clean:
+	rm -rf figures figures-paper
+	rm -f test_output.txt bench_output.txt

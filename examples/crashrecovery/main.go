@@ -1,0 +1,129 @@
+// crashrecovery: a walk-through of the paper's Figure 1 — the three
+// inconsistency cases a naive NVM hash table exposes — and how group
+// hashing's 8-byte failure-atomic commit protocol survives each one.
+//
+//	go run ./examples/crashrecovery
+//
+// The example runs on the simulated NVM machine, which models exactly
+// the hardware behaviours behind the three cases: write-back caching
+// (case 1: a later store persists while an earlier one is lost),
+// store reordering (case 2: the count reaches NVM before the item) and
+// torn multi-word writes (case 3: a partially persisted value).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"grouphash"
+)
+
+func main() {
+	fmt.Println("=== Group hashing vs the three Figure-1 inconsistency cases ===")
+	fmt.Println()
+
+	// Case study 1 + 2: crash between an item's commit and the count
+	// update, with arbitrary store reordering. We insert a batch, pull
+	// the plug with every un-persisted word randomly surviving or not,
+	// and show recovery restores full consistency.
+	sim, err := grouphash.NewSimulated(
+		grouphash.Options{Capacity: 1 << 14, DisableExpand: true},
+		grouphash.SimOptions{Seed: 7},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := uint64(1); i <= 5000; i++ {
+		if err := sim.Insert(grouphash.Key{Lo: i}, i*3); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("inserted 5000 items; simulated time %.2f ms\n", sim.ClockNs()/1e6)
+
+	// Now pull the plug IN THE MIDDLE of the next insert: the failure
+	// lands between the protocol's steps, and every then-unpersisted
+	// word independently survives or not (modelling cache write-back
+	// and store reordering at once).
+	sim.ScheduleCrash(sim.Counters().Accesses+3, 0.5)
+	if err := sim.Insert(grouphash.Key{Lo: 999_999}, 1); err != nil {
+		log.Fatal(err)
+	}
+	if !sim.CompleteCrash() {
+		log.Fatal("crash trigger never fired")
+	}
+	fmt.Println("POWER FAILURE mid-insert of key 999999")
+
+	rep, err := sim.Recover()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovery: scanned %d cells, scrubbed %d torn payloads, count corrected: %v\n",
+		rep.CellsScanned, rep.CellsCleared, rep.CountCorrected)
+	if _, ok := sim.Get(grouphash.Key{Lo: 999_999}); ok {
+		fmt.Println("the interrupted insert committed before the cut (atomic: fully visible)")
+	} else {
+		fmt.Println("the interrupted insert was discarded whole (atomic: fully invisible)")
+	}
+
+	if msgs := sim.CheckConsistency(); len(msgs) != 0 {
+		log.Fatalf("STILL INCONSISTENT: %v", msgs)
+	}
+	lost := 0
+	for i := uint64(1); i <= 5000; i++ {
+		if v, ok := sim.Get(grouphash.Key{Lo: i}); !ok || v != i*3 {
+			lost++
+		}
+	}
+	fmt.Printf("committed items lost: %d / 5000 (every insert had returned, so all were durable)\n", lost)
+	if lost != 0 {
+		log.Fatal("durability violated")
+	}
+	fmt.Println()
+
+	// Case study 3: torn write. Insert items whose multi-word cell
+	// payload could tear, crash with maximally adversarial rollback
+	// (nothing un-persisted survives), and verify no half-written item
+	// is ever visible. The 16-byte-key layout has a 3-word payload, the
+	// widest tearing surface in the repository.
+	sim2, err := grouphash.NewSimulated(
+		grouphash.Options{Capacity: 1 << 12, KeyBytes: 16, DisableExpand: true},
+		grouphash.SimOptions{Seed: 9},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := uint64(1); i <= 2000; i++ {
+		if err := sim2.Insert(grouphash.Key{Lo: i, Hi: ^i}, i); err != nil {
+			log.Fatal(err)
+		}
+	}
+	sim2.Crash(0.0)
+	if _, err := sim2.Recover(); err != nil {
+		log.Fatal(err)
+	}
+	torn := 0
+	for i := uint64(1); i <= 2000; i++ {
+		if v, ok := sim2.Get(grouphash.Key{Lo: i, Hi: ^i}); !ok || v != i {
+			torn++
+		}
+	}
+	fmt.Printf("16-byte-key store after adversarial crash: %d torn/lost items of 2000\n", torn)
+	if msgs := sim2.CheckConsistency(); len(msgs) != 0 {
+		log.Fatalf("inconsistent: %v", msgs)
+	}
+	fmt.Println()
+
+	// Recovery speed: the Table-3 story in miniature. Recovery is a
+	// single sequential scan, a tiny fraction of the load time.
+	loadNs := sim.ClockNs()
+	before := sim.ClockNs()
+	if _, err := sim.Recover(); err != nil {
+		log.Fatal(err)
+	}
+	recNs := sim.ClockNs() - before
+	fmt.Printf("recovery scan: %.3f ms simulated (%.2f%% of the %.2f ms load)\n",
+		recNs/1e6, recNs/loadNs*100, loadNs/1e6)
+	fmt.Println()
+	fmt.Println("all three failure cases handled with zero logging — the 8-byte")
+	fmt.Println("atomic commit word is the entire consistency mechanism")
+}

@@ -1,0 +1,95 @@
+// kvstore: a memcached-style small-item cache workload on the
+// concurrent group-hash store.
+//
+//	go run ./examples/kvstore
+//
+// The paper motivates group hashing with key-value stores "dominated by
+// small items whose sizes are smaller than a cacheline size" (§2.3,
+// citing the Facebook memcached study and MemC3). This example drives
+// the concurrent store with a skewed (Zipf) read-mostly workload from
+// several goroutines — the canonical cache traffic shape — and reports
+// throughput and hit rates.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"grouphash"
+)
+
+const (
+	keySpace  = 400_000
+	readRatio = 0.9 // GET fraction, as in the memcached ETC pool
+	workers   = 8
+	opsPerWkr = 300_000
+	zipfS     = 1.07 // mild skew: a few hot keys, long tail
+	zipfV     = 8
+)
+
+func main() {
+	store, err := grouphash.New(grouphash.Options{
+		Capacity:   keySpace,
+		Concurrent: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Warm the cache with half the key space.
+	for i := uint64(1); i <= keySpace/2; i++ {
+		if err := store.Put(grouphash.Key{Lo: i}, i); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("warmed: %s\n", store)
+
+	var gets, hits, puts, deletes atomic.Uint64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			zipf := rand.NewZipf(rng, zipfS, zipfV, keySpace-1)
+			for i := 0; i < opsPerWkr; i++ {
+				key := zipf.Uint64() + 1
+				k := grouphash.Key{Lo: key}
+				switch r := rng.Float64(); {
+				case r < readRatio:
+					gets.Add(1)
+					if _, ok := store.Get(k); ok {
+						hits.Add(1)
+					}
+				case r < readRatio+0.08:
+					puts.Add(1)
+					if err := store.Put(k, key*2); err != nil {
+						log.Printf("put: %v", err)
+						return
+					}
+				default:
+					deletes.Add(1)
+					store.Delete(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total := gets.Load() + puts.Load() + deletes.Load()
+	fmt.Printf("ran %d ops in %v across %d workers\n", total, elapsed.Round(time.Millisecond), workers)
+	fmt.Printf("throughput: %.2f Mops/s\n", float64(total)/elapsed.Seconds()/1e6)
+	fmt.Printf("GET hit rate: %.1f%% (%d/%d)\n",
+		float64(hits.Load())/float64(gets.Load())*100, hits.Load(), gets.Load())
+	fmt.Printf("final state: %s\n", store)
+	if msgs := store.CheckConsistency(); len(msgs) != 0 {
+		log.Fatalf("consistency violations: %v", msgs)
+	}
+	fmt.Println("table is consistent")
+}

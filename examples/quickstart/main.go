@@ -1,0 +1,52 @@
+// Quickstart: the smallest useful grouphash program.
+//
+//	go run ./examples/quickstart
+//
+// Creates a store, puts/gets/deletes a few items, prints statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"grouphash"
+)
+
+func main() {
+	// A store sized for ~1M items. Keys are 8-byte (non-zero) words;
+	// values are single words. The table uses the paper's defaults:
+	// group size 256, two-level group-sharing layout.
+	store, err := grouphash.New(grouphash.Options{Capacity: 1 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Put is an upsert; Insert (not shown) has the paper's
+	// duplicate-allowing Algorithm-1 semantics.
+	for i := uint64(1); i <= 100_000; i++ {
+		if err := store.Put(grouphash.Key{Lo: i}, i*i); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	v, ok := store.Get(grouphash.Key{Lo: 777})
+	fmt.Printf("key 777 -> %d (found: %v)\n", v, ok)
+
+	store.Put(grouphash.Key{Lo: 777}, 42) // overwrite in place
+	v, _ = store.Get(grouphash.Key{Lo: 777})
+	fmt.Printf("key 777 -> %d after upsert\n", v)
+
+	store.Delete(grouphash.Key{Lo: 777})
+	_, ok = store.Get(grouphash.Key{Lo: 777})
+	fmt.Printf("key 777 present after delete: %v\n", ok)
+
+	fmt.Println(store)
+	fmt.Printf("load factor: %.3f\n", store.LoadFactor())
+
+	// The consistency invariants can be checked at any time.
+	if msgs := store.CheckConsistency(); len(msgs) == 0 {
+		fmt.Println("table is consistent")
+	} else {
+		fmt.Println("violations:", msgs)
+	}
+}

@@ -1,0 +1,3 @@
+module grouphash
+
+go 1.22

@@ -1,0 +1,272 @@
+// Package grouphash is a write-efficient, crash-consistent hash table
+// for byte-addressable non-volatile memory, reproducing "A Write-
+// efficient and Consistent Hashing Scheme for Non-Volatile Memory"
+// (Zhang, Feng, Hua, Chen, Fu — ICPP 2018).
+//
+// Group hashing commits every insert and delete with a single 8-byte
+// failure-atomic store — no logging, no copy-on-write — and resolves
+// collisions inside groups of contiguous cells so that collision
+// probing stays cacheline-friendly. After a crash, a linear recovery
+// scan (Recover) restores full consistency in time proportional to the
+// table size (< 1% of the time it took to fill it).
+//
+// # Quick start
+//
+//	store, err := grouphash.New(grouphash.Options{Capacity: 1 << 20})
+//	if err != nil { ... }
+//	store.Put(grouphash.Key{Lo: 42}, 4242)
+//	v, ok := store.Get(grouphash.Key{Lo: 42})
+//	store.Delete(grouphash.Key{Lo: 42})
+//
+// # Backends
+//
+// New builds the store over plain process memory. NewSimulated builds
+// it over the repository's simulated NVM machine (cache hierarchy,
+// latency model, crash injection) — the configuration every paper
+// experiment runs on; see the Sim type for crash/recovery tooling and
+// the simulated performance counters.
+//
+// The lower-level building blocks live in internal packages; this
+// package is the stable surface.
+package grouphash
+
+import (
+	"fmt"
+
+	"grouphash/internal/core"
+	"grouphash/internal/hashtab"
+	"grouphash/internal/layout"
+	"grouphash/internal/native"
+)
+
+// Key is a fixed-size key: 8-byte keys use Lo (and must be non-zero);
+// 16-byte keys use Lo and Hi.
+type Key = layout.Key
+
+// ErrTableFull is returned when the table cannot place an item and
+// auto-expansion is disabled or impossible.
+var ErrTableFull = hashtab.ErrTableFull
+
+// ErrInvalidKey is returned for keys the cell layout cannot store
+// (the zero key under the 8-byte compact layout).
+var ErrInvalidKey = hashtab.ErrInvalidKey
+
+// Options configures a Store.
+type Options struct {
+	// Capacity is the target item capacity. The table is sized so this
+	// many items fit at the paper's ~82% space utilisation; it expands
+	// automatically if exceeded (unless DisableExpand).
+	Capacity uint64
+	// KeyBytes is 8 (compact 16-byte cells) or 16 (32-byte cells).
+	// Default 8.
+	KeyBytes int
+	// GroupSize is the cells-per-group parameter (power of two).
+	// Default 256, the paper's choice.
+	GroupSize uint64
+	// Seed selects the hash function. Default 0.
+	Seed uint64
+	// DisableExpand makes Put return ErrTableFull instead of growing.
+	DisableExpand bool
+	// TwoChoice enables the second hash function discussed in §4.4 of
+	// the paper: higher space utilisation, lower cache locality. Not
+	// compatible with Concurrent.
+	TwoChoice bool
+	// GroupIndex enables the volatile per-group occupancy index: group
+	// scans stop once every occupied cell has been seen, sharply
+	// cutting absent-key lookup cost. Derived state only — rebuilt on
+	// open and after recovery, no extra persistence traffic.
+	GroupIndex bool
+	// Concurrent enables the striped-lock wrapper, making all Store
+	// methods safe for concurrent use. Expansion is disabled in this
+	// mode (the stripe map is fixed at creation).
+	Concurrent bool
+	// Memory overrides the backing memory. Nil means a fresh native
+	// (process-memory) backend sized ~3× the cell footprint.
+	Memory hashtab.Mem
+}
+
+// Store is a group-hash key-value store. Unless Options.Concurrent was
+// set it must be confined to one goroutine at a time.
+type Store struct {
+	tab     *core.Table
+	conc    *core.Concurrent
+	mem     hashtab.Mem
+	expand  bool
+	keySize int
+}
+
+// New creates a store per opts.
+func New(opts Options) (*Store, error) {
+	if opts.Capacity == 0 {
+		opts.Capacity = 1 << 16
+	}
+	if opts.KeyBytes == 0 {
+		opts.KeyBytes = 8
+	}
+	// Size level 1 so that Capacity items stay under ~80% utilisation
+	// of the two-level structure: total cells ≈ Capacity / 0.8,
+	// level 1 = half of that, rounded up to a power of two.
+	l1 := uint64(1)
+	for l1 < opts.Capacity/2+opts.Capacity/8 {
+		l1 <<= 1
+	}
+	gs := opts.GroupSize
+	if gs == 0 {
+		gs = core.DefaultGroupSize
+	}
+	if gs > l1 {
+		gs = l1
+	}
+	mem := opts.Memory
+	if mem == nil {
+		cell := layout.ForKeySize(opts.KeyBytes).CellSize()
+		mem = native.New(l1*2*cell*3 + (1 << 16))
+	}
+	if opts.Concurrent && opts.TwoChoice {
+		return nil, fmt.Errorf("grouphash: Concurrent and TwoChoice are mutually exclusive")
+	}
+	tab, err := core.Create(mem, core.Options{
+		Cells:     l1,
+		GroupSize: gs,
+		KeyBytes:  opts.KeyBytes,
+		Seed:      opts.Seed,
+		TwoChoice: opts.TwoChoice,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if opts.GroupIndex {
+		tab.EnableGroupIndex()
+	}
+	s := &Store{tab: tab, mem: mem, expand: !opts.DisableExpand, keySize: opts.KeyBytes}
+	if opts.Concurrent {
+		s.conc = core.NewConcurrent(tab, 0)
+		s.expand = false
+	}
+	return s, nil
+}
+
+// Open reconstructs a store from a persistent memory image, given the
+// header address returned by Header. Call Recover afterwards if the
+// previous shutdown was not clean.
+func Open(mem hashtab.Mem, header uint64, concurrent bool) (*Store, error) {
+	tab, err := core.Open(mem, header)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{tab: tab, mem: mem, expand: !concurrent, keySize: 8}
+	if concurrent {
+		s.conc = core.NewConcurrent(tab, 0)
+	}
+	return s, nil
+}
+
+// Header returns the table's persistent root address, the handle Open
+// needs after a restart.
+func (s *Store) Header() uint64 { return s.tab.Header() }
+
+// Put stores (k, v), replacing any existing value for k. The table
+// expands automatically when full (unless disabled).
+func (s *Store) Put(k Key, v uint64) error {
+	if s.conc != nil {
+		if s.conc.Update(k, v) {
+			return nil
+		}
+		return s.conc.Insert(k, v)
+	}
+	if s.tab.Update(k, v) {
+		return nil
+	}
+	err := s.tab.Insert(k, v)
+	if err == hashtab.ErrTableFull && s.expand {
+		if err = s.tab.Expand(); err != nil {
+			return err
+		}
+		err = s.tab.Insert(k, v)
+	}
+	return err
+}
+
+// Insert stores (k, v) with the paper's Algorithm-1 semantics: no
+// existing-key check, duplicates allowed.
+func (s *Store) Insert(k Key, v uint64) error {
+	if s.conc != nil {
+		return s.conc.Insert(k, v)
+	}
+	return s.tab.Insert(k, v)
+}
+
+// Item is a key-value pair for batch operations.
+type Item = core.Item
+
+// InsertBatch inserts items with one persistent count update for the
+// whole batch — roughly one persist barrier in three saved per insert.
+// Crash consistency is unchanged (recovery recomputes the count). See
+// core.Table.InsertBatch. Not available on concurrent stores.
+func (s *Store) InsertBatch(items []Item) (int, error) {
+	if s.conc != nil {
+		return 0, fmt.Errorf("grouphash: InsertBatch is not supported on concurrent stores")
+	}
+	return s.tab.InsertBatch(items)
+}
+
+// Get returns the value stored under k.
+func (s *Store) Get(k Key) (uint64, bool) {
+	if s.conc != nil {
+		return s.conc.Lookup(k)
+	}
+	return s.tab.Lookup(k)
+}
+
+// Delete removes k, reporting whether it was present.
+func (s *Store) Delete(k Key) bool {
+	if s.conc != nil {
+		return s.conc.Delete(k)
+	}
+	return s.tab.Delete(k)
+}
+
+// Len returns the number of stored items.
+func (s *Store) Len() uint64 {
+	if s.conc != nil {
+		return s.conc.Len()
+	}
+	return s.tab.Len()
+}
+
+// Capacity returns the total cell count of the table.
+func (s *Store) Capacity() uint64 { return s.tab.Capacity() }
+
+// LoadFactor returns Len/Capacity.
+func (s *Store) LoadFactor() float64 {
+	return float64(s.Len()) / float64(s.Capacity())
+}
+
+// GroupSize returns the cells-per-group parameter.
+func (s *Store) GroupSize() uint64 { return s.tab.GroupSize() }
+
+// Range calls fn for every stored item until fn returns false. Not
+// safe to run concurrently with mutations.
+func (s *Store) Range(fn func(k Key, v uint64) bool) { s.tab.Range(fn) }
+
+// RecoveryReport summarises what Recover repaired.
+type RecoveryReport = hashtab.RecoveryReport
+
+// Recover runs the paper's Algorithm-4 recovery scan: scrub torn
+// payloads behind zero bitmaps and recompute the persistent count.
+// Call it after reopening a store that may have crashed.
+func (s *Store) Recover() (RecoveryReport, error) { return s.tab.Recover() }
+
+// CheckConsistency verifies the table invariants without repairing,
+// returning human-readable violations (empty when consistent).
+func (s *Store) CheckConsistency() []string { return s.tab.CheckConsistency() }
+
+// String describes the store.
+func (s *Store) String() string {
+	mode := "sequential"
+	if s.conc != nil {
+		mode = "concurrent"
+	}
+	return fmt.Sprintf("grouphash.Store{items: %d, cells: %d, group: %d, %s}",
+		s.Len(), s.Capacity(), s.GroupSize(), mode)
+}

@@ -1,0 +1,392 @@
+package grouphash
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestStoreBasics(t *testing.T) {
+	st, err := New(Options{Capacity: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(Key{Lo: 7}, 70); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := st.Get(Key{Lo: 7}); !ok || v != 70 {
+		t.Fatalf("Get = (%d, %v)", v, ok)
+	}
+	// Put is an upsert.
+	if err := st.Put(Key{Lo: 7}, 71); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := st.Get(Key{Lo: 7}); v != 71 {
+		t.Fatalf("value after upsert = %d", v)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("Len = %d", st.Len())
+	}
+	if !st.Delete(Key{Lo: 7}) || st.Delete(Key{Lo: 7}) {
+		t.Fatal("delete semantics")
+	}
+	if _, ok := st.Get(Key{Lo: 7}); ok {
+		t.Fatal("deleted key visible")
+	}
+}
+
+func TestStoreRejectsZeroKey(t *testing.T) {
+	st, _ := New(Options{Capacity: 1 << 10})
+	if err := st.Put(Key{Lo: 0}, 1); !errors.Is(err, ErrInvalidKey) {
+		t.Fatalf("Put(zero key) = %v, want ErrInvalidKey", err)
+	}
+	st16, _ := New(Options{Capacity: 1 << 10, KeyBytes: 16})
+	if err := st16.Put(Key{Lo: 0, Hi: 0}, 1); err != nil {
+		t.Fatalf("16-byte layout must accept the zero key: %v", err)
+	}
+}
+
+func TestStoreAutoExpands(t *testing.T) {
+	st, err := New(Options{Capacity: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := st.Capacity()
+	for i := uint64(1); i <= 2000; i++ {
+		if err := st.Put(Key{Lo: i}, i); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	if st.Capacity() <= before {
+		t.Fatal("store did not expand")
+	}
+	for i := uint64(1); i <= 2000; i++ {
+		if v, ok := st.Get(Key{Lo: i}); !ok || v != i {
+			t.Fatalf("key %d after expansion: (%d, %v)", i, v, ok)
+		}
+	}
+	if msgs := st.CheckConsistency(); len(msgs) != 0 {
+		t.Fatalf("inconsistencies: %v", msgs)
+	}
+}
+
+func TestStoreDisableExpand(t *testing.T) {
+	st, _ := New(Options{Capacity: 64, DisableExpand: true})
+	var sawFull bool
+	for i := uint64(1); i <= 10000; i++ {
+		if err := st.Put(Key{Lo: i}, i); err != nil {
+			if !errors.Is(err, ErrTableFull) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			sawFull = true
+			break
+		}
+	}
+	if !sawFull {
+		t.Fatal("fixed-size store never filled")
+	}
+}
+
+func TestStoreInsertAllowsDuplicates(t *testing.T) {
+	st, _ := New(Options{Capacity: 1 << 10})
+	st.Insert(Key{Lo: 5}, 1)
+	st.Insert(Key{Lo: 5}, 2)
+	if st.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (paper semantics)", st.Len())
+	}
+}
+
+func TestStoreRange(t *testing.T) {
+	st, _ := New(Options{Capacity: 1 << 10})
+	for i := uint64(1); i <= 50; i++ {
+		st.Put(Key{Lo: i}, i*2)
+	}
+	sum := uint64(0)
+	st.Range(func(k Key, v uint64) bool {
+		sum += v
+		return true
+	})
+	if sum != 50*51 {
+		t.Fatalf("sum over Range = %d", sum)
+	}
+}
+
+func TestStoreString(t *testing.T) {
+	st, _ := New(Options{Capacity: 1 << 10})
+	if !strings.Contains(st.String(), "grouphash.Store") {
+		t.Fatalf("String = %q", st.String())
+	}
+}
+
+func TestConcurrentStore(t *testing.T) {
+	st, err := New(Options{Capacity: 1 << 14, Concurrent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w*1000 + 1)
+			for i := uint64(0); i < 1000; i++ {
+				if err := st.Put(Key{Lo: base + i}, base+i); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if st.Len() != 8000 {
+		t.Fatalf("Len = %d", st.Len())
+	}
+	if v, ok := st.Get(Key{Lo: 4321}); !ok || v != 4321 {
+		t.Fatalf("Get = (%d, %v)", v, ok)
+	}
+}
+
+func TestSimulatedCrashRecovery(t *testing.T) {
+	sim, err := NewSimulated(Options{Capacity: 1 << 12, DisableExpand: true}, SimOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 1000; i++ {
+		if err := sim.Insert(Key{Lo: i}, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := sim.Crash(0.5)
+	if out.DirtyWords < 0 {
+		t.Fatal("impossible")
+	}
+	if _, err := sim.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if msgs := sim.CheckConsistency(); len(msgs) != 0 {
+		t.Fatalf("inconsistencies after crash+recover: %v", msgs)
+	}
+	// Every insert returned before the crash, so every item committed.
+	for i := uint64(1); i <= 1000; i++ {
+		if v, ok := sim.Get(Key{Lo: i}); !ok || v != i {
+			t.Fatalf("committed key %d lost: (%d, %v)", i, v, ok)
+		}
+	}
+}
+
+func TestSimulatedCountersAdvance(t *testing.T) {
+	sim, err := NewSimulated(Options{Capacity: 1 << 12}, SimOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := sim.Counters()
+	sim.Put(Key{Lo: 9}, 9)
+	d := sim.Counters().Sub(c0)
+	if d.Flushes == 0 || d.Fences == 0 || d.ClockNs <= 0 {
+		t.Fatalf("insert produced no persistence traffic: %+v", d)
+	}
+	if sim.ClockNs() <= 0 {
+		t.Fatal("clock did not advance")
+	}
+	if sim.L3Geometry() != 15<<20 {
+		t.Fatalf("L3 = %d, want the paper's 15 MB", sim.L3Geometry())
+	}
+}
+
+func TestSimulatedWriteLatencyKnob(t *testing.T) {
+	run := func(extra float64) float64 {
+		sim, err := NewSimulated(Options{Capacity: 1 << 10}, SimOptions{Seed: 1, WriteLatencyNs: extra})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(1); i <= 500; i++ {
+			sim.Insert(Key{Lo: i}, i)
+		}
+		return sim.ClockNs()
+	}
+	slow := run(1000)
+	fast := run(1)
+	if slow <= fast {
+		t.Fatalf("write latency knob has no effect: %v <= %v", slow, fast)
+	}
+}
+
+func TestOpenAfterCleanShutdown(t *testing.T) {
+	sim, err := NewSimulated(Options{Capacity: 1 << 10, DisableExpand: true}, SimOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 100; i++ {
+		sim.Put(Key{Lo: i}, i*3)
+	}
+	hdr := sim.Header()
+	sim.CleanShutdown()
+
+	st, err := Open(sim.mem, hdr, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 100 {
+		t.Fatalf("reopened Len = %d", st.Len())
+	}
+	for i := uint64(1); i <= 100; i++ {
+		if v, ok := st.Get(Key{Lo: i}); !ok || v != i*3 {
+			t.Fatalf("reopened key %d = (%d, %v)", i, v, ok)
+		}
+	}
+}
+
+// Property: a Store agrees with a map oracle under random upserts,
+// lookups and deletes.
+func TestQuickStoreMatchesMap(t *testing.T) {
+	f := func(seed int64) bool {
+		st, err := New(Options{Capacity: 512})
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		oracle := make(map[uint64]uint64)
+		for op := 0; op < 3000; op++ {
+			key := uint64(rng.Intn(600)) + 1
+			switch rng.Intn(4) {
+			case 0, 1:
+				v := rng.Uint64()
+				if st.Put(Key{Lo: key}, v) == nil {
+					oracle[key] = v
+				}
+			case 2:
+				v, ok := st.Get(Key{Lo: key})
+				ov, ook := oracle[key]
+				if ok != ook || (ok && v != ov) {
+					return false
+				}
+			case 3:
+				if st.Delete(Key{Lo: key}) != (func() bool { _, ok := oracle[key]; return ok })() {
+					return false
+				}
+				delete(oracle, key)
+			}
+		}
+		return st.Len() == uint64(len(oracle))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreInsertBatch(t *testing.T) {
+	st, err := New(Options{Capacity: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := make([]Item, 100)
+	for i := range items {
+		items[i] = Item{Key: Key{Lo: uint64(i) + 1}, Value: uint64(i)}
+	}
+	n, err := st.InsertBatch(items)
+	if err != nil || n != 100 {
+		t.Fatalf("batch: %d, %v", n, err)
+	}
+	if st.Len() != 100 {
+		t.Fatalf("Len = %d", st.Len())
+	}
+	cst, _ := New(Options{Capacity: 1 << 10, Concurrent: true})
+	if _, err := cst.InsertBatch(items); err == nil {
+		t.Fatal("concurrent store must reject InsertBatch")
+	}
+}
+
+func TestSimScheduledCrashAndImage(t *testing.T) {
+	dir := t.TempDir()
+	img := dir + "/store.img"
+
+	sim, err := NewSimulated(Options{Capacity: 1 << 10, DisableExpand: true}, SimOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 200; i++ {
+		sim.Insert(Key{Lo: i}, i)
+	}
+	// A scheduled crash that cuts the next insert mid-flight.
+	sim.ScheduleCrash(sim.Counters().Accesses+2, 0.5)
+	sim.Insert(Key{Lo: 9999}, 1)
+	if !sim.CompleteCrash() {
+		t.Fatal("crash trigger did not fire")
+	}
+	if _, err := sim.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if msgs := sim.CheckConsistency(); len(msgs) != 0 {
+		t.Fatalf("inconsistent: %v", msgs)
+	}
+
+	// Save and reload via the PMFS-image path.
+	if err := sim.SaveImage(img); err != nil {
+		t.Fatal(err)
+	}
+	re, err := LoadImage(img, SimOptions{Seed: 4}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != sim.Len() {
+		t.Fatalf("reloaded Len = %d, want %d", re.Len(), sim.Len())
+	}
+	for i := uint64(1); i <= 200; i++ {
+		if v, ok := re.Get(Key{Lo: i}); !ok || v != i {
+			t.Fatalf("reloaded key %d = (%d, %v)", i, v, ok)
+		}
+	}
+	if _, err := LoadImage(dir+"/missing.img", SimOptions{}, false); err == nil {
+		t.Fatal("loading a missing image must fail")
+	}
+	if re.LoadFactor() <= 0 {
+		t.Fatal("load factor")
+	}
+}
+
+func TestStoreInsertDeleteConcurrentPaths(t *testing.T) {
+	st, _ := New(Options{Capacity: 1 << 12, Concurrent: true})
+	if err := st.Insert(Key{Lo: 3}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Delete(Key{Lo: 3}) {
+		t.Fatal("concurrent delete path")
+	}
+	if st.Delete(Key{Lo: 3}) {
+		t.Fatal("double delete")
+	}
+}
+
+func TestStoreGroupIndexOption(t *testing.T) {
+	st, err := New(Options{Capacity: 1 << 12, GroupIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 2000; i++ {
+		if err := st.Put(Key{Lo: i}, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(1); i <= 2000; i++ {
+		if v, ok := st.Get(Key{Lo: i}); !ok || v != i {
+			t.Fatalf("key %d = (%d, %v)", i, v, ok)
+		}
+	}
+	if _, ok := st.Get(Key{Lo: 1 << 30}); ok {
+		t.Fatal("phantom")
+	}
+	for i := uint64(1); i <= 2000; i += 2 {
+		if !st.Delete(Key{Lo: i}) {
+			t.Fatalf("delete %d", i)
+		}
+	}
+	if msgs := st.CheckConsistency(); len(msgs) != 0 {
+		t.Fatalf("inconsistent: %v", msgs)
+	}
+}

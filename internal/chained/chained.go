@@ -1,0 +1,241 @@
+// Package chained implements chained hashing over persistent memory —
+// the classic DRAM scheme the paper's evaluation deliberately excludes:
+// "chained hashing performs poorly under memory pressure due to
+// frequent memory allocation and free calls" (§4.1). It is implemented
+// here so that exclusion is a measured result rather than an assertion
+// (ghbench -exp excluded).
+//
+// Layout: an array of bucket-head pointer words plus nodes from a
+// persistent fixed-block allocator (internal/palloc). A node is
+// [next][key...][value]. Node addresses are offset by +1 when stored in
+// pointer words so that 0 remains the nil pointer even for a node at
+// arena offset 0.
+//
+// Consistency protocol (all 8-byte-atomic commits, no logging):
+//
+//	insert: alloc node → write payload+next → persist → atomically
+//	        point the bucket head at the node (the commit) → persist
+//	delete: atomically splice the node out of its chain (one pointer
+//	        word, the commit) → persist → free the node's block
+//
+// A crash can leak an allocated-but-unlinked node (insert) or a
+// spliced-but-unfreed node (delete); Recover walks every chain and
+// rebuilds the allocator bitmap and the count, exactly in the spirit of
+// the paper's Algorithm 4.
+package chained
+
+import (
+	"grouphash/internal/hashtab"
+	"grouphash/internal/layout"
+	"grouphash/internal/palloc"
+	"grouphash/internal/xhash"
+)
+
+// Options configures a table.
+type Options struct {
+	// Buckets is the number of chain heads (power of two).
+	Buckets uint64
+	// Nodes is the node-pool capacity; 0 means 2×Buckets.
+	Nodes uint64
+	// KeyBytes is 8 or 16.
+	KeyBytes int
+	// Seed selects the hash function.
+	Seed uint64
+}
+
+// Table is a chained hash table over persistent memory.
+type Table struct {
+	mem     hashtab.Mem
+	l       layout.Layout
+	h       xhash.Func
+	heads   uint64 // address of the bucket-head pointer array
+	buckets uint64
+	pool    *palloc.Pool
+	count   hashtab.Count
+}
+
+// node word offsets: next pointer, key word(s), value.
+func (t *Table) nodeNext(n uint64) uint64 { return n }
+func (t *Table) nodeKeyLo(n uint64) uint64 {
+	return n + layout.WordSize
+}
+func (t *Table) nodeKeyHi(n uint64) uint64 {
+	return n + 2*layout.WordSize
+}
+func (t *Table) nodeVal(n uint64) uint64 {
+	return n + uint64(1+t.l.KeyWords())*layout.WordSize
+}
+
+// nodeBytes is the node footprint for a layout.
+func nodeBytes(l layout.Layout) uint64 {
+	return uint64(2+l.KeyWords()) * layout.WordSize // next + key + value
+}
+
+// New allocates a table in mem.
+func New(mem hashtab.Mem, opts Options) *Table {
+	if opts.Buckets == 0 || opts.Buckets&(opts.Buckets-1) != 0 {
+		panic("chained: Buckets must be a nonzero power of two")
+	}
+	if opts.KeyBytes == 0 {
+		opts.KeyBytes = 8
+	}
+	if opts.Nodes == 0 {
+		opts.Nodes = 2 * opts.Buckets
+	}
+	l := layout.ForKeySize(opts.KeyBytes)
+	t := &Table{
+		mem:     mem,
+		l:       l,
+		h:       xhash.NewFunc(opts.Seed, opts.Buckets, l.KeyWords() == 2),
+		heads:   mem.Alloc(opts.Buckets*layout.WordSize, 64),
+		buckets: opts.Buckets,
+		count:   hashtab.NewCount(mem),
+	}
+	t.pool = palloc.New(mem, nodeBytes(l), opts.Nodes)
+	return t
+}
+
+// Name implements hashtab.Table.
+func (t *Table) Name() string { return "chained" }
+
+// Len returns the number of stored items.
+func (t *Table) Len() uint64 { return t.count.Get() }
+
+// Capacity returns the node-pool capacity (the structural bound on
+// items; bucket heads are not storage).
+func (t *Table) Capacity() uint64 { return t.pool.Blocks() }
+
+// LoadFactor returns items per node slot.
+func (t *Table) LoadFactor() float64 { return float64(t.Len()) / float64(t.Capacity()) }
+
+// FootprintBytes reports persistent bytes used: heads + pool — the
+// memory-overhead comparison of the exclusion experiment.
+func (t *Table) FootprintBytes() uint64 {
+	return t.buckets*layout.WordSize + t.pool.FootprintBytes()
+}
+
+func (t *Table) headAddr(b uint64) uint64 { return t.heads + b*layout.WordSize }
+
+// ptr encoding: node address + 1, so 0 is nil.
+func enc(addr uint64) uint64 { return addr + 1 }
+func dec(ptr uint64) (addr uint64, ok bool) {
+	if ptr == 0 {
+		return 0, false
+	}
+	return ptr - 1, true
+}
+
+// Insert prepends a node to the key's chain. The bucket-head update is
+// the 8-byte failure-atomic commit.
+func (t *Table) Insert(k layout.Key, v uint64) error {
+	if !t.l.ValidKey(k) {
+		return hashtab.ErrInvalidKey
+	}
+	node, err := t.pool.Alloc()
+	if err != nil {
+		return hashtab.ErrTableFull
+	}
+	head := t.headAddr(t.h.Index(k.Lo, k.Hi))
+	old := t.mem.Read8(head)
+	t.mem.Write8(t.nodeNext(node), old)
+	t.mem.Write8(t.nodeKeyLo(node), k.Lo)
+	if t.l.KeyWords() == 2 {
+		t.mem.Write8(t.nodeKeyHi(node), k.Hi)
+	}
+	t.mem.Write8(t.nodeVal(node), v)
+	t.mem.Persist(node, nodeBytes(t.l))
+	t.mem.AtomicWrite8(head, enc(node))
+	t.mem.Persist(head, layout.WordSize)
+	t.count.Inc()
+	return nil
+}
+
+// keyAt reads the key stored in a node.
+func (t *Table) keyAt(node uint64) layout.Key {
+	k := layout.Key{Lo: t.mem.Read8(t.nodeKeyLo(node))}
+	if t.l.KeyWords() == 2 {
+		k.Hi = t.mem.Read8(t.nodeKeyHi(node))
+	}
+	return k
+}
+
+// Lookup walks the key's chain.
+func (t *Table) Lookup(k layout.Key) (uint64, bool) {
+	ptr := t.mem.Read8(t.headAddr(t.h.Index(k.Lo, k.Hi)))
+	for {
+		node, ok := dec(ptr)
+		if !ok {
+			return 0, false
+		}
+		if t.keyAt(node) == t.l.Canon(k) {
+			return t.mem.Read8(t.nodeVal(node)), true
+		}
+		ptr = t.mem.Read8(t.nodeNext(node))
+	}
+}
+
+// Update overwrites an existing key's value in place.
+func (t *Table) Update(k layout.Key, v uint64) bool {
+	ptr := t.mem.Read8(t.headAddr(t.h.Index(k.Lo, k.Hi)))
+	for {
+		node, ok := dec(ptr)
+		if !ok {
+			return false
+		}
+		if t.keyAt(node) == t.l.Canon(k) {
+			t.mem.AtomicWrite8(t.nodeVal(node), v)
+			t.mem.Persist(t.nodeVal(node), layout.WordSize)
+			return true
+		}
+		ptr = t.mem.Read8(t.nodeNext(node))
+	}
+}
+
+// Delete splices the node out of its chain with one atomic pointer
+// write, then frees its block.
+func (t *Table) Delete(k layout.Key) bool {
+	prev := t.headAddr(t.h.Index(k.Lo, k.Hi)) // address holding the ptr to cur
+	ptr := t.mem.Read8(prev)
+	for {
+		node, ok := dec(ptr)
+		if !ok {
+			return false
+		}
+		next := t.mem.Read8(t.nodeNext(node))
+		if t.keyAt(node) == t.l.Canon(k) {
+			t.mem.AtomicWrite8(prev, next)
+			t.mem.Persist(prev, layout.WordSize)
+			t.pool.Free(node)
+			t.count.Dec()
+			return true
+		}
+		prev = t.nodeNext(node)
+		ptr = next
+	}
+}
+
+// Recover rebuilds consistency after a crash: walk every chain,
+// reclaim leaked blocks into the allocator bitmap, and recount.
+func (t *Table) Recover() (hashtab.RecoveryReport, error) {
+	var rep hashtab.RecoveryReport
+	var n uint64
+	leaked := t.pool.Rebuild(func(yield func(addr uint64)) {
+		for b := uint64(0); b < t.buckets; b++ {
+			ptr := t.mem.Read8(t.headAddr(b))
+			for {
+				node, ok := dec(ptr)
+				if !ok {
+					break
+				}
+				yield(node)
+				n++
+				ptr = t.mem.Read8(t.nodeNext(node))
+			}
+		}
+	})
+	rep.CellsScanned = t.pool.Blocks()
+	rep.CellsCleared = leaked
+	rep.CountCorrected = t.count.Get() != n
+	t.count.Set(n)
+	return rep, nil
+}

@@ -1,0 +1,222 @@
+package chained
+
+import (
+	"math/rand"
+	"testing"
+
+	"grouphash/internal/cache"
+	"grouphash/internal/layout"
+	"grouphash/internal/memsim"
+	"grouphash/internal/native"
+)
+
+func simMem(seed int64) *memsim.Memory {
+	return memsim.New(memsim.Config{Size: 8 << 20, Seed: seed, Geoms: cache.SmallGeometry()})
+}
+
+func TestBasicOps(t *testing.T) {
+	for _, keyBytes := range []int{8, 16} {
+		mem := native.New(8 << 20)
+		tab := New(mem, Options{Buckets: 256, Nodes: 1024, KeyBytes: keyBytes, Seed: 1})
+		if tab.Name() != "chained" || tab.Capacity() != 1024 {
+			t.Fatalf("identity: %q cap %d", tab.Name(), tab.Capacity())
+		}
+		for i := uint64(1); i <= 800; i++ {
+			k := layout.Key{Lo: i, Hi: i * 3}
+			if err := tab.Insert(k, i*2); err != nil {
+				t.Fatalf("insert %d: %v", i, err)
+			}
+		}
+		if tab.Len() != 800 {
+			t.Fatalf("Len = %d", tab.Len())
+		}
+		for i := uint64(1); i <= 800; i++ {
+			k := layout.Key{Lo: i, Hi: i * 3}
+			if v, ok := tab.Lookup(k); !ok || v != i*2 {
+				t.Fatalf("lookup %d = (%d, %v)", i, v, ok)
+			}
+		}
+		if _, ok := tab.Lookup(layout.Key{Lo: 1 << 50}); ok {
+			t.Fatal("phantom key")
+		}
+		for i := uint64(1); i <= 800; i += 2 {
+			if !tab.Delete(layout.Key{Lo: i, Hi: i * 3}) {
+				t.Fatalf("delete %d", i)
+			}
+		}
+		for i := uint64(1); i <= 800; i++ {
+			_, ok := tab.Lookup(layout.Key{Lo: i, Hi: i * 3})
+			if want := i%2 == 0; ok != want {
+				t.Fatalf("key %d presence %v", i, ok)
+			}
+		}
+		// Freed nodes are reusable: refill the deleted half.
+		for i := uint64(1); i <= 800; i += 2 {
+			if err := tab.Insert(layout.Key{Lo: i, Hi: i * 3}, i); err != nil {
+				t.Fatalf("reinsert %d: %v", i, err)
+			}
+		}
+		if tab.Len() != 800 {
+			t.Fatalf("Len after refill = %d", tab.Len())
+		}
+	}
+}
+
+func TestPoolExhaustionIsTableFull(t *testing.T) {
+	mem := native.New(1 << 20)
+	tab := New(mem, Options{Buckets: 16, Nodes: 8, Seed: 1})
+	var err error
+	inserted := 0
+	for i := uint64(1); i <= 20; i++ {
+		if err = tab.Insert(layout.Key{Lo: i}, i); err != nil {
+			break
+		}
+		inserted++
+	}
+	if inserted != 8 || err == nil {
+		t.Fatalf("inserted %d before %v", inserted, err)
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	mem := native.New(1 << 20)
+	tab := New(mem, Options{Buckets: 64, Seed: 2})
+	tab.Insert(layout.Key{Lo: 5}, 1)
+	if !tab.Update(layout.Key{Lo: 5}, 2) {
+		t.Fatal("update failed")
+	}
+	if v, _ := tab.Lookup(layout.Key{Lo: 5}); v != 2 {
+		t.Fatalf("value = %d", v)
+	}
+	if tab.Update(layout.Key{Lo: 6}, 1) {
+		t.Fatal("updated absent key")
+	}
+}
+
+func TestDeleteMiddleOfChain(t *testing.T) {
+	// Force several keys into one bucket and delete from the middle.
+	mem := native.New(1 << 20)
+	tab := New(mem, Options{Buckets: 4, Nodes: 64, Seed: 3})
+	for i := uint64(1); i <= 30; i++ {
+		tab.Insert(layout.Key{Lo: i}, i)
+	}
+	for i := uint64(10); i <= 20; i++ {
+		if !tab.Delete(layout.Key{Lo: i}) {
+			t.Fatalf("delete %d", i)
+		}
+	}
+	for i := uint64(1); i <= 30; i++ {
+		_, ok := tab.Lookup(layout.Key{Lo: i})
+		if want := i < 10 || i > 20; ok != want {
+			t.Fatalf("key %d presence %v", i, ok)
+		}
+	}
+}
+
+func TestOracleFuzz(t *testing.T) {
+	mem := native.New(32 << 20)
+	tab := New(mem, Options{Buckets: 512, Nodes: 4096, Seed: 4})
+	oracle := make(map[uint64]uint64)
+	rng := rand.New(rand.NewSource(31))
+	for op := 0; op < 30000; op++ {
+		key := uint64(rng.Intn(2000)) + 1
+		k := layout.Key{Lo: key}
+		switch rng.Intn(3) {
+		case 0:
+			if _, exists := oracle[key]; !exists {
+				if tab.Insert(k, key*3) == nil {
+					oracle[key] = key * 3
+				}
+			}
+		case 1:
+			v, ok := tab.Lookup(k)
+			ov, ook := oracle[key]
+			if ok != ook || (ok && v != ov) {
+				t.Fatalf("op %d: lookup(%d) = (%d,%v), oracle (%d,%v)", op, key, v, ok, ov, ook)
+			}
+		case 2:
+			if ok := tab.Delete(k); ok != (func() bool { _, e := oracle[key]; return e })() {
+				t.Fatalf("op %d: delete(%d) mismatch", op, key)
+			}
+			delete(oracle, key)
+		}
+	}
+	if tab.Len() != uint64(len(oracle)) {
+		t.Fatalf("Len = %d, oracle %d", tab.Len(), len(oracle))
+	}
+}
+
+func TestRecoverReclaimsLeakedNode(t *testing.T) {
+	mem := simMem(5)
+	tab := New(mem, Options{Buckets: 64, Nodes: 128, Seed: 5})
+	for i := uint64(1); i <= 50; i++ {
+		tab.Insert(layout.Key{Lo: i}, i)
+	}
+	mem.CleanShutdown()
+
+	// Simulate a crash between the pool allocation and the head
+	// commit: allocate a node, persist its bit, never link it.
+	leakedAddr, err := tab.pool.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem.CleanShutdown()
+	_ = leakedAddr
+	inUseBefore := tab.pool.InUse()
+
+	rep, err2 := tab.Recover()
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if rep.CellsCleared != 1 {
+		t.Fatalf("reclaimed %d leaks, want 1", rep.CellsCleared)
+	}
+	if tab.pool.InUse() != inUseBefore-1 {
+		t.Fatalf("InUse = %d", tab.pool.InUse())
+	}
+	if tab.Len() != 50 {
+		t.Fatalf("count = %d", tab.Len())
+	}
+	for i := uint64(1); i <= 50; i++ {
+		if v, ok := tab.Lookup(layout.Key{Lo: i}); !ok || v != i {
+			t.Fatalf("key %d after recovery: (%d, %v)", i, v, ok)
+		}
+	}
+}
+
+func TestEveryCrashPointOfInsertIsAtomic(t *testing.T) {
+	// The prepend insert commits with one head-pointer write; every
+	// crash point must leave the table either without the item (maybe
+	// with a leaked node, reclaimed by recovery) or with it complete.
+	for offset := uint64(1); ; offset++ {
+		mem := simMem(int64(100 + offset))
+		tab := New(mem, Options{Buckets: 32, Nodes: 64, Seed: 6})
+		for i := uint64(1); i <= 20; i++ {
+			tab.Insert(layout.Key{Lo: i}, i)
+		}
+		mem.CleanShutdown()
+		start := mem.Counters().Accesses
+		mem.ScheduleShadowCrash(start+offset, 0.5)
+		if err := tab.Insert(layout.Key{Lo: 777}, 42); err != nil {
+			t.Fatal(err)
+		}
+		if !mem.AdoptShadowCrash() {
+			break
+		}
+		if _, err := tab.Recover(); err != nil {
+			t.Fatal(err)
+		}
+		if v, ok := tab.Lookup(layout.Key{Lo: 777}); ok && v != 42 {
+			t.Fatalf("offset %d: torn insert value %d", offset, v)
+		}
+		for i := uint64(1); i <= 20; i++ {
+			if v, ok := tab.Lookup(layout.Key{Lo: i}); !ok || v != i {
+				t.Fatalf("offset %d: bystander %d damaged: (%d, %v)", offset, i, v, ok)
+			}
+		}
+		// No leaked blocks survive recovery: pool usage equals items.
+		if tab.pool.InUse() != tab.Len() {
+			t.Fatalf("offset %d: pool %d blocks for %d items", offset, tab.pool.InUse(), tab.Len())
+		}
+	}
+}

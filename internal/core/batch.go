@@ -1,0 +1,81 @@
+package core
+
+import (
+	"grouphash/internal/hashtab"
+	"grouphash/internal/layout"
+)
+
+// Item is a key-value pair for batch operations.
+type Item struct {
+	Key   layout.Key
+	Value uint64
+}
+
+// InsertBatch inserts items with ONE persistent count update for the
+// whole batch instead of one per insert — an extension exploiting a
+// property of the paper's own recovery design: Algorithm 4 recomputes
+// the count from the bitmaps, so the count word is allowed to lag
+// arbitrarily behind the cells without compromising consistency. The
+// count is the hottest word in the table (every mutation flushes it);
+// batching cuts insert cost by roughly one persist barrier in three
+// and slashes that word's media wear.
+//
+// Crash semantics: each item's cell commit is individually failure
+// atomic, exactly as in Insert; a crash mid-batch leaves a prefix of
+// the batch committed and the count stale — the same post-crash state
+// Algorithm 4 already handles. Run Recover after a crash, as always.
+//
+// Returns the number of items placed. A placement failure (a full
+// group) stops the batch and returns ErrTableFull with the count of
+// items placed before it; those items remain inserted.
+func (t *Table) InsertBatch(items []Item) (int, error) {
+	placed := 0
+	var err error
+	for _, it := range items {
+		if !t.l.ValidKey(it.Key) {
+			err = hashtab.ErrInvalidKey
+			break
+		}
+		if !t.placeWithoutCount(it.Key, it.Value) {
+			err = hashtab.ErrTableFull
+			break
+		}
+		placed++
+	}
+	if placed > 0 {
+		t.setCount(t.Len() + uint64(placed))
+	}
+	return placed, err
+}
+
+// placeWithoutCount runs the cell commit protocol without the count
+// update, reporting whether the item was placed.
+func (t *Table) placeWithoutCount(k layout.Key, v uint64) bool {
+	i1, i2, n := t.homes(k)
+	if !t.tab1.Occupied(i1) {
+		t.tab1.InsertAt(i1, k, v)
+		return true
+	}
+	if n == 2 && !t.tab1.Occupied(i2) {
+		t.tab1.InsertAt(i2, k, v)
+		return true
+	}
+	if t.placeInGroup(t.groupStart(i1), k, v) {
+		return true
+	}
+	if n == 2 && t.groupStart(i2) != t.groupStart(i1) {
+		return t.placeInGroup(t.groupStart(i2), k, v)
+	}
+	return false
+}
+
+func (t *Table) placeInGroup(j uint64, k layout.Key, v uint64) bool {
+	for i := uint64(0); i < t.gsz; i++ {
+		if !t.tab2.Occupied(j + i) {
+			t.tab2.InsertAt(j+i, k, v)
+			t.noteL2Insert(j)
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"sync"
+
+	"grouphash/internal/hashtab"
+	"grouphash/internal/layout"
+)
+
+// Concurrent wraps a Table with per-group striped locking, an extension
+// beyond the (single-threaded) paper. Group sharing gives a natural
+// concurrency unit: an operation on key k touches only its level-1 cell
+// and the matching level-2 group, both inside group g = h(k)/group_size,
+// so operations on different groups never conflict.
+//
+// The persistent count word is shared by all groups; it is protected by
+// its own mutex, taken after the group lock (a fixed order, so no
+// deadlock). Lookups take the group lock shared.
+//
+// Concurrent is intended for the native memory backend: the simulated
+// backend has a single global clock and cache, which would serialise
+// everything anyway.
+type Concurrent struct {
+	t       *Table
+	stripes []sync.RWMutex
+	countMu sync.Mutex
+	mask    uint64
+}
+
+// NewConcurrent wraps t. stripes is rounded up to a power of two;
+// 0 means one stripe per 64 groups, capped at 1024.
+func NewConcurrent(t *Table, stripes int) *Concurrent {
+	if t.two {
+		// A two-choice operation touches two groups; per-group striping
+		// would need ordered two-lock acquisition. Not supported.
+		panic("core: Concurrent does not support two-choice tables")
+	}
+	if stripes <= 0 {
+		groups := int(t.Cells() / t.GroupSize())
+		stripes = groups / 64
+		if stripes < 1 {
+			stripes = 1
+		}
+		if stripes > 1024 {
+			stripes = 1024
+		}
+	}
+	n := 1
+	for n < stripes {
+		n <<= 1
+	}
+	return &Concurrent{t: t, stripes: make([]sync.RWMutex, n), mask: uint64(n - 1)}
+}
+
+// Table returns the wrapped table. Callers must not use it while
+// concurrent operations are in flight.
+func (c *Concurrent) Table() *Table { return c.t }
+
+func (c *Concurrent) stripe(k layout.Key) *sync.RWMutex {
+	g := c.t.h.Index(k.Lo, k.Hi) / c.t.gsz
+	return &c.stripes[g&c.mask]
+}
+
+// Name implements hashtab.Table.
+func (c *Concurrent) Name() string { return "group-concurrent" }
+
+// Insert stores (k, v) under the group lock. Count maintenance happens
+// under the count mutex; the commit order (cell first, count second)
+// matches the sequential protocol, so crash consistency is unchanged.
+func (c *Concurrent) Insert(k layout.Key, v uint64) error {
+	mu := c.stripe(k)
+	mu.Lock()
+	defer mu.Unlock()
+	idx := c.t.h.Index(k.Lo, k.Hi)
+	if !c.t.tab1.Occupied(idx) {
+		c.t.tab1.InsertAt(idx, k, v)
+		c.bumpCount(1)
+		return nil
+	}
+	j := c.t.groupStart(idx)
+	for i := uint64(0); i < c.t.gsz; i++ {
+		if !c.t.tab2.Occupied(j + i) {
+			c.t.tab2.InsertAt(j+i, k, v)
+			c.t.noteL2Insert(j)
+			c.bumpCount(1)
+			return nil
+		}
+	}
+	return hashtab.ErrTableFull
+}
+
+// Lookup returns the value under a shared group lock.
+func (c *Concurrent) Lookup(k layout.Key) (uint64, bool) {
+	mu := c.stripe(k)
+	mu.RLock()
+	defer mu.RUnlock()
+	return c.t.Lookup(k)
+}
+
+// Delete removes k under the group lock.
+func (c *Concurrent) Delete(k layout.Key) bool {
+	mu := c.stripe(k)
+	mu.Lock()
+	defer mu.Unlock()
+	idx := c.t.h.Index(k.Lo, k.Hi)
+	if c.t.tab1.Matches(idx, k) {
+		c.t.tab1.DeleteAt(idx)
+		c.bumpCount(-1)
+		return true
+	}
+	j := c.t.groupStart(idx)
+	for i := uint64(0); i < c.t.gsz; i++ {
+		if c.t.tab2.Matches(j+i, k) {
+			c.t.tab2.DeleteAt(j + i)
+			c.t.noteL2Delete(j)
+			c.bumpCount(-1)
+			return true
+		}
+	}
+	return false
+}
+
+// Update overwrites an existing key's value under the group lock.
+func (c *Concurrent) Update(k layout.Key, v uint64) bool {
+	mu := c.stripe(k)
+	mu.Lock()
+	defer mu.Unlock()
+	return c.t.Update(k, v)
+}
+
+func (c *Concurrent) bumpCount(delta int64) {
+	c.countMu.Lock()
+	c.t.setCount(uint64(int64(c.t.Len()) + delta))
+	c.countMu.Unlock()
+}
+
+// Len reads the count under the count mutex.
+func (c *Concurrent) Len() uint64 {
+	c.countMu.Lock()
+	defer c.countMu.Unlock()
+	return c.t.Len()
+}
+
+// Capacity returns the wrapped table's capacity.
+func (c *Concurrent) Capacity() uint64 { return c.t.Capacity() }
+
+// LoadFactor returns Len/Capacity.
+func (c *Concurrent) LoadFactor() float64 {
+	return float64(c.Len()) / float64(c.Capacity())
+}

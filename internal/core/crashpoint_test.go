@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+
+	"grouphash/internal/cache"
+	"grouphash/internal/layout"
+	"grouphash/internal/memsim"
+)
+
+// These tests cut a single insert or delete at EVERY internal memory
+// event (using the simulator's shadow-crash scheduling) and at several
+// survival probabilities, then recover and check the paper's §3.3/§3.5
+// guarantees:
+//
+//   - the table passes every consistency invariant;
+//   - items committed before the operation are intact;
+//   - the interrupted operation is atomic: the new item is either fully
+//     present with its exact value, or completely absent (insert); the
+//     old item is either fully present or completely absent (delete).
+
+// buildDeterministic creates a small loaded table; identical across
+// calls with the same seed, so per-offset replays line up.
+func buildDeterministic(seed int64) (*memsim.Memory, *Table) {
+	mem := memsim.New(memsim.Config{Size: 1 << 20, Seed: seed, Geoms: cache.SmallGeometry()})
+	tab, err := Create(mem, Options{Cells: 128, GroupSize: 16, Seed: 9})
+	if err != nil {
+		panic(err)
+	}
+	for i := uint64(1); i <= 30; i++ {
+		if err := tab.Insert(layout.Key{Lo: i * 11}, i); err != nil {
+			panic(err)
+		}
+	}
+	mem.CleanShutdown()
+	return mem, tab
+}
+
+func checkBase(t *testing.T, tab *Table, ctx string) {
+	t.Helper()
+	if bad := tab.CheckConsistency(); len(bad) != 0 {
+		t.Fatalf("%s: inconsistencies: %v", ctx, bad)
+	}
+	for i := uint64(1); i <= 30; i++ {
+		if v, ok := tab.Lookup(layout.Key{Lo: i * 11}); !ok || v != i {
+			t.Fatalf("%s: pre-existing item %d damaged: (%d, %v)", ctx, i, v, ok)
+		}
+	}
+}
+
+func TestEveryCrashPointOfInsertIsSafe(t *testing.T) {
+	const newKey = 7777
+	for _, p := range []float64{0, 0.5, 1} {
+		for offset := uint64(1); ; offset++ {
+			mem, tab := buildDeterministic(int64(offset))
+			start := mem.Counters().Accesses
+			mem.ScheduleShadowCrash(start+offset, p)
+			if err := tab.Insert(layout.Key{Lo: newKey}, 42); err != nil {
+				t.Fatal(err)
+			}
+			if !mem.AdoptShadowCrash() {
+				break // offset beyond the operation's length: done
+			}
+			if _, err := tab.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			ctx := "insert"
+			checkBase(t, tab, ctx)
+			if v, ok := tab.Lookup(layout.Key{Lo: newKey}); ok && v != 42 {
+				t.Fatalf("p=%v offset=%d: torn insert visible: value %d", p, offset, v)
+			}
+			if tab.Len() != 30 && tab.Len() != 31 {
+				t.Fatalf("p=%v offset=%d: count %d after recovery", p, offset, tab.Len())
+			}
+		}
+	}
+}
+
+func TestEveryCrashPointOfDeleteIsSafe(t *testing.T) {
+	victim := layout.Key{Lo: 5 * 11} // one of the 30 loaded items
+	for _, p := range []float64{0, 0.5, 1} {
+		for offset := uint64(1); ; offset++ {
+			mem, tab := buildDeterministic(int64(1000 + offset))
+			start := mem.Counters().Accesses
+			mem.ScheduleShadowCrash(start+offset, p)
+			if !tab.Delete(victim) {
+				t.Fatal("delete of loaded item failed")
+			}
+			if !mem.AdoptShadowCrash() {
+				break
+			}
+			if _, err := tab.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			if bad := tab.CheckConsistency(); len(bad) != 0 {
+				t.Fatalf("p=%v offset=%d: inconsistencies: %v", p, offset, bad)
+			}
+			// The victim is either fully there (crash before the commit
+			// persisted) or fully gone; all other items intact.
+			if v, ok := tab.Lookup(victim); ok && v != 5 {
+				t.Fatalf("p=%v offset=%d: torn delete: value %d", p, offset, v)
+			}
+			for i := uint64(1); i <= 30; i++ {
+				if i == 5 {
+					continue
+				}
+				if v, ok := tab.Lookup(layout.Key{Lo: i * 11}); !ok || v != i {
+					t.Fatalf("p=%v offset=%d: bystander %d damaged: (%d, %v)", p, offset, i, v, ok)
+				}
+			}
+		}
+	}
+}
+
+func TestEveryCrashPointOfUpdateIsAtomic(t *testing.T) {
+	victim := layout.Key{Lo: 3 * 11}
+	for offset := uint64(1); ; offset++ {
+		mem, tab := buildDeterministic(int64(2000 + offset))
+		start := mem.Counters().Accesses
+		mem.ScheduleShadowCrash(start+offset, 0.5)
+		if !tab.Update(victim, 999) {
+			t.Fatal("update of loaded item failed")
+		}
+		if !mem.AdoptShadowCrash() {
+			break
+		}
+		if _, err := tab.Recover(); err != nil {
+			t.Fatal(err)
+		}
+		v, ok := tab.Lookup(victim)
+		if !ok {
+			t.Fatalf("offset=%d: update lost the item", offset)
+		}
+		if v != 3 && v != 999 {
+			t.Fatalf("offset=%d: torn update value %d", offset, v)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"grouphash/internal/hashtab"
+	"grouphash/internal/layout"
+	"grouphash/internal/xhash"
+)
+
+// Expand grows the table when Insert returns ErrTableFull. The paper
+// notes the condition ("the capacity of the hash table needs to be
+// expanded", §3.4) but leaves the mechanism open; this implementation
+// is an extension with the same consistency discipline as the rest of
+// the scheme:
+//
+//  1. allocate fresh level-1/level-2 arrays of double the size;
+//  2. re-insert every live item into the new arrays using the normal
+//     cell commit protocol (payload → persist → meta → persist);
+//  3. record the new roots in the inactive header slot and persist;
+//  4. atomically flip the header's slot word — the 8-byte commit point
+//     of the whole expansion — and persist it.
+//
+// A crash anywhere before step 4 leaves the old table untouched and
+// current (the new arrays are garbage the allocator may reuse); a
+// crash after step 4 leaves the fully-built new table current. The
+// count is unchanged by expansion, so the count word needs no update.
+//
+// Expansion needs free region space for the new arrays; with a bump
+// allocator the old arrays are not reclaimed, which mirrors how a PMFS
+// file would be grown in practice (allocate-new, switch, free-old).
+func (t *Table) Expand() error {
+	newCells := t.tab1.N * 2
+	for attempt := 0; attempt < 3; attempt, newCells = attempt+1, newCells*2 {
+		nt1 := hashtab.NewCells(t.mem, t.l, newCells)
+		nt2 := hashtab.NewCells(t.mem, t.l, newCells)
+		seed := t.mem.Read8(t.hdr + hdrSeed*layout.WordSize)
+		nh := xhash.NewFunc(seed, newCells, t.l.KeyWords() == 2)
+		nh2 := xhash.NewFunc(secondSeed(seed), newCells, t.l.KeyWords() == 2)
+		if t.rehashInto(nt1, nt2, nh, nh2) {
+			t.commitRoots(nt1, nt2, nh, nh2)
+			return nil
+		}
+		// Placement failed even in the bigger table (pathological
+		// skew): retry with the next doubling.
+	}
+	return fmt.Errorf("core: expansion failed after tripling attempts: %w", hashtab.ErrTableFull)
+}
+
+// rehashInto re-inserts every live item into the new arrays, reporting
+// whether all items could be placed.
+func (t *Table) rehashInto(nt1, nt2 hashtab.Cells, nh, nh2 xhash.Func) bool {
+	ok := true
+	place := func(k layout.Key, v uint64, idx uint64) bool {
+		if !nt1.Occupied(idx) {
+			nt1.InsertAt(idx, k, v)
+			return true
+		}
+		j := idx &^ (t.gsz - 1)
+		for i := uint64(0); i < t.gsz; i++ {
+			if !nt2.Occupied(j + i) {
+				nt2.InsertAt(j+i, k, v)
+				return true
+			}
+		}
+		return false
+	}
+	t.Range(func(k layout.Key, v uint64) bool {
+		if place(k, v, nh.Index(k.Lo, k.Hi)) {
+			return true
+		}
+		if t.two && place(k, v, nh2.Index(k.Lo, k.Hi)) {
+			return true
+		}
+		ok = false
+		return false
+	})
+	return ok
+}
+
+// commitRoots publishes the new arrays via the inactive header slot and
+// the atomic slot flip.
+func (t *Table) commitRoots(nt1, nt2 hashtab.Cells, nh, nh2 xhash.Func) {
+	slotAddr := t.hdr + hdrSlot*layout.WordSize
+	cur := t.mem.Read8(slotAddr)
+	next := 1 - cur
+	base := uint64(hdrSlot0)
+	if next == 1 {
+		base = hdrSlot1
+	}
+	w := func(i uint64, v uint64) { t.mem.Write8(t.hdr+(base+i)*layout.WordSize, v) }
+	w(0, nt1.Base)
+	w(1, nt2.Base)
+	w(2, nt1.N)
+	t.mem.Persist(t.hdr+base*layout.WordSize, 3*layout.WordSize)
+	t.mem.AtomicWrite8(slotAddr, next)
+	t.mem.Persist(slotAddr, layout.WordSize)
+	t.tab1, t.tab2, t.h, t.h2 = nt1, nt2, nh, nh2
+	if t.occ != nil {
+		t.EnableGroupIndex() // rebuild for the new arrays
+	}
+}
+
+// InsertAutoExpand inserts (k, v), expanding the table as needed. It is
+// the convenience entry point a key-value store would use.
+func (t *Table) InsertAutoExpand(k layout.Key, v uint64) error {
+	err := t.Insert(k, v)
+	if err != hashtab.ErrTableFull {
+		return err
+	}
+	if err := t.Expand(); err != nil {
+		return err
+	}
+	return t.Insert(k, v)
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+
+	"grouphash/internal/cache"
+	"grouphash/internal/layout"
+	"grouphash/internal/memsim"
+	"grouphash/internal/native"
+)
+
+// Native Go fuzz targets. `go test` executes the seed corpus below as
+// ordinary tests; `go test -fuzz=FuzzTableOps ./internal/core` explores
+// further.
+
+// FuzzTableOps drives an arbitrary operation stream (decoded from the
+// fuzz input bytes) against a map oracle.
+func FuzzTableOps(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0, 0, 0, 0, 255, 255, 1, 1, 128, 64, 32, 16})
+	f.Add([]byte("insert-delete-lookup-update"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mem := native.New(4 << 20)
+		tab, err := Create(mem, Options{Cells: 256, GroupSize: 16, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := make(map[uint64]uint64)
+		for i := 0; i+1 < len(data); i += 2 {
+			op := data[i] % 4
+			key := uint64(data[i+1])%200 + 1
+			k := layout.Key{Lo: key}
+			switch op {
+			case 0:
+				if _, exists := oracle[key]; !exists {
+					if tab.Insert(k, key*3) == nil {
+						oracle[key] = key * 3
+					}
+				}
+			case 1:
+				v, ok := tab.Lookup(k)
+				ov, ook := oracle[key]
+				if ok != ook || (ok && v != ov) {
+					t.Fatalf("lookup(%d) = (%d,%v), oracle (%d,%v)", key, v, ok, ov, ook)
+				}
+			case 2:
+				got := tab.Delete(k)
+				if _, want := oracle[key]; got != want {
+					t.Fatalf("delete(%d) = %v, oracle %v", key, got, want)
+				}
+				delete(oracle, key)
+			case 3:
+				if tab.Update(k, key+7) {
+					if _, exists := oracle[key]; !exists {
+						t.Fatalf("updated absent key %d", key)
+					}
+					oracle[key] = key + 7
+				} else if _, exists := oracle[key]; exists {
+					t.Fatalf("failed to update present key %d", key)
+				}
+			}
+		}
+		if tab.Len() != uint64(len(oracle)) {
+			t.Fatalf("Len = %d, oracle %d", tab.Len(), len(oracle))
+		}
+		if bad := tab.CheckConsistency(); len(bad) != 0 {
+			t.Fatalf("inconsistencies: %v", bad)
+		}
+	})
+}
+
+// FuzzCrashRecovery decodes (op stream, crash point, survival byte)
+// from the input, injects a mid-stream shadow crash, recovers and
+// checks the §3.3 invariants.
+func FuzzCrashRecovery(f *testing.F) {
+	f.Add([]byte{10, 1, 2, 3, 4, 5, 6, 7, 8, 9}, uint16(20), byte(128))
+	f.Add([]byte{1, 1, 1, 1}, uint16(1), byte(0))
+	f.Add([]byte{255, 0, 255, 0, 255, 0}, uint16(500), byte(255))
+	f.Fuzz(func(t *testing.T, data []byte, crashOff uint16, survival byte) {
+		mem := memsim.New(memsim.Config{Size: 4 << 20, Seed: 11, Geoms: cache.SmallGeometry()})
+		tab, err := Create(mem, Options{Cells: 256, GroupSize: 16, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		committed := make(map[uint64]uint64)
+		uncertain := make(map[uint64]bool)
+
+		start := mem.Counters().Accesses
+		crashAt := start + uint64(crashOff) + 1
+		mem.ScheduleShadowCrash(crashAt, float64(survival)/255)
+
+		// The op stream runs to completion; the shadow crash captures
+		// the state at the trigger. An op is durably committed only if
+		// it finished STRICTLY before the trigger (its final persist
+		// runs after its last counted access); the op containing the
+		// trigger is uncertain — legal either way.
+		for i := 0; i+1 < len(data); i += 2 {
+			key := uint64(data[i])%200 + 1
+			k := layout.Key{Lo: key}
+			_, exists := committed[key]
+			var mutated bool
+			opStart := mem.Counters().Accesses
+			if !exists && data[i+1]%2 == 0 {
+				mutated = tab.Insert(k, key) == nil
+			} else if exists && data[i+1]%2 == 1 {
+				mutated = tab.Delete(k)
+			}
+			if !mutated {
+				continue
+			}
+			opEnd := mem.Counters().Accesses
+			switch {
+			case opEnd < crashAt: // fully before the cut
+				if !exists {
+					committed[key] = key
+				} else {
+					delete(committed, key)
+				}
+			case opStart < crashAt: // the op containing the cut
+				uncertain[key] = true
+			}
+		}
+		if !mem.AdoptShadowCrash() {
+			return // stream too short to reach the crash point
+		}
+		if _, err := tab.Recover(); err != nil {
+			t.Fatal(err)
+		}
+		if bad := tab.CheckConsistency(); len(bad) != 0 {
+			t.Fatalf("inconsistencies after recovery: %v", bad)
+		}
+		for key, v := range committed {
+			if uncertain[key] {
+				continue
+			}
+			got, ok := tab.Lookup(layout.Key{Lo: key})
+			if !ok || got != v {
+				t.Fatalf("committed key %d lost: (%d, %v)", key, got, ok)
+			}
+		}
+	})
+}

@@ -1,0 +1,58 @@
+package core
+
+// Volatile group-occupancy index, an optimisation extension beyond the
+// paper. Algorithm 2 scans the whole matched level-2 group because
+// deletions punch holes mid-group: an early empty cell proves nothing.
+// But the NUMBER of occupied cells per group bounds the scan — once
+// that many occupied cells have been seen, the rest of the group is
+// provably empty. The counters are pure derived state (a function of
+// the bitmaps the recovery scan already reads), so they live in DRAM,
+// cost no persist barriers, and are rebuilt on open and after
+// recovery — the same volatile/persistent split NV-Tree and FPTree use
+// for their inner nodes.
+//
+// The index chiefly accelerates lookups and deletes of ABSENT keys
+// (which otherwise always scan the full group) and all operations on
+// lightly-filled groups.
+
+// EnableGroupIndex builds the volatile per-group occupancy counters
+// and turns on bounded group scans. Costs 4 bytes of DRAM per group
+// and one O(level-2 cells) scan now.
+func (t *Table) EnableGroupIndex() {
+	occ := make([]uint32, t.tab1.N/t.gsz)
+	for i := uint64(0); i < t.tab2.N; i++ {
+		if t.tab2.Occupied(i) {
+			occ[i/t.gsz]++
+		}
+	}
+	t.occ = occ
+}
+
+// DisableGroupIndex drops the counters and reverts to the paper's
+// full-group scans.
+func (t *Table) DisableGroupIndex() { t.occ = nil }
+
+// GroupIndexEnabled reports whether bounded scans are active.
+func (t *Table) GroupIndexEnabled() bool { return t.occ != nil }
+
+// occupancy returns the number of occupied cells in the level-2 group
+// starting at cell j, or ^uint32(0) when the index is off.
+func (t *Table) occupancy(j uint64) uint32 {
+	if t.occ == nil {
+		return ^uint32(0)
+	}
+	return t.occ[j/t.gsz]
+}
+
+// noteL2Insert / noteL2Delete keep the counters current.
+func (t *Table) noteL2Insert(j uint64) {
+	if t.occ != nil {
+		t.occ[j/t.gsz]++
+	}
+}
+
+func (t *Table) noteL2Delete(j uint64) {
+	if t.occ != nil {
+		t.occ[j/t.gsz]--
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"grouphash/internal/hashtab"
+	"grouphash/internal/layout"
+)
+
+// Insert stores (k, v), following Algorithm 1 of the paper:
+//
+//  1. hash to level-1 cell k; if empty, write the payload there,
+//     persist it, atomically set the bitmap/meta word, persist it,
+//     atomically bump count, persist it;
+//  2. otherwise scan the matching level-2 group for an empty cell and
+//     run the same commit protocol there;
+//  3. if the group is full, the table needs expansion: ErrTableFull.
+//
+// In two-choice mode (§4.4 extension) the key has a second candidate
+// level-1 cell and a second matched group; both are tried before the
+// insert fails.
+//
+// A crash before the commit-word flip leaves a torn payload behind a
+// zero bitmap, which Recover scrubs; a crash before the count update
+// leaves a stale count, which Recover recomputes. Neither compromises
+// consistency (§3.3).
+func (t *Table) Insert(k layout.Key, v uint64) error {
+	if !t.l.ValidKey(k) {
+		return hashtab.ErrInvalidKey
+	}
+	if !t.placeWithoutCount(k, v) {
+		return hashtab.ErrTableFull
+	}
+	t.setCount(t.Len() + 1)
+	return nil
+}
+
+// Lookup returns the value stored under k, following Algorithm 2:
+// check the level-1 cell, then scan the matching level-2 group. The
+// level-2 scan runs even when the level-1 cell is empty, because an
+// item placed in level 2 stays there if its level-1 home is later
+// deleted. Two-choice mode checks both candidate cells and groups.
+func (t *Table) Lookup(k layout.Key) (uint64, bool) {
+	i1, i2, n := t.homes(k)
+	if t.tab1.Matches(i1, k) {
+		return t.tab1.Value(i1), true
+	}
+	if n == 2 && t.tab1.Matches(i2, k) {
+		return t.tab1.Value(i2), true
+	}
+	if v, ok := t.lookupInGroup(t.groupStart(i1), k); ok {
+		return v, true
+	}
+	if n == 2 && t.groupStart(i2) != t.groupStart(i1) {
+		return t.lookupInGroup(t.groupStart(i2), k)
+	}
+	return 0, false
+}
+
+func (t *Table) lookupInGroup(j uint64, k layout.Key) (uint64, bool) {
+	remaining := t.occupancy(j)
+	for i := uint64(0); i < t.gsz && remaining > 0; i++ {
+		match, occupied := t.tab2.Probe(j+i, k)
+		if match {
+			return t.tab2.Value(j + i), true
+		}
+		if occupied {
+			remaining--
+		}
+	}
+	return 0, false
+}
+
+// Delete removes k, following Algorithm 3. The commit word is
+// atomically cleared and persisted BEFORE the payload is scrubbed:
+// once the bitmap is durably zero the delete has logically completed,
+// and a crash between the two steps leaves only a stale payload behind
+// a zero bitmap for Recover to scrub (§3.4's ordering argument).
+func (t *Table) Delete(k layout.Key) bool {
+	i1, i2, n := t.homes(k)
+	if t.tab1.Matches(i1, k) {
+		t.tab1.DeleteAt(i1)
+		t.setCount(t.Len() - 1)
+		return true
+	}
+	if n == 2 && t.tab1.Matches(i2, k) {
+		t.tab1.DeleteAt(i2)
+		t.setCount(t.Len() - 1)
+		return true
+	}
+	if t.deleteInGroup(t.groupStart(i1), k) {
+		return true
+	}
+	if n == 2 && t.groupStart(i2) != t.groupStart(i1) {
+		return t.deleteInGroup(t.groupStart(i2), k)
+	}
+	return false
+}
+
+func (t *Table) deleteInGroup(j uint64, k layout.Key) bool {
+	remaining := t.occupancy(j)
+	for i := uint64(0); i < t.gsz && remaining > 0; i++ {
+		match, occupied := t.tab2.Probe(j+i, k)
+		if match {
+			t.tab2.DeleteAt(j + i)
+			t.noteL2Delete(j)
+			t.setCount(t.Len() - 1)
+			return true
+		}
+		if occupied {
+			remaining--
+		}
+	}
+	return false
+}
+
+// Update overwrites the value of an existing key in place and persists
+// it. Values are a single failure-atomic word, so no further protocol
+// is needed: a crash exposes either the old or the new value, both
+// consistent. Returns false if the key is absent. (Extension beyond the
+// paper, which only defines insert/query/delete.)
+func (t *Table) Update(k layout.Key, v uint64) bool {
+	if cells, idx, ok := t.locate(k); ok {
+		addr := t.l.ValOff(cells.Addr(idx))
+		t.mem.AtomicWrite8(addr, v)
+		t.mem.Persist(addr, layout.WordSize)
+		return true
+	}
+	return false
+}
+
+// locate finds the cell currently holding k.
+func (t *Table) locate(k layout.Key) (hashtab.Cells, uint64, bool) {
+	i1, i2, n := t.homes(k)
+	if t.tab1.Matches(i1, k) {
+		return t.tab1, i1, true
+	}
+	if n == 2 && t.tab1.Matches(i2, k) {
+		return t.tab1, i2, true
+	}
+	for _, j := range [2]uint64{t.groupStart(i1), t.groupStart(i2)} {
+		for i := uint64(0); i < t.gsz; i++ {
+			if t.tab2.Matches(j+i, k) {
+				return t.tab2, j + i, true
+			}
+		}
+		if n != 2 || t.groupStart(i2) == t.groupStart(i1) {
+			break
+		}
+	}
+	return hashtab.Cells{}, 0, false
+}
+
+// Range calls fn for every stored item until fn returns false. Order is
+// unspecified. (Extension beyond the paper; used by expansion and the
+// verification tooling.)
+func (t *Table) Range(fn func(k layout.Key, v uint64) bool) {
+	for _, cells := range [2]hashtab.Cells{t.tab1, t.tab2} {
+		for i := uint64(0); i < cells.N; i++ {
+			if cells.Occupied(i) {
+				if !fn(cells.Key(i), cells.Value(i)) {
+					return
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,269 @@
+// Package core implements group hashing, the write-efficient and
+// consistent hashing scheme of the paper (§3).
+//
+// Layout (Figure 3): storage cells are split into two equally sized
+// levels. Level-1 cells are addressable by the hash function; level-2
+// cells are non-addressable collision-resolution cells. Both levels are
+// divided into groups of group_size contiguous cells, and level-1 group
+// g shares level-2 group g: an item whose level-1 cell is occupied goes
+// to the first empty cell of the matching level-2 group. Because a
+// group is contiguous, collision probing walks sequential cachelines —
+// the group-sharing cache-efficiency argument of §3.2.
+//
+// Consistency (§3.3): every cell carries a bitmap bit inside an 8-byte
+// meta word. Inserts persist the payload first, then atomically set the
+// meta word; deletes atomically clear the meta word first, then scrub
+// the payload. A crash at any point leaves the table recoverable by the
+// Algorithm-4 scan implemented in Recover; no logging or copy-on-write
+// is ever needed.
+//
+// Beyond the paper, the package provides persistent-handle reopening
+// (Open), online expansion with an atomic root switch (Expand), and a
+// concurrency wrapper with per-group striped locking (Concurrent).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"grouphash/internal/hashtab"
+	"grouphash/internal/layout"
+	"grouphash/internal/xhash"
+)
+
+// Magic identifies a group-hash table header in a persistent region.
+const Magic = 0x47524f5550480001 // "GROUPH" + format version 1
+
+// DefaultGroupSize is the paper's default (§4.1): 256 cells per group,
+// chosen in §4.5 as the knee where space utilisation exceeds 80% while
+// request latency stays low.
+const DefaultGroupSize = 256
+
+// Options configures a new table.
+type Options struct {
+	// Cells is the number of level-1 (hash-addressable) cells; the
+	// table's total capacity is twice this (level 2 is the same size).
+	// Must be a power of two.
+	Cells uint64
+	// GroupSize is the number of cells per group (power of two,
+	// ≤ Cells). 0 means DefaultGroupSize.
+	GroupSize uint64
+	// KeyBytes is 8 or 16 (the paper's trace item formats).
+	KeyBytes int
+	// Seed selects the hash function.
+	Seed uint64
+	// TwoChoice enables the second hash function the paper weighs in
+	// §4.4: each key gets two candidate level-1 cells (and both
+	// matched level-2 groups), raising space utilisation at the cost
+	// of probing two non-contiguous regions — "the continuity of the
+	// collision resolution cells is damaged". Off by default, as in
+	// the paper.
+	TwoChoice bool
+}
+
+func (o *Options) normalize() error {
+	if o.GroupSize == 0 {
+		o.GroupSize = DefaultGroupSize
+	}
+	if o.KeyBytes == 0 {
+		o.KeyBytes = 8
+	}
+	if o.Cells == 0 || o.Cells&(o.Cells-1) != 0 {
+		return fmt.Errorf("core: Cells (%d) must be a nonzero power of two", o.Cells)
+	}
+	if o.GroupSize&(o.GroupSize-1) != 0 {
+		return fmt.Errorf("core: GroupSize (%d) must be a power of two", o.GroupSize)
+	}
+	if o.GroupSize > o.Cells {
+		return fmt.Errorf("core: GroupSize (%d) exceeds Cells (%d)", o.GroupSize, o.Cells)
+	}
+	if o.KeyBytes != 8 && o.KeyBytes != 16 {
+		return fmt.Errorf("core: KeyBytes must be 8 or 16, got %d", o.KeyBytes)
+	}
+	return nil
+}
+
+// Persistent header words, relative to the header base. The header is
+// the paper's "Global info." block (Figure 4) extended with the
+// two-slot root record that makes expansion failure-atomic.
+const (
+	hdrMagic     = 0  // Magic
+	hdrKeyBytes  = 1  // 8 or 16
+	hdrGroupSize = 2  // cells per group
+	hdrSeed      = 3  // hash seed
+	hdrCount     = 4  // number of occupied cells (the paper's count)
+	hdrSlot      = 5  // which root slot is current: 0 or 1
+	hdrSlot0     = 6  // slot 0: tab1 base, tab2 base, level-1 cell count
+	hdrSlot1     = 9  // slot 1: same three words
+	hdrFlags     = 12 // bit 0: two-choice hashing
+	hdrWords     = 13 // header size in words
+)
+
+// header flag bits.
+const flagTwoChoice = 1
+
+// HeaderBytes is the persistent footprint of the table header.
+const HeaderBytes = hdrWords * layout.WordSize
+
+// Table is a group-hash table over persistent memory. Not safe for
+// concurrent use; see Concurrent.
+type Table struct {
+	mem  hashtab.Mem
+	l    layout.Layout
+	hdr  uint64 // header base address
+	h    xhash.Func
+	h2   xhash.Func // second hash function (two-choice mode only)
+	two  bool
+	gsz  uint64
+	tab1 hashtab.Cells
+	tab2 hashtab.Cells
+	// occ is the volatile per-group occupancy index (nil = off); see
+	// groupindex.go.
+	occ []uint32
+}
+
+// secondSeed derives the second hash function's seed from the first.
+func secondSeed(seed uint64) uint64 { return seed ^ 0x6a09e667f3bcc909 }
+
+// Create allocates and initialises a new table in mem and returns its
+// handle. The header address (Header) is the table's persistent root:
+// keep it (e.g. at a well-known offset) to Open the table after a
+// restart.
+func Create(mem hashtab.Mem, opts Options) (*Table, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	l := layout.ForKeySize(opts.KeyBytes)
+	hdr := mem.Alloc(HeaderBytes, 64)
+	tab1 := hashtab.NewCells(mem, l, opts.Cells)
+	tab2 := hashtab.NewCells(mem, l, opts.Cells)
+
+	w := func(i int, v uint64) { mem.Write8(hdr+uint64(i)*layout.WordSize, v) }
+	w(hdrKeyBytes, uint64(opts.KeyBytes))
+	w(hdrGroupSize, opts.GroupSize)
+	w(hdrSeed, opts.Seed)
+	w(hdrCount, 0)
+	w(hdrSlot, 0)
+	w(hdrSlot0+0, tab1.Base)
+	w(hdrSlot0+1, tab2.Base)
+	w(hdrSlot0+2, opts.Cells)
+	var flags uint64
+	if opts.TwoChoice {
+		flags |= flagTwoChoice
+	}
+	w(hdrFlags, flags)
+	mem.Persist(hdr, HeaderBytes)
+	// Magic last: a crash before this point leaves no valid table.
+	mem.AtomicWrite8(hdr+hdrMagic*layout.WordSize, Magic)
+	mem.Persist(hdr+hdrMagic*layout.WordSize, layout.WordSize)
+
+	return &Table{
+		mem: mem, l: l, hdr: hdr,
+		h:    xhash.NewFunc(opts.Seed, opts.Cells, l.KeyWords() == 2),
+		h2:   xhash.NewFunc(secondSeed(opts.Seed), opts.Cells, l.KeyWords() == 2),
+		two:  opts.TwoChoice,
+		gsz:  opts.GroupSize,
+		tab1: tab1, tab2: tab2,
+	}, nil
+}
+
+// ErrNoTable is returned by Open when the header does not carry a valid
+// table magic.
+var ErrNoTable = errors.New("core: no group-hash table at this address")
+
+// Open reconstructs a handle from the persistent header at hdr, e.g.
+// after a restart. It does not run recovery; call Recover next if the
+// shutdown was not clean.
+func Open(mem hashtab.Mem, hdr uint64) (*Table, error) {
+	rd := func(i int) uint64 { return mem.Read8(hdr + uint64(i)*layout.WordSize) }
+	if rd(hdrMagic) != Magic {
+		return nil, ErrNoTable
+	}
+	keyBytes := int(rd(hdrKeyBytes))
+	if keyBytes != 8 && keyBytes != 16 {
+		return nil, fmt.Errorf("core: corrupt header: key size %d", keyBytes)
+	}
+	l := layout.ForKeySize(keyBytes)
+	slot := rd(hdrSlot)
+	if slot > 1 {
+		return nil, fmt.Errorf("core: corrupt header: slot %d", slot)
+	}
+	base := hdrSlot0
+	if slot == 1 {
+		base = hdrSlot1
+	}
+	cells := rd(base + 2)
+	if cells == 0 || cells&(cells-1) != 0 {
+		return nil, fmt.Errorf("core: corrupt header: cell count %d", cells)
+	}
+	t := &Table{
+		mem: mem, l: l, hdr: hdr,
+		h:    xhash.NewFunc(rd(hdrSeed), cells, l.KeyWords() == 2),
+		h2:   xhash.NewFunc(secondSeed(rd(hdrSeed)), cells, l.KeyWords() == 2),
+		two:  rd(hdrFlags)&flagTwoChoice != 0,
+		gsz:  rd(hdrGroupSize),
+		tab1: hashtab.Cells{Mem: mem, L: l, Base: rd(base + 0), N: cells},
+		tab2: hashtab.Cells{Mem: mem, L: l, Base: rd(base + 1), N: cells},
+	}
+	if t.gsz == 0 || t.gsz&(t.gsz-1) != 0 || t.gsz > cells {
+		return nil, fmt.Errorf("core: corrupt header: group size %d", t.gsz)
+	}
+	return t, nil
+}
+
+// Header returns the table's persistent root address.
+func (t *Table) Header() uint64 { return t.hdr }
+
+// Name implements hashtab.Table.
+func (t *Table) Name() string {
+	if t.two {
+		return "group-2c"
+	}
+	return "group"
+}
+
+// TwoChoice reports whether the second hash function is active.
+func (t *Table) TwoChoice() bool { return t.two }
+
+// homes returns the candidate level-1 cells of k: one under the
+// paper's default, two in two-choice mode (§4.4).
+func (t *Table) homes(k layout.Key) (i1, i2 uint64, n int) {
+	i1 = t.h.Index(k.Lo, k.Hi)
+	if !t.two {
+		return i1, 0, 1
+	}
+	i2 = t.h2.Index(k.Lo, k.Hi)
+	if i2 == i1 {
+		return i1, 0, 1
+	}
+	return i1, i2, 2
+}
+
+// GroupSize returns the cells-per-group parameter.
+func (t *Table) GroupSize() uint64 { return t.gsz }
+
+// Cells returns the number of level-1 cells (half the capacity).
+func (t *Table) Cells() uint64 { return t.tab1.N }
+
+// Capacity returns the total number of cells across both levels.
+func (t *Table) Capacity() uint64 { return t.tab1.N + t.tab2.N }
+
+// Len returns the persistent count of occupied cells.
+func (t *Table) Len() uint64 { return t.mem.Read8(t.countAddr()) }
+
+// LoadFactor returns Len / Capacity.
+func (t *Table) LoadFactor() float64 { return float64(t.Len()) / float64(t.Capacity()) }
+
+func (t *Table) countAddr() uint64 { return t.hdr + hdrCount*layout.WordSize }
+
+// setCount atomically updates and persists the occupied-cell count —
+// the "AtomicInc(group->count); Persist(group->count)" steps of
+// Algorithms 1 and 3.
+func (t *Table) setCount(n uint64) {
+	t.mem.AtomicWrite8(t.countAddr(), n)
+	t.mem.Persist(t.countAddr(), layout.WordSize)
+}
+
+// groupStart returns the first cell index of the group containing
+// level-1 index k (the "j = k - k % group_size" of the algorithms).
+func (t *Table) groupStart(k uint64) uint64 { return k &^ (t.gsz - 1) }

@@ -1,0 +1,338 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"grouphash/internal/cache"
+	"grouphash/internal/hashtab"
+	"grouphash/internal/layout"
+	"grouphash/internal/memsim"
+	"grouphash/internal/native"
+)
+
+func simMem(seed int64) *memsim.Memory {
+	return memsim.New(memsim.Config{Size: 8 << 20, Seed: seed, Geoms: cache.SmallGeometry()})
+}
+
+func mustCreate(t *testing.T, mem hashtab.Mem, opts Options) *Table {
+	t.Helper()
+	tab, err := Create(mem, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestOptionsValidation(t *testing.T) {
+	mem := native.New(1 << 20)
+	cases := []Options{
+		{Cells: 0},
+		{Cells: 100},                // not a power of two
+		{Cells: 64, GroupSize: 3},   // group not a power of two
+		{Cells: 64, GroupSize: 128}, // group larger than table
+		{Cells: 64, KeyBytes: 12},   // unsupported key size
+	}
+	for i, o := range cases {
+		if _, err := Create(mem, o); err == nil {
+			t.Errorf("case %d: options %+v accepted", i, o)
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	mem := native.New(1 << 24)
+	tab := mustCreate(t, mem, Options{Cells: 1024})
+	if tab.GroupSize() != DefaultGroupSize {
+		t.Fatalf("group size = %d", tab.GroupSize())
+	}
+	if tab.Capacity() != 2048 {
+		t.Fatalf("capacity = %d, want 2*cells", tab.Capacity())
+	}
+	if tab.Len() != 0 || tab.LoadFactor() != 0 {
+		t.Fatal("fresh table not empty")
+	}
+}
+
+func TestInsertLookupDelete(t *testing.T) {
+	for _, keyBytes := range []int{8, 16} {
+		mem := native.New(1 << 22)
+		tab := mustCreate(t, mem, Options{Cells: 1024, GroupSize: 16, KeyBytes: keyBytes})
+		const n = 500
+		for i := uint64(0); i < n; i++ {
+			k := layout.Key{Lo: i + 1, Hi: i * 7}
+			if err := tab.Insert(k, i*10); err != nil {
+				t.Fatalf("insert %d: %v", i, err)
+			}
+		}
+		if tab.Len() != n {
+			t.Fatalf("Len = %d, want %d", tab.Len(), n)
+		}
+		for i := uint64(0); i < n; i++ {
+			k := layout.Key{Lo: i + 1, Hi: i * 7}
+			v, ok := tab.Lookup(k)
+			if !ok || v != i*10 {
+				t.Fatalf("lookup %d = (%d, %v)", i, v, ok)
+			}
+		}
+		if _, ok := tab.Lookup(layout.Key{Lo: 1 << 40}); ok {
+			t.Fatal("found a key never inserted")
+		}
+		for i := uint64(0); i < n; i += 2 {
+			if !tab.Delete(layout.Key{Lo: i + 1, Hi: i * 7}) {
+				t.Fatalf("delete %d failed", i)
+			}
+		}
+		if tab.Len() != n/2 {
+			t.Fatalf("Len after deletes = %d", tab.Len())
+		}
+		for i := uint64(0); i < n; i++ {
+			k := layout.Key{Lo: i + 1, Hi: i * 7}
+			_, ok := tab.Lookup(k)
+			if (i%2 == 0) == ok {
+				t.Fatalf("key %d presence = %v after deleting evens", i, ok)
+			}
+		}
+	}
+}
+
+func TestDeleteAbsentKey(t *testing.T) {
+	mem := native.New(1 << 20)
+	tab := mustCreate(t, mem, Options{Cells: 64, GroupSize: 8})
+	if tab.Delete(layout.Key{Lo: 1}) {
+		t.Fatal("deleted a key from an empty table")
+	}
+	tab.Insert(layout.Key{Lo: 1}, 1)
+	if tab.Delete(layout.Key{Lo: 2}) {
+		t.Fatal("deleted an absent key")
+	}
+	if tab.Len() != 1 {
+		t.Fatal("count changed by failed delete")
+	}
+}
+
+func TestCollisionSpillsToMatchedGroup(t *testing.T) {
+	mem := native.New(1 << 20)
+	tab := mustCreate(t, mem, Options{Cells: 64, GroupSize: 8, Seed: 3})
+	// Find two keys hashing to the same level-1 cell.
+	base := layout.Key{Lo: 1}
+	idx := tab.h.Index(base.Lo, base.Hi)
+	var other layout.Key
+	for i := uint64(2); ; i++ {
+		if tab.h.Index(i, 0) == idx {
+			other = layout.Key{Lo: i}
+			break
+		}
+	}
+	tab.Insert(base, 100)
+	tab.Insert(other, 200)
+	if v, ok := tab.Lookup(other); !ok || v != 200 {
+		t.Fatalf("spilled key lookup = (%d, %v)", v, ok)
+	}
+	// The spilled item must be in the matched level-2 group.
+	j := tab.groupStart(idx)
+	found := false
+	for i := uint64(0); i < tab.gsz; i++ {
+		if tab.tab2.Matches(j+i, other) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("conflicting item not in the matched level-2 group")
+	}
+}
+
+func TestLookupFindsSpilledItemAfterHomeDeleted(t *testing.T) {
+	// An item in level 2 must stay reachable after its level-1 home
+	// cell empties (the reason Algorithm 2 always scans the group).
+	mem := native.New(1 << 20)
+	tab := mustCreate(t, mem, Options{Cells: 64, GroupSize: 8, Seed: 3})
+	a := layout.Key{Lo: 1}
+	idx := tab.h.Index(a.Lo, a.Hi)
+	var b layout.Key
+	for i := uint64(2); ; i++ {
+		if tab.h.Index(i, 0) == idx {
+			b = layout.Key{Lo: i}
+			break
+		}
+	}
+	tab.Insert(a, 1)
+	tab.Insert(b, 2) // spills to level 2
+	if !tab.Delete(a) {
+		t.Fatal("delete of home item failed")
+	}
+	if v, ok := tab.Lookup(b); !ok || v != 2 {
+		t.Fatalf("spilled item lost after home delete: (%d, %v)", v, ok)
+	}
+}
+
+func TestGroupOverflowReturnsErrTableFull(t *testing.T) {
+	mem := native.New(1 << 20)
+	tab := mustCreate(t, mem, Options{Cells: 16, GroupSize: 4, Seed: 1})
+	// Saturate one group: find group of key 0's level-1 index and
+	// insert colliding keys until full.
+	k0 := layout.Key{Lo: 1}
+	g := tab.groupStart(tab.h.Index(k0.Lo, 0))
+	inserted := 0
+	var err error
+	for i := uint64(1); inserted < 100; i++ {
+		k := layout.Key{Lo: i}
+		if tab.groupStart(tab.h.Index(k.Lo, 0)) != g {
+			continue
+		}
+		err = tab.Insert(k, i)
+		if err != nil {
+			break
+		}
+		inserted++
+	}
+	if err != hashtab.ErrTableFull {
+		t.Fatalf("expected ErrTableFull, got %v after %d inserts", err, inserted)
+	}
+	// Capacity of one group's key space: group_size level-1 cells +
+	// group_size level-2 cells.
+	if inserted > int(2*tab.gsz) {
+		t.Fatalf("placed %d items in a group of capacity %d", inserted, 2*tab.gsz)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	mem := native.New(1 << 20)
+	tab := mustCreate(t, mem, Options{Cells: 64, GroupSize: 8})
+	k := layout.Key{Lo: 9}
+	if tab.Update(k, 5) {
+		t.Fatal("updated an absent key")
+	}
+	tab.Insert(k, 5)
+	if !tab.Update(k, 6) {
+		t.Fatal("update of present key failed")
+	}
+	if v, _ := tab.Lookup(k); v != 6 {
+		t.Fatalf("value after update = %d", v)
+	}
+	if tab.Len() != 1 {
+		t.Fatal("update changed the count")
+	}
+}
+
+func TestRangeVisitsEverything(t *testing.T) {
+	mem := native.New(1 << 20)
+	tab := mustCreate(t, mem, Options{Cells: 256, GroupSize: 16})
+	want := make(map[layout.Key]uint64)
+	for i := uint64(0); i < 100; i++ {
+		k := layout.Key{Lo: i*3 + 1}
+		want[k] = i
+		tab.Insert(k, i)
+	}
+	got := make(map[layout.Key]uint64)
+	tab.Range(func(k layout.Key, v uint64) bool {
+		got[k] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %d items, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Range value for %+v = %d, want %d", k, got[k], v)
+		}
+	}
+	// Early termination.
+	n := 0
+	tab.Range(func(layout.Key, uint64) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Range ignored false return: %d visits", n)
+	}
+}
+
+func TestOpenReconstructsHandle(t *testing.T) {
+	mem := simMem(1)
+	tab := mustCreate(t, mem, Options{Cells: 256, GroupSize: 16, KeyBytes: 16, Seed: 5})
+	hdr := tab.Header()
+	for i := uint64(0); i < 50; i++ {
+		tab.Insert(layout.Key{Lo: i, Hi: i + 1}, i+1)
+	}
+	mem.CleanShutdown()
+
+	re, err := Open(mem, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 50 || re.GroupSize() != 16 || re.Cells() != 256 {
+		t.Fatalf("reopened table: len=%d gsz=%d cells=%d", re.Len(), re.GroupSize(), re.Cells())
+	}
+	for i := uint64(0); i < 50; i++ {
+		if v, ok := re.Lookup(layout.Key{Lo: i, Hi: i + 1}); !ok || v != i+1 {
+			t.Fatalf("reopened lookup %d = (%d, %v)", i, v, ok)
+		}
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	mem := native.New(1 << 16)
+	if _, err := Open(mem, 0); err != ErrNoTable {
+		t.Fatalf("Open of zeroed memory = %v, want ErrNoTable", err)
+	}
+	// Valid magic but corrupt fields.
+	mem.Write8(0, Magic)
+	mem.Write8(8, 12) // bad key size
+	if _, err := Open(mem, 0); err == nil {
+		t.Fatal("Open accepted a corrupt key size")
+	}
+}
+
+func TestDuplicateKeyInsertsBothStored(t *testing.T) {
+	// Algorithm 1 does not check for existing keys; two inserts of the
+	// same key occupy two cells (paper semantics).
+	mem := native.New(1 << 20)
+	tab := mustCreate(t, mem, Options{Cells: 64, GroupSize: 8})
+	k := layout.Key{Lo: 4}
+	tab.Insert(k, 1)
+	tab.Insert(k, 2)
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (duplicates allowed)", tab.Len())
+	}
+	// First delete removes one copy, second the other.
+	if !tab.Delete(k) || !tab.Delete(k) {
+		t.Fatal("could not delete both copies")
+	}
+	if tab.Delete(k) {
+		t.Fatal("third delete succeeded")
+	}
+}
+
+func TestOracleComparison(t *testing.T) {
+	// Random op stream vs a map oracle (unique keys so semantics align).
+	mem := native.New(16 << 20)
+	tab := mustCreate(t, mem, Options{Cells: 4096, GroupSize: 64, Seed: 11})
+	oracle := make(map[uint64]uint64)
+	rng := rand.New(rand.NewSource(42))
+	for op := 0; op < 20000; op++ {
+		key := uint64(rng.Intn(3000)) + 1
+		k := layout.Key{Lo: key}
+		switch rng.Intn(3) {
+		case 0:
+			if _, exists := oracle[key]; !exists {
+				if err := tab.Insert(k, key*2); err == nil {
+					oracle[key] = key * 2
+				}
+			}
+		case 1:
+			v, ok := tab.Lookup(k)
+			ov, ook := oracle[key]
+			if ok != ook || (ok && v != ov) {
+				t.Fatalf("op %d: lookup(%d) = (%d,%v), oracle (%d,%v)", op, key, v, ok, ov, ook)
+			}
+		case 2:
+			ok := tab.Delete(k)
+			_, ook := oracle[key]
+			if ok != ook {
+				t.Fatalf("op %d: delete(%d) = %v, oracle %v", op, key, ok, ook)
+			}
+			delete(oracle, key)
+		}
+	}
+	if tab.Len() != uint64(len(oracle)) {
+		t.Fatalf("final Len = %d, oracle %d", tab.Len(), len(oracle))
+	}
+}

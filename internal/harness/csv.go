@@ -1,0 +1,126 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV writers: each figure's data as machine-readable series, so the
+// plots can be regenerated with any charting tool. One file per
+// figure; columns are stable and documented in the header row.
+
+func writeAll(w *csv.Writer, rows [][]string) error {
+	for _, r := range rows {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+
+// WriteLatencyCSV emits the Fig. 2/5/6 style rows: one line per
+// (trace, load factor, scheme) with latency and miss metrics per op.
+func WriteLatencyCSV(out io.Writer, rows []LatencyResult) error {
+	w := csv.NewWriter(out)
+	recs := [][]string{{
+		"trace", "load_factor", "scheme",
+		"insert_ns", "query_ns", "delete_ns",
+		"insert_l3miss", "query_l3miss", "delete_l3miss",
+		"insert_flushes", "delete_flushes", "loaded_items",
+	}}
+	for _, r := range rows {
+		recs = append(recs, []string{
+			r.Trace, f(r.LoadFactor), r.Scheme,
+			f(r.Insert.AvgLatencyNs), f(r.Query.AvgLatencyNs), f(r.Delete.AvgLatencyNs),
+			f(r.Insert.AvgL3Misses), f(r.Query.AvgL3Misses), f(r.Delete.AvgL3Misses),
+			f(r.Insert.AvgFlushes), f(r.Delete.AvgFlushes),
+			strconv.FormatUint(r.Loaded, 10),
+		})
+	}
+	return writeAll(w, recs)
+}
+
+// WriteSpaceUtilCSV emits Fig. 7 rows.
+func WriteSpaceUtilCSV(out io.Writer, rows []SpaceUtilResult) error {
+	w := csv.NewWriter(out)
+	recs := [][]string{{"trace", "scheme", "utilization", "inserted", "capacity"}}
+	for _, r := range rows {
+		recs = append(recs, []string{
+			r.Trace, r.Scheme, f(r.Utilization),
+			strconv.FormatUint(r.Inserted, 10), strconv.FormatUint(r.Capacity, 10),
+		})
+	}
+	return writeAll(w, recs)
+}
+
+// WriteFig8CSV emits the group-size sweep.
+func WriteFig8CSV(out io.Writer, rows []Fig8Row) error {
+	w := csv.NewWriter(out)
+	recs := [][]string{{"group_size", "insert_ns", "query_ns", "delete_ns", "utilization"}}
+	for _, r := range rows {
+		recs = append(recs, []string{
+			strconv.FormatUint(r.GroupSize, 10),
+			f(r.Latency.Insert.AvgLatencyNs), f(r.Latency.Query.AvgLatencyNs), f(r.Latency.Delete.AvgLatencyNs),
+			f(r.Utilization.Utilization),
+		})
+	}
+	return writeAll(w, recs)
+}
+
+// WriteRecoveryCSV emits Table 3 rows.
+func WriteRecoveryCSV(out io.Writer, rows []RecoveryResult) error {
+	w := csv.NewWriter(out)
+	recs := [][]string{{"table_bytes", "cells", "recovery_ms", "execution_ms", "percentage"}}
+	for _, r := range rows {
+		recs = append(recs, []string{
+			strconv.FormatUint(r.TableBytes, 10), strconv.FormatUint(r.Cells, 10),
+			f(r.RecoveryMs), f(r.ExecMs), f(r.Percentage),
+		})
+	}
+	return writeAll(w, recs)
+}
+
+// WriteWearCSV emits the wear-extension rows.
+func WriteWearCSV(out io.Writer, rows []WearResult) error {
+	w := csv.NewWriter(out)
+	recs := [][]string{{"scheme", "ops", "media_writes_per_op", "amplification", "max_per_word", "p99_per_word"}}
+	for _, r := range rows {
+		recs = append(recs, []string{
+			r.Scheme, strconv.FormatUint(r.Ops, 10),
+			f(r.MediaWritesPerOp), f(r.AmplificationVsPayload),
+			fmt.Sprint(r.MaxPerWord), fmt.Sprint(r.P99PerWord),
+		})
+	}
+	return writeAll(w, recs)
+}
+
+// WriteExcludedCSV emits the §4.1 exclusion-rationale rows.
+func WriteExcludedCSV(out io.Writer, rows []ExcludedResult) error {
+	w := csv.NewWriter(out)
+	recs := [][]string{{"scheme", "utilization", "insert_ns", "query_ns", "delete_ns", "l3miss_per_query", "bytes_per_item"}}
+	for _, r := range rows {
+		recs = append(recs, []string{
+			r.Scheme, f(r.Utilization), f(r.InsertNs), f(r.QueryNs), f(r.DeleteNs),
+			f(r.L3Misses), f(r.BytesPerItem),
+		})
+	}
+	return writeAll(w, recs)
+}
+
+// WriteYCSBCSV emits the YCSB-extension rows.
+func WriteYCSBCSV(out io.Writer, rows []YCSBResult) error {
+	w := csv.NewWriter(out)
+	recs := [][]string{{"workload", "scheme", "avg_ns", "kops_per_sim_sec", "read_ns", "write_ns", "l3miss_per_op"}}
+	for _, r := range rows {
+		recs = append(recs, []string{
+			r.Workload, r.Scheme, f(r.AvgLatencyNs), f(r.KopsPerSimSec),
+			f(r.ReadLatencyNs), f(r.WriteLatencyNs), f(r.AvgL3Misses),
+		})
+	}
+	return writeAll(w, recs)
+}

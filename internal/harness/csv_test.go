@@ -1,0 +1,108 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	recs, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestWriteLatencyCSV(t *testing.T) {
+	var buf bytes.Buffer
+	rows := []LatencyResult{{
+		Scheme: "group", Trace: "RandomNum", LoadFactor: 0.5, Loaded: 42,
+		Insert: OpCost{AvgLatencyNs: 1500.5, AvgL3Misses: 2.25, AvgFlushes: 3},
+		Query:  OpCost{AvgLatencyNs: 90},
+		Delete: OpCost{AvgLatencyNs: 1300, AvgFlushes: 3},
+	}}
+	if err := WriteLatencyCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	if len(recs) != 2 || len(recs[0]) != 12 {
+		t.Fatalf("shape = %dx%d", len(recs), len(recs[0]))
+	}
+	if recs[1][0] != "RandomNum" || recs[1][2] != "group" || recs[1][3] != "1500.5" {
+		t.Fatalf("row = %v", recs[1])
+	}
+}
+
+func TestWriteSpaceUtilCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteSpaceUtilCSV(&buf, []SpaceUtilResult{
+		{Trace: "Fingerprint", Scheme: "path", Utilization: 0.938, Inserted: 10, Capacity: 11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	if recs[1][2] != "0.938" || recs[1][4] != "11" {
+		t.Fatalf("row = %v", recs[1])
+	}
+}
+
+func TestWriteFig8CSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteFig8CSV(&buf, []Fig8Row{{
+		GroupSize:   256,
+		Latency:     LatencyResult{Insert: OpCost{AvgLatencyNs: 1420}},
+		Utilization: SpaceUtilResult{Utilization: 0.792},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	if recs[1][0] != "256" || recs[1][4] != "0.792" {
+		t.Fatalf("row = %v", recs[1])
+	}
+}
+
+func TestWriteRecoveryCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteRecoveryCSV(&buf, []RecoveryResult{
+		{TableBytes: 128 << 20, Cells: 5592404, RecoveryMs: 28.3, ExecMs: 5735.1, Percentage: 0.49},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	if recs[1][0] != "134217728" || recs[1][2] != "28.3" {
+		t.Fatalf("row = %v", recs[1])
+	}
+}
+
+func TestWriteWearCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteWearCSV(&buf, []WearResult{
+		{Scheme: "group", Ops: 400, MediaWritesPerOp: 3, AmplificationVsPayload: 3, MaxPerWord: 400, P99PerWord: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "group,400,3,3,400,2") {
+		t.Fatalf("csv = %s", buf.String())
+	}
+}
+
+func TestWriteYCSBCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteYCSBCSV(&buf, []YCSBResult{
+		{Workload: "YCSB-D", Scheme: "group", AvgLatencyNs: 107, KopsPerSimSec: 9385},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	if recs[1][0] != "YCSB-D" || recs[1][1] != "group" {
+		t.Fatalf("row = %v", recs[1])
+	}
+}

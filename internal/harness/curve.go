@@ -1,0 +1,126 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"grouphash/internal/layout"
+	"grouphash/internal/memsim"
+	"grouphash/internal/trace"
+)
+
+// The load curve is an extension analysis the paper's fixed-load-factor
+// snapshots (0.5 and 0.75) bracket: per-operation cost as a continuous
+// function of fill level, which shows where each scheme's collision
+// mechanism starts to bite (group hashing's group scans, PFHT's stash,
+// linear probing's clusters).
+
+// CurvePoint is one fill-level sample of the load curve.
+type CurvePoint struct {
+	LoadFactor     float64
+	InsertNs       float64
+	QueryNs        float64
+	QueryP99Ns     float64
+	L3MissPerQuery float64
+}
+
+// CurveResult is a scheme's full load curve.
+type CurveResult struct {
+	Scheme string
+	Points []CurvePoint
+}
+
+// RunLoadCurve fills the scheme from the RandomNum trace, pausing at
+// each load-factor checkpoint to measure opsPerPoint inserts and
+// queries.
+func RunLoadCurve(kind Kind, cells uint64, checkpoints []float64, opsPerPoint int, seed int64) CurveResult {
+	cfg := BuildConfig{Kind: kind, TotalCells: cells, KeyBytes: 8, Seed: uint64(seed)}
+	mem := memsim.New(memsim.Config{Size: RegionBytes(cfg), Seed: seed})
+	tab := Build(mem, cfg)
+	tr := trace.NewRandomNum(seed)
+
+	var resident []layout.Key
+	res := CurveResult{Scheme: tab.Name()}
+	for _, target := range checkpoints {
+		full := false
+		for tab.LoadFactor() < target {
+			it := tr.Next()
+			if tab.Insert(it.Key, it.Value) != nil {
+				full = true
+				break
+			}
+			resident = append(resident, it.Key)
+		}
+		if full {
+			break
+		}
+		pt := CurvePoint{LoadFactor: target}
+		ins := phase(mem, opsPerPoint, func(int) bool {
+			it := tr.Next()
+			if tab.Insert(it.Key, it.Value) != nil {
+				return false
+			}
+			resident = append(resident, it.Key)
+			return true
+		})
+		pt.InsertNs = ins.AvgLatencyNs
+		q := phase(mem, opsPerPoint, func(i int) bool {
+			_, ok := tab.Lookup(resident[(i*7919)%len(resident)])
+			return ok
+		})
+		pt.QueryNs = q.AvgLatencyNs
+		pt.QueryP99Ns = q.P99Ns
+		pt.L3MissPerQuery = q.AvgL3Misses
+		res.Points = append(res.Points, pt)
+	}
+	return res
+}
+
+// DefaultCheckpoints spans the fill range the schemes share.
+func DefaultCheckpoints() []float64 {
+	return []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.75}
+}
+
+// LoadCurves runs the curve for the four consistent schemes.
+func LoadCurves(s Scale) []CurveResult {
+	var out []CurveResult
+	for _, k := range Fig5Schemes() {
+		out = append(out, RunLoadCurve(k, s.RandomNumCells, DefaultCheckpoints(), s.Ops, s.Seed))
+	}
+	return out
+}
+
+// PrintCurves renders the load curves side by side.
+func PrintCurves(w io.Writer, rows []CurveResult) {
+	fmt.Fprintln(w, "Load curve (extension): per-op cost vs fill level (RandomNum)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "\n  %s\n", r.Scheme)
+		fmt.Fprintf(w, "  %6s %12s %12s %12s %14s\n", "lf", "insert ns", "query ns", "query p99", "L3miss/query")
+		for _, p := range r.Points {
+			fmt.Fprintf(w, "  %6.2f %12.0f %12.0f %12.0f %14.2f\n",
+				p.LoadFactor, p.InsertNs, p.QueryNs, p.QueryP99Ns, p.L3MissPerQuery)
+		}
+	}
+	fmt.Fprintln(w, "")
+}
+
+// WriteCurveCSV emits the curves as long-format rows.
+func WriteCurveCSV(out io.Writer, rows []CurveResult) error {
+	w := csv.NewWriter(out)
+	recs := [][]string{{"scheme", "load_factor", "insert_ns", "query_ns", "query_p99_ns", "l3miss_per_query"}}
+	for _, r := range rows {
+		for _, p := range r.Points {
+			recs = append(recs, []string{
+				r.Scheme,
+				strconv.FormatFloat(p.LoadFactor, 'f', -1, 64),
+				strconv.FormatFloat(p.InsertNs, 'f', -1, 64),
+				strconv.FormatFloat(p.QueryNs, 'f', -1, 64),
+				strconv.FormatFloat(p.QueryP99Ns, 'f', -1, 64),
+				strconv.FormatFloat(p.L3MissPerQuery, 'f', -1, 64),
+			})
+		}
+	}
+	return writeAll(w, recs)
+}

@@ -1,0 +1,209 @@
+package harness
+
+import (
+	"grouphash/internal/trace"
+)
+
+// Scale fixes the experiment sizes. PaperScale matches §4.1 exactly;
+// DefaultScale shrinks tables ~16× so the whole suite runs in minutes
+// on a laptop while staying far larger than the simulated L3 (so the
+// cache-behaviour conclusions are unchanged); TestScale is for unit
+// tests and smoke runs.
+type Scale struct {
+	Name             string
+	RandomNumCells   uint64
+	BagOfWordsCells  uint64
+	FingerprintCells uint64
+	Ops              int
+	Seed             int64
+	RecoverySizes    []uint64 // nominal table bytes for Table 3
+	GroupSizes       []uint64 // sweep points for Figure 8
+}
+
+// PaperScale reproduces the paper's sizes: 2^23 cells for RandomNum,
+// 2^24 for Bag-of-Words, 2^25 for Fingerprint, 1000 measured ops, and
+// 128 MB–1 GB recovery tables.
+func PaperScale() Scale {
+	return Scale{
+		Name:             "paper",
+		RandomNumCells:   1 << 23,
+		BagOfWordsCells:  1 << 24,
+		FingerprintCells: 1 << 25,
+		Ops:              1000,
+		Seed:             1,
+		RecoverySizes:    []uint64{128 << 20, 256 << 20, 512 << 20, 1 << 30},
+		GroupSizes:       []uint64{64, 128, 256, 512, 1024},
+	}
+}
+
+// DefaultScale is the laptop-friendly scale (see Scale).
+func DefaultScale() Scale {
+	return Scale{
+		Name:             "default",
+		RandomNumCells:   1 << 19,
+		BagOfWordsCells:  1 << 20,
+		FingerprintCells: 1 << 20,
+		Ops:              1000,
+		Seed:             1,
+		RecoverySizes:    []uint64{16 << 20, 32 << 20, 64 << 20, 128 << 20},
+		GroupSizes:       []uint64{64, 128, 256, 512, 1024},
+	}
+}
+
+// TestScale is tiny, for unit tests and testing.B benchmarks.
+func TestScale() Scale {
+	return Scale{
+		Name:             "test",
+		RandomNumCells:   1 << 14,
+		BagOfWordsCells:  1 << 14,
+		FingerprintCells: 1 << 14,
+		Ops:              200,
+		Seed:             1,
+		RecoverySizes:    []uint64{1 << 20, 2 << 20},
+		GroupSizes:       []uint64{64, 256, 1024},
+	}
+}
+
+// cellsFor maps a trace to its cell budget under this scale.
+func (s Scale) cellsFor(tr trace.Trace) uint64 {
+	switch tr.Name() {
+	case "RandomNum":
+		return s.RandomNumCells
+	case "Bag-of-Words":
+		return s.BagOfWordsCells
+	case "Fingerprint":
+		return s.FingerprintCells
+	}
+	return s.RandomNumCells
+}
+
+// Fig2Result holds the motivation experiment: the six baseline variants
+// on RandomNum at load factor 0.5 (Figure 2a/2b), plus the headline
+// ratios the paper quotes in §2.3 (1.95× latency, 2.16× L3 misses for
+// insert+delete under logging).
+type Fig2Result struct {
+	Rows            []LatencyResult
+	LatencyRatio    float64 // logged / unlogged, averaged over insert+delete
+	L3MissRatio     float64
+	SchemesCompared int
+}
+
+// Fig2 runs the consistency-cost motivation experiment.
+func Fig2(s Scale) Fig2Result {
+	var out Fig2Result
+	for _, k := range Fig2Schemes() {
+		out.Rows = append(out.Rows, RunLatency(LatencyConfig{
+			Build:      BuildConfig{Kind: k, TotalCells: s.RandomNumCells, Seed: uint64(s.Seed)},
+			Trace:      trace.NewRandomNum(s.Seed),
+			LoadFactor: 0.5,
+			Ops:        s.Ops,
+			Seed:       s.Seed,
+		}))
+	}
+	// Ratios: pair (linear, linear-L), (pfht, pfht-L), (path, path-L).
+	var latR, missR float64
+	pairs := 0
+	for i := 0; i+1 < len(out.Rows); i += 2 {
+		plain, logged := out.Rows[i], out.Rows[i+1]
+		pl := plain.Insert.AvgLatencyNs + plain.Delete.AvgLatencyNs
+		ll := logged.Insert.AvgLatencyNs + logged.Delete.AvgLatencyNs
+		pm := plain.Insert.AvgL3Misses + plain.Delete.AvgL3Misses
+		lm := logged.Insert.AvgL3Misses + logged.Delete.AvgL3Misses
+		if pl > 0 && pm > 0 {
+			latR += ll / pl
+			missR += lm / pm
+			pairs++
+		}
+	}
+	if pairs > 0 {
+		out.LatencyRatio = latR / float64(pairs)
+		out.L3MissRatio = missR / float64(pairs)
+	}
+	out.SchemesCompared = pairs
+	return out
+}
+
+// RequestMatrix is the full Figure 5 + Figure 6 grid: every consistent
+// scheme on every trace at both load factors. One RunLatency yields
+// both the latency figures (Fig. 5) and the L3-miss figures (Fig. 6).
+type RequestMatrix struct {
+	Rows []LatencyResult
+}
+
+// Fig5and6 runs the latency / cache-efficiency grid.
+func Fig5and6(s Scale) RequestMatrix {
+	var m RequestMatrix
+	for _, tr := range trace.All(s.Seed) {
+		for _, lf := range []float64{0.5, 0.75} {
+			for _, k := range Fig5Schemes() {
+				m.Rows = append(m.Rows, RunLatency(LatencyConfig{
+					Build:      BuildConfig{Kind: k, TotalCells: s.cellsFor(tr), Seed: uint64(s.Seed)},
+					Trace:      tr,
+					LoadFactor: lf,
+					Ops:        s.Ops,
+					Seed:       s.Seed,
+				}))
+			}
+		}
+	}
+	return m
+}
+
+// Fig7 runs the space-utilisation comparison (PFHT, path, group on all
+// three traces; linear probing is omitted like in the paper, because
+// it fills to load factor 1).
+func Fig7(s Scale) []SpaceUtilResult {
+	var out []SpaceUtilResult
+	for _, tr := range trace.All(s.Seed) {
+		for _, k := range []Kind{PFHT, Path, Group} {
+			out = append(out, RunSpaceUtil(BuildConfig{
+				Kind:       k,
+				TotalCells: s.cellsFor(tr),
+				Seed:       uint64(s.Seed),
+			}, tr))
+		}
+	}
+	return out
+}
+
+// Fig8Row is one sweep point of Figure 8.
+type Fig8Row struct {
+	GroupSize   uint64
+	Latency     LatencyResult
+	Utilization SpaceUtilResult
+}
+
+// Fig8 sweeps the group size on RandomNum at load factor 0.5, measuring
+// request latency (8a) and space utilisation (8b).
+func Fig8(s Scale) []Fig8Row {
+	var out []Fig8Row
+	for _, gs := range s.GroupSizes {
+		row := Fig8Row{GroupSize: gs}
+		row.Latency = RunLatency(LatencyConfig{
+			Build: BuildConfig{
+				Kind: Group, TotalCells: s.RandomNumCells,
+				GroupSize: gs, Seed: uint64(s.Seed),
+			},
+			Trace:      trace.NewRandomNum(s.Seed),
+			LoadFactor: 0.5,
+			Ops:        s.Ops,
+			Seed:       s.Seed,
+		})
+		row.Utilization = RunSpaceUtil(BuildConfig{
+			Kind: Group, TotalCells: s.RandomNumCells,
+			GroupSize: gs, Seed: uint64(s.Seed),
+		}, trace.NewRandomNum(s.Seed))
+		out = append(out, row)
+	}
+	return out
+}
+
+// Table3 runs the recovery-time experiment across the scale's table
+// sizes.
+func Table3(s Scale) []RecoveryResult {
+	var out []RecoveryResult
+	for _, bytes := range s.RecoverySizes {
+		out = append(out, RunRecovery(bytes, s.Seed))
+	}
+	return out
+}

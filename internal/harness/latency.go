@@ -1,0 +1,161 @@
+package harness
+
+import (
+	"math/rand"
+
+	"grouphash/internal/layout"
+	"grouphash/internal/memsim"
+	"grouphash/internal/stats"
+	"grouphash/internal/trace"
+)
+
+// OpCost is the per-operation average cost of one measurement phase.
+type OpCost struct {
+	Count        int     // operations measured
+	AvgLatencyNs float64 // simulated request latency (the paper's metric)
+	AvgL3Misses  float64 // simulated L3 misses per request (Figures 2b, 6)
+	AvgFlushes   float64 // clflush instructions per request
+	AvgFences    float64 // mfence instructions per request
+	AvgNVMWords  float64 // 8-byte words newly written to NVM per request
+	Failures     int     // inserts rejected with ErrTableFull
+	// MedianNs and P99Ns are the tail view the paper's averages hide:
+	// group hashing's occasional deep group scans show up here.
+	MedianNs float64
+	P99Ns    float64
+}
+
+// LatencyResult is one cell of the Figure 5/6 matrix.
+type LatencyResult struct {
+	Scheme     string
+	Trace      string
+	LoadFactor float64
+	Loaded     uint64 // items inserted during the load phase
+	Insert     OpCost
+	Query      OpCost
+	Delete     OpCost
+}
+
+// LatencyConfig drives one RunLatency execution.
+type LatencyConfig struct {
+	Build      BuildConfig
+	Trace      trace.Trace
+	LoadFactor float64
+	// Ops is the measured operations per phase; the paper uses 1000.
+	Ops int
+	// Seed drives sampling and crash injection.
+	Seed int64
+}
+
+// phase measures fn over n operations, reporting per-op averages and
+// the latency distribution.
+func phase(mem *memsim.Memory, n int, fn func(i int) bool) OpCost {
+	before := mem.Counters()
+	failures := 0
+	var sample stats.Sample
+	last := before.ClockNs
+	for i := 0; i < n; i++ {
+		if !fn(i) {
+			failures++
+		}
+		now := mem.Counters().ClockNs
+		sample.Add(now - last)
+		last = now
+	}
+	d := mem.Counters().Sub(before)
+	fn64 := float64(n)
+	return OpCost{
+		Count:        n,
+		AvgLatencyNs: d.ClockNs / fn64,
+		AvgL3Misses:  float64(d.L3Misses) / fn64,
+		AvgFlushes:   float64(d.Flushes) / fn64,
+		AvgFences:    float64(d.Fences) / fn64,
+		AvgNVMWords:  float64(d.NVM.WordsDirtied) / fn64,
+		Failures:     failures,
+		MedianNs:     sample.Median(),
+		P99Ns:        sample.P99(),
+	}
+}
+
+// RunLatency executes the paper's §4.2 procedure for one (scheme,
+// trace, load factor) cell: load the table to the target load factor
+// from the trace, then measure Ops inserts of fresh items, Ops queries
+// of random resident items, and Ops deletes of random resident items.
+func RunLatency(cfg LatencyConfig) LatencyResult {
+	cfg.Build.KeyBytes = cfg.Trace.KeyBytes()
+	mem := memsim.New(memsim.Config{
+		Size: RegionBytes(cfg.Build),
+		Seed: cfg.Seed,
+	})
+	tab := Build(mem, cfg.Build)
+	cfg.Trace.Reset()
+
+	// Load phase. Track resident keys for the query/delete samples.
+	target := cfg.LoadFactor
+	var resident []layout.Key
+	for tab.LoadFactor() < target {
+		it := cfg.Trace.Next()
+		if err := tab.Insert(it.Key, it.Value); err != nil {
+			break // cannot reach the target; measure at what we got
+		}
+		resident = append(resident, it.Key)
+	}
+	res := LatencyResult{
+		Scheme:     tab.Name(),
+		Trace:      cfg.Trace.Name(),
+		LoadFactor: cfg.LoadFactor,
+		Loaded:     uint64(len(resident)),
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	querySample := sampleKeys(rng, resident, cfg.Ops)
+	deleteSample := sampleKeys(rng, resident, cfg.Ops)
+
+	// Insert phase: the next Ops fresh trace items.
+	res.Insert = phase(mem, cfg.Ops, func(int) bool {
+		it := cfg.Trace.Next()
+		return tab.Insert(it.Key, it.Value) == nil
+	})
+	// Query phase: resident keys, uniformly sampled.
+	res.Query = phase(mem, cfg.Ops, func(i int) bool {
+		_, ok := tab.Lookup(querySample[i])
+		return ok
+	})
+	// Delete phase: distinct resident keys.
+	res.Delete = phase(mem, cfg.Ops, func(i int) bool {
+		return tab.Delete(deleteSample[i])
+	})
+	return res
+}
+
+// sampleKeys draws n distinct positions from resident (with fallback to
+// repetition when resident is smaller than n).
+func sampleKeys(rng *rand.Rand, resident []layout.Key, n int) []layout.Key {
+	out := make([]layout.Key, 0, n)
+	if len(resident) == 0 {
+		return make([]layout.Key, n)
+	}
+	if len(resident) >= 2*n {
+		// Rejection sampling: cheap and allocation-light even when the
+		// resident set has millions of keys (full-size paper runs).
+		seen := make(map[int]bool, n)
+		for len(out) < n {
+			p := rng.Intn(len(resident))
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, resident[p])
+			}
+		}
+		return out
+	}
+	if len(resident) >= n {
+		perm := rng.Perm(len(resident))[:n]
+		for _, p := range perm {
+			out = append(out, resident[p])
+		}
+		return out
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, resident[rng.Intn(len(resident))])
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"grouphash/internal/plot"
+)
+
+// Bar-chart renderings of the figure data, echoing the paper's plots in
+// a terminal (ghbench -plot).
+
+// PlotFig5 renders insert and delete latency bars per (trace, load
+// factor) block — the paper's money charts.
+func PlotFig5(w io.Writer, m RequestMatrix) {
+	fmt.Fprintln(w, "Figure 5 as bars — request latency (ns, simulated)")
+	fmt.Fprintln(w, "")
+	plotMatrix(w, m, func(r LatencyResult) []plot.Bar {
+		return []plot.Bar{
+			{Label: r.Scheme + " insert", Value: r.Insert.AvgLatencyNs},
+			{Label: r.Scheme + " delete", Value: r.Delete.AvgLatencyNs},
+		}
+	}, "%.0f")
+}
+
+// PlotFig6 renders L3-miss bars per block.
+func PlotFig6(w io.Writer, m RequestMatrix) {
+	fmt.Fprintln(w, "Figure 6 as bars — L3 misses per request (simulated)")
+	fmt.Fprintln(w, "")
+	plotMatrix(w, m, func(r LatencyResult) []plot.Bar {
+		return []plot.Bar{
+			{Label: r.Scheme + " insert", Value: r.Insert.AvgL3Misses},
+			{Label: r.Scheme + " delete", Value: r.Delete.AvgL3Misses},
+		}
+	}, "%.2f")
+}
+
+func plotMatrix(w io.Writer, m RequestMatrix, bars func(LatencyResult) []plot.Bar, format string) {
+	type block struct {
+		trace string
+		lf    float64
+	}
+	grouped := map[block][]LatencyResult{}
+	var order []block
+	for _, r := range m.Rows {
+		b := block{r.Trace, r.LoadFactor}
+		if _, ok := grouped[b]; !ok {
+			order = append(order, b)
+		}
+		grouped[b] = append(grouped[b], r)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].trace != order[j].trace {
+			return order[i].trace < order[j].trace
+		}
+		return order[i].lf < order[j].lf
+	})
+	var charts []plot.Chart
+	for _, b := range order {
+		c := plot.Chart{Title: fmt.Sprintf("%s, load factor %.2f", b.trace, b.lf)}
+		for _, r := range grouped[b] {
+			c.Bars = append(c.Bars, bars(r)...)
+		}
+		charts = append(charts, c)
+	}
+	plot.Grouped(w, charts, 44, format)
+	fmt.Fprintln(w, "")
+}
+
+// PlotFig7 renders space-utilisation bars per trace.
+func PlotFig7(w io.Writer, rows []SpaceUtilResult) {
+	fmt.Fprintln(w, "Figure 7 as bars — space utilisation (%)")
+	fmt.Fprintln(w, "")
+	byTrace := map[string][]SpaceUtilResult{}
+	var order []string
+	for _, r := range rows {
+		if _, ok := byTrace[r.Trace]; !ok {
+			order = append(order, r.Trace)
+		}
+		byTrace[r.Trace] = append(byTrace[r.Trace], r)
+	}
+	var charts []plot.Chart
+	for _, tr := range order {
+		c := plot.Chart{Title: tr}
+		for _, r := range byTrace[tr] {
+			c.Bars = append(c.Bars, plot.Bar{Label: r.Scheme, Value: r.Utilization * 100})
+		}
+		charts = append(charts, c)
+	}
+	plot.Grouped(w, charts, 44, "%.1f%%")
+	fmt.Fprintln(w, "")
+}
+
+// PlotFig8 renders the group-size sweep as two bar groups.
+func PlotFig8(w io.Writer, rows []Fig8Row) {
+	fmt.Fprintln(w, "Figure 8 as bars — group size sweep (RandomNum, lf 0.5)")
+	fmt.Fprintln(w, "")
+	lat := plot.Chart{Title: "insert latency (ns)"}
+	util := plot.Chart{Title: "space utilisation (%)", Format: "%.1f%%"}
+	for _, r := range rows {
+		label := fmt.Sprintf("group %d", r.GroupSize)
+		lat.Bars = append(lat.Bars, plot.Bar{Label: label, Value: r.Latency.Insert.AvgLatencyNs})
+		util.Bars = append(util.Bars, plot.Bar{Label: label, Value: r.Utilization.Utilization * 100})
+	}
+	lat.Width, util.Width = 44, 44
+	lat.Format = "%.0f"
+	lat.Render(w)
+	fmt.Fprintln(w, "")
+	util.Render(w)
+	fmt.Fprintln(w, "")
+}

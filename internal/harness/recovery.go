@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"grouphash/internal/core"
+	"grouphash/internal/layout"
+	"grouphash/internal/memsim"
+	"grouphash/internal/trace"
+)
+
+// RecoveryResult is one column of Table 3.
+type RecoveryResult struct {
+	TableBytes   uint64  // nominal hash-table size
+	Cells        uint64  // total cells that size maps to
+	RecoveryMs   float64 // simulated recovery time
+	ExecMs       float64 // simulated time of loading to load factor 0.5
+	Percentage   float64 // RecoveryMs / ExecMs * 100 (the paper's metric)
+	CellsScanned uint64
+}
+
+// RunRecovery reproduces Table 3 for one nominal table size: build a
+// group-hash table of that many bytes of cells, load it to load factor
+// 0.5 from the RandomNum trace (timing the load), crash, and time the
+// Algorithm-4 recovery scan.
+func RunRecovery(tableBytes uint64, seed int64) RecoveryResult {
+	l := layout.ForKeySize(8)
+	totalCells := tableBytes / l.CellSize()
+	// Level-1 cells: half the total, rounded down to a power of two.
+	l1 := uint64(1)
+	for l1*2 <= totalCells/2 {
+		l1 *= 2
+	}
+	mem := memsim.New(memsim.Config{
+		Size: tableBytes + tableBytes/4 + (1 << 16),
+		Seed: seed,
+	})
+	tab, err := core.Create(mem, core.Options{Cells: l1, KeyBytes: 8, Seed: uint64(seed)})
+	if err != nil {
+		panic(err)
+	}
+	tr := trace.NewRandomNum(seed)
+
+	t0 := mem.Clock()
+	for tab.LoadFactor() < 0.5 {
+		it := tr.Next()
+		if err := tab.Insert(it.Key, it.Value); err != nil {
+			break
+		}
+	}
+	execNs := mem.Clock() - t0
+
+	mem.Crash(0.5)
+	t1 := mem.Clock()
+	rep, err := tab.Recover()
+	if err != nil {
+		panic(err)
+	}
+	recNs := mem.Clock() - t1
+
+	return RecoveryResult{
+		TableBytes:   tableBytes,
+		Cells:        tab.Capacity(),
+		RecoveryMs:   recNs / 1e6,
+		ExecMs:       execNs / 1e6,
+		Percentage:   recNs / execNs * 100,
+		CellsScanned: rep.CellsScanned,
+	}
+}

@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// PrintFig2 renders the motivation experiment the way Figure 2 groups
+// it: per scheme, insert and delete latency (2a) and L3 misses (2b).
+func PrintFig2(w io.Writer, r Fig2Result) {
+	fmt.Fprintln(w, "Figure 2 — consistency cost of logging (RandomNum, load factor 0.5)")
+	fmt.Fprintln(w, "")
+	fmt.Fprintf(w, "  %-10s %14s %14s %14s %14s\n",
+		"scheme", "insert ns", "delete ns", "insert L3", "delete L3")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-10s %14.0f %14.0f %14.2f %14.2f\n",
+			row.Scheme, row.Insert.AvgLatencyNs, row.Delete.AvgLatencyNs,
+			row.Insert.AvgL3Misses, row.Delete.AvgL3Misses)
+	}
+	fmt.Fprintln(w, "")
+	fmt.Fprintf(w, "  logged/unlogged latency ratio (insert+delete avg): %.2fx (paper: 1.95x)\n", r.LatencyRatio)
+	fmt.Fprintf(w, "  logged/unlogged L3-miss ratio (insert+delete avg): %.2fx (paper: 2.16x)\n", r.L3MissRatio)
+}
+
+// PrintFig5 renders the request-latency grid of Figure 5.
+func PrintFig5(w io.Writer, m RequestMatrix) {
+	fmt.Fprintln(w, "Figure 5 — average request latency (ns, simulated)")
+	printMatrix(w, m, func(c OpCost) float64 { return c.AvgLatencyNs }, "%12.0f")
+}
+
+// PrintFig6 renders the L3-miss grid of Figure 6.
+func PrintFig6(w io.Writer, m RequestMatrix) {
+	fmt.Fprintln(w, "Figure 6 — average L3 cache misses per request (simulated)")
+	printMatrix(w, m, func(c OpCost) float64 { return c.AvgL3Misses }, "%12.2f")
+}
+
+// printMatrix renders one metric of the Fig5/6 grid, one block per
+// (trace, load factor) — matching the paper's six sub-figures.
+func printMatrix(w io.Writer, m RequestMatrix, metric func(OpCost) float64, cell string) {
+	type block struct {
+		trace string
+		lf    float64
+	}
+	seen := map[block][]LatencyResult{}
+	var order []block
+	for _, r := range m.Rows {
+		b := block{r.Trace, r.LoadFactor}
+		if _, ok := seen[b]; !ok {
+			order = append(order, b)
+		}
+		seen[b] = append(seen[b], r)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].trace != order[j].trace {
+			return order[i].trace < order[j].trace
+		}
+		return order[i].lf < order[j].lf
+	})
+	for _, b := range order {
+		fmt.Fprintf(w, "\n  %s, load factor %.2f\n", b.trace, b.lf)
+		fmt.Fprintf(w, "  %-10s %12s %12s %12s\n", "scheme", "insert", "query", "delete")
+		for _, r := range seen[b] {
+			fmt.Fprintf(w, "  %-10s "+cell+" "+cell+" "+cell+"\n",
+				r.Scheme, metric(r.Insert), metric(r.Query), metric(r.Delete))
+		}
+	}
+}
+
+// PrintFig7 renders the space-utilisation bars of Figure 7.
+func PrintFig7(w io.Writer, rows []SpaceUtilResult) {
+	fmt.Fprintln(w, "Figure 7 — space utilisation at first insertion failure")
+	fmt.Fprintln(w, "")
+	fmt.Fprintf(w, "  %-14s %-10s %12s %12s %12s\n", "trace", "scheme", "utilisation", "inserted", "capacity")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-14s %-10s %11.1f%% %12d %12d\n",
+			r.Trace, r.Scheme, r.Utilization*100, r.Inserted, r.Capacity)
+	}
+	fmt.Fprintln(w, "\n  (paper: path highest, PFHT slightly lower, group ~82%; linear omitted, fills to 1.0)")
+}
+
+// PrintFig8 renders the group-size sweep of Figure 8.
+func PrintFig8(w io.Writer, rows []Fig8Row) {
+	fmt.Fprintln(w, "Figure 8 — group size vs request latency and space utilisation (RandomNum, lf 0.5)")
+	fmt.Fprintln(w, "")
+	fmt.Fprintf(w, "  %10s %12s %12s %12s %14s\n", "group size", "insert ns", "query ns", "delete ns", "utilisation")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %10d %12.0f %12.0f %12.0f %13.1f%%\n",
+			r.GroupSize,
+			r.Latency.Insert.AvgLatencyNs, r.Latency.Query.AvgLatencyNs, r.Latency.Delete.AvgLatencyNs,
+			r.Utilization.Utilization*100)
+	}
+	fmt.Fprintln(w, "\n  (paper: latency grows with group size; utilisation exceeds 80% at 256)")
+}
+
+// PrintTable3 renders the recovery-time table.
+func PrintTable3(w io.Writer, rows []RecoveryResult) {
+	fmt.Fprintln(w, "Table 3 — recovery time vs table size (group hashing, RandomNum, lf 0.5)")
+	fmt.Fprintln(w, "")
+	fmt.Fprintf(w, "  %-16s", "Table size")
+	for _, r := range rows {
+		fmt.Fprintf(w, " %12s", byteSize(r.TableBytes))
+	}
+	fmt.Fprintln(w, "")
+	fmt.Fprintf(w, "  %-16s", "Recovery (ms)")
+	for _, r := range rows {
+		fmt.Fprintf(w, " %12.1f", r.RecoveryMs)
+	}
+	fmt.Fprintln(w, "")
+	fmt.Fprintf(w, "  %-16s", "Execution (ms)")
+	for _, r := range rows {
+		fmt.Fprintf(w, " %12.1f", r.ExecMs)
+	}
+	fmt.Fprintln(w, "")
+	fmt.Fprintf(w, "  %-16s", "Percentage")
+	for _, r := range rows {
+		fmt.Fprintf(w, " %11.2f%%", r.Percentage)
+	}
+	fmt.Fprintln(w, "")
+	fmt.Fprintln(w, "\n  (paper: ~0.93% at every size)")
+}
+
+// byteSize formats a byte count the way the paper labels table sizes.
+func byteSize(b uint64) string {
+	switch {
+	case b >= 1<<30 && b%(1<<30) == 0:
+		return fmt.Sprintf("%dGB", b>>30)
+	case b >= 1<<20:
+		return fmt.Sprintf("%dMB", b>>20)
+	default:
+		return fmt.Sprintf("%dKB", b>>10)
+	}
+}

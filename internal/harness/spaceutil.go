@@ -1,0 +1,45 @@
+package harness
+
+import (
+	"grouphash/internal/native"
+	"grouphash/internal/trace"
+)
+
+// SpaceUtilResult is one bar of Figure 7: the load factor at which the
+// first insertion fails.
+type SpaceUtilResult struct {
+	Scheme      string
+	Trace       string
+	Utilization float64
+	Inserted    uint64
+	Capacity    uint64
+}
+
+// RunSpaceUtil inserts trace items until the scheme rejects one and
+// reports the load factor at that point — the paper's definition of
+// space utilisation ("the load factor when an item fails to insert
+// into the hash table").
+//
+// Utilisation is a structural property, independent of timing, so this
+// runs on the fast native backend rather than the simulator.
+func RunSpaceUtil(build BuildConfig, tr trace.Trace) SpaceUtilResult {
+	build.KeyBytes = tr.KeyBytes()
+	mem := native.New(RegionBytes(build))
+	tab := Build(mem, build)
+	tr.Reset()
+	var inserted uint64
+	for {
+		it := tr.Next()
+		if err := tab.Insert(it.Key, it.Value); err != nil {
+			break
+		}
+		inserted++
+	}
+	return SpaceUtilResult{
+		Scheme:      tab.Name(),
+		Trace:       tr.Name(),
+		Utilization: float64(inserted) / float64(tab.Capacity()),
+		Inserted:    inserted,
+		Capacity:    tab.Capacity(),
+	}
+}

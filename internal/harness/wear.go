@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"grouphash/internal/memsim"
+	"grouphash/internal/nvm"
+	"grouphash/internal/trace"
+)
+
+// WearResult quantifies NVM media wear per scheme — the endurance side
+// of the paper's write-efficiency motivation (§2.1: PCM endures ~10^8
+// writes; every word the consistency protocol writes twice halves the
+// lifetime a wear-leveler can deliver).
+type WearResult struct {
+	Scheme string
+	Ops    uint64 // measured mutations (half inserts, half deletes)
+	// MediaWritesPerOp is the number of 8-byte words that reached the
+	// NVM media per mutation — the paper's "NVM writes".
+	MediaWritesPerOp float64
+	// AmplificationVsPayload is media writes relative to the two words
+	// of application payload (key+value) an insert logically carries.
+	AmplificationVsPayload float64
+	// MaxPerWord is the hottest word's write count over the run (the
+	// count word for every scheme here; a device wear-leveler absorbs
+	// this, per the paper's §2.1 assumption).
+	MaxPerWord uint32
+	// P99PerWord is the 99th-percentile per-word write count.
+	P99PerWord uint32
+	Wear       nvm.WearStats
+}
+
+// RunWear measures media wear for one scheme: load to load factor 0.5
+// from the trace (untracked), then enable wear counters and run nOps
+// inserts followed by nOps deletes.
+func RunWear(build BuildConfig, tr trace.Trace, nOps int, seed int64) WearResult {
+	build.KeyBytes = tr.KeyBytes()
+	mem := memsim.New(memsim.Config{Size: RegionBytes(build), Seed: seed})
+	tab := Build(mem, build)
+	tr.Reset()
+	for tab.LoadFactor() < 0.5 {
+		it := tr.Next()
+		if tab.Insert(it.Key, it.Value) != nil {
+			break
+		}
+	}
+	mem.DropCaches() // settle outstanding dirt before counting
+
+	mem.Region().EnableWearTracking()
+	var inserted []trace.Item
+	for i := 0; i < nOps; i++ {
+		it := tr.Next()
+		if tab.Insert(it.Key, it.Value) == nil {
+			inserted = append(inserted, it)
+		}
+	}
+	for _, it := range inserted {
+		tab.Delete(it.Key)
+	}
+	mem.DropCaches() // flush the tail so every write is accounted
+
+	w := mem.Region().Wear()
+	ops := uint64(2 * len(inserted))
+	res := WearResult{
+		Scheme:     tab.Name(),
+		Ops:        ops,
+		MaxPerWord: w.MaxPerWord,
+		P99PerWord: w.P99PerTouched,
+		Wear:       w,
+	}
+	if ops > 0 {
+		res.MediaWritesPerOp = float64(w.MediaWrites) / float64(ops)
+		// An insert's intrinsic payload is key+value (two words for
+		// the compact layout; key spans two words for 16-byte keys).
+		payloadWords := 2.0
+		if tr.KeyBytes() == 16 {
+			payloadWords = 3.0
+		}
+		// Deletes carry no payload, so amortised payload per op is
+		// half an insert's.
+		res.AmplificationVsPayload = res.MediaWritesPerOp / (payloadWords / 2)
+	}
+	return res
+}
+
+// WearComparison runs the wear experiment for the four consistent
+// schemes on RandomNum (an extension experiment; the paper motivates
+// endurance in §2.1 but does not plot it).
+func WearComparison(s Scale) []WearResult {
+	var out []WearResult
+	for _, k := range Fig5Schemes() {
+		out = append(out, RunWear(BuildConfig{
+			Kind: k, TotalCells: s.RandomNumCells, Seed: uint64(s.Seed),
+		}, trace.NewRandomNum(s.Seed), s.Ops, s.Seed))
+	}
+	return out
+}
+
+// PrintWear renders the wear comparison.
+func PrintWear(w io.Writer, rows []WearResult) {
+	fmt.Fprintln(w, "NVM media wear per mutation (extension; RandomNum, lf 0.5, insert+delete)")
+	fmt.Fprintln(w, "")
+	fmt.Fprintf(w, "  %-10s %16s %14s %12s %12s\n",
+		"scheme", "media writes/op", "amplification", "hottest word", "p99/word")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-10s %16.2f %13.1fx %12d %12d\n",
+			r.Scheme, r.MediaWritesPerOp, r.AmplificationVsPayload, r.MaxPerWord, r.P99PerWord)
+	}
+	fmt.Fprintln(w, "\n  (amplification = media word-writes vs the key+value payload;")
+	fmt.Fprintln(w, "   the hottest word is each scheme's persistent count — the per-op")
+	fmt.Fprintln(w, "   commit the paper's device-level wear-leveling assumption absorbs)")
+}

@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"grouphash/internal/hashtab"
+	"grouphash/internal/layout"
+	"grouphash/internal/memsim"
+	"grouphash/internal/trace"
+)
+
+// YCSBResult summarises one scheme on one YCSB workload mix (extension
+// experiment; the paper's phases are single-operation, YCSB interleaves
+// them under skew).
+type YCSBResult struct {
+	Scheme   string
+	Workload string
+	Ops      int
+	// AvgLatencyNs is the simulated latency per operation of the mix.
+	AvgLatencyNs float64
+	// KopsPerSimSec is simulated throughput in thousand ops per
+	// simulated second.
+	KopsPerSimSec float64
+	// ReadLatencyNs / WriteLatencyNs split the mix by class (writes:
+	// update, insert and the write half of RMW).
+	ReadLatencyNs  float64
+	WriteLatencyNs float64
+	// Misses per op, mirroring the paper's cache-efficiency metric.
+	AvgL3Misses float64
+}
+
+// RunYCSB loads the workload's record set into the scheme on the
+// simulated machine, then drives ops steps of the mix.
+func RunYCSB(kind Kind, workload byte, records uint64, ops int, seed int64) YCSBResult {
+	// Size the table so the loaded records sit near load factor 0.5
+	// with headroom for workload D's inserts.
+	totalCells := uint64(1)
+	for totalCells < records*2+uint64(ops) {
+		totalCells <<= 1
+	}
+	cfg := BuildConfig{Kind: kind, TotalCells: totalCells, KeyBytes: 8, Seed: uint64(seed)}
+	mem := memsim.New(memsim.Config{Size: RegionBytes(cfg), Seed: seed})
+	tab := Build(mem, cfg)
+	up, canUpdate := tab.(hashtab.Updater)
+	if !canUpdate {
+		panic(fmt.Sprintf("harness: %s does not support YCSB updates", tab.Name()))
+	}
+
+	y := trace.NewYCSB(workload, records, seed)
+	for i := uint64(1); i <= records; i++ {
+		if err := tab.Insert(key64(i), i); err != nil {
+			break
+		}
+	}
+
+	var readNs, writeNs float64
+	var reads, writes int
+	start := mem.Counters()
+	last := start
+	for i := 0; i < ops; i++ {
+		step := y.Next()
+		switch step.Op {
+		case trace.YCSBRead:
+			tab.Lookup(step.Item.Key)
+		case trace.YCSBUpdate:
+			up.Update(step.Item.Key, step.Item.Value)
+		case trace.YCSBInsert:
+			tab.Insert(step.Item.Key, step.Item.Value)
+		case trace.YCSBRMW:
+			v, _ := tab.Lookup(step.Item.Key)
+			up.Update(step.Item.Key, v+step.Item.Value)
+		}
+		now := mem.Counters()
+		d := now.ClockNs - last.ClockNs
+		if step.Op == trace.YCSBRead {
+			readNs += d
+			reads++
+		} else {
+			writeNs += d
+			writes++
+		}
+		last = now
+	}
+	total := mem.Counters().Sub(start)
+	res := YCSBResult{
+		Scheme:       tab.Name(),
+		Workload:     y.Name(),
+		Ops:          ops,
+		AvgLatencyNs: total.ClockNs / float64(ops),
+		AvgL3Misses:  float64(total.L3Misses) / float64(ops),
+	}
+	if total.ClockNs > 0 {
+		res.KopsPerSimSec = float64(ops) / total.ClockNs * 1e9 / 1e3
+	}
+	if reads > 0 {
+		res.ReadLatencyNs = readNs / float64(reads)
+	}
+	if writes > 0 {
+		res.WriteLatencyNs = writeNs / float64(writes)
+	}
+	return res
+}
+
+// key64 builds the dense one-word record keys YCSB loads.
+func key64(id uint64) layout.Key { return layout.Key{Lo: id} }
+
+// YCSBComparison runs workloads A, B, C, D, F for the consistent
+// schemes.
+func YCSBComparison(s Scale) []YCSBResult {
+	records := s.RandomNumCells / 4 // lf ~0.5 of the derived table
+	var out []YCSBResult
+	for _, w := range []byte{'a', 'b', 'c', 'd', 'f'} {
+		for _, k := range Fig5Schemes() {
+			out = append(out, RunYCSB(k, w, records, s.Ops*5, s.Seed))
+		}
+	}
+	return out
+}
+
+// PrintYCSB renders the YCSB comparison.
+func PrintYCSB(w io.Writer, rows []YCSBResult) {
+	fmt.Fprintln(w, "YCSB workload mixes (extension; simulated, zipfian skew)")
+	fmt.Fprintln(w, "")
+	fmt.Fprintf(w, "  %-8s %-10s %12s %14s %12s %12s %10s\n",
+		"workload", "scheme", "avg ns/op", "kops/sim-sec", "read ns", "write ns", "L3miss/op")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-8s %-10s %12.0f %14.0f %12.0f %12.0f %10.2f\n",
+			r.Workload, r.Scheme, r.AvgLatencyNs, r.KopsPerSimSec,
+			r.ReadLatencyNs, r.WriteLatencyNs, r.AvgL3Misses)
+	}
+	fmt.Fprintln(w, "\n  (write latency is where the consistency protocols separate;")
+	fmt.Fprintln(w, "   YCSB-C is read-only, so all consistent schemes converge there)")
+}

@@ -1,0 +1,187 @@
+package hashtab
+
+import (
+	"testing"
+	"testing/quick"
+
+	"grouphash/internal/cache"
+	"grouphash/internal/layout"
+	"grouphash/internal/memsim"
+	"grouphash/internal/native"
+)
+
+// backends returns both Mem implementations so cell-protocol tests run
+// against the simulator and the native buffer alike.
+func backends() map[string]Mem {
+	return map[string]Mem{
+		"memsim": memsim.New(memsim.Config{Size: 1 << 20, Seed: 1, Geoms: cache.SmallGeometry()}),
+		"native": native.New(1 << 20),
+	}
+}
+
+func TestCellsInsertLookupDelete(t *testing.T) {
+	for name, mem := range backends() {
+		t.Run(name, func(t *testing.T) {
+			for _, keyBytes := range []int{8, 16} {
+				l := layout.ForKeySize(keyBytes)
+				c := NewCells(mem, l, 64)
+				k := layout.Key{Lo: 0xfeed, Hi: 0xbeef}
+				if c.Occupied(3) {
+					t.Fatal("fresh cell occupied")
+				}
+				c.InsertAt(3, k, 777)
+				if !c.Occupied(3) || !c.Matches(3, k) {
+					t.Fatal("inserted cell not found")
+				}
+				if c.Value(3) != 777 {
+					t.Fatalf("value = %d", c.Value(3))
+				}
+				if c.Matches(3, layout.Key{Lo: 1}) {
+					t.Fatal("matched wrong key")
+				}
+				c.DeleteAt(3)
+				if c.Occupied(3) || !c.PayloadZero(3) {
+					t.Fatal("delete left residue")
+				}
+			}
+		})
+	}
+}
+
+func TestCellsAddressingDoesNotOverlap(t *testing.T) {
+	mem := native.New(1 << 16)
+	l := layout.ForKeySize(8)
+	c := NewCells(mem, l, 16)
+	for i := uint64(0); i < 16; i++ {
+		c.InsertAt(i, layout.Key{Lo: i + 100}, i)
+	}
+	for i := uint64(0); i < 16; i++ {
+		if !c.Matches(i, layout.Key{Lo: i + 100}) || c.Value(i) != i {
+			t.Fatalf("cell %d corrupted by neighbours", i)
+		}
+	}
+}
+
+func TestInsertCommitOrderSurvivesCrash(t *testing.T) {
+	// Crash right after the payload persist but before the meta
+	// commit: the cell must read as empty (bitmap 0) regardless of
+	// which dirty words survive.
+	mem := memsim.New(memsim.Config{Size: 1 << 18, Seed: 42, Geoms: cache.SmallGeometry()})
+	l := layout.ForKeySize(8)
+	c := NewCells(mem, l, 8)
+	k := layout.Key{Lo: 5}
+	c.WritePayload(0, k, 9)
+	c.PersistPayload(0)
+	// No meta commit. Crash:
+	mem.Crash(0.5)
+	if c.Occupied(0) {
+		t.Fatal("cell committed without a meta write")
+	}
+}
+
+func TestMetaCommitIsDurable(t *testing.T) {
+	mem := memsim.New(memsim.Config{Size: 1 << 18, Seed: 43, Geoms: cache.SmallGeometry()})
+	l := layout.ForKeySize(8)
+	c := NewCells(mem, l, 8)
+	k := layout.Key{Lo: 5}
+	c.InsertAt(0, k, 9)
+	mem.Crash(0.0) // full rollback of anything unpersisted
+	if !c.Matches(0, k) || c.Value(0) != 9 {
+		t.Fatal("fully committed insert lost by crash")
+	}
+}
+
+func TestDeleteCommitOrderSurvivesCrash(t *testing.T) {
+	// Crash between the meta clear and the payload scrub: bitmap must
+	// durably read 0 (the delete is logically complete).
+	mem := memsim.New(memsim.Config{Size: 1 << 18, Seed: 44, Geoms: cache.SmallGeometry()})
+	l := layout.ForKeySize(8)
+	c := NewCells(mem, l, 8)
+	k := layout.Key{Lo: 5}
+	c.InsertAt(0, k, 9)
+	c.CommitEmpty(0)
+	// Crash before ClearPayload.
+	mem.Crash(0.0)
+	if c.Occupied(0) {
+		t.Fatal("meta clear was persisted; bitmap must be 0")
+	}
+}
+
+func TestCountPersistence(t *testing.T) {
+	mem := memsim.New(memsim.Config{Size: 1 << 18, Seed: 45, Geoms: cache.SmallGeometry()})
+	cnt := NewCount(mem)
+	cnt.Inc()
+	cnt.Inc()
+	cnt.Inc()
+	cnt.Dec()
+	if cnt.Get() != 2 {
+		t.Fatalf("count = %d, want 2", cnt.Get())
+	}
+	mem.Crash(0.0)
+	if cnt.Get() != 2 {
+		t.Fatalf("count lost on crash: %d", cnt.Get())
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	mem := native.New(1 << 16)
+	l := layout.ForKeySize(16)
+	c := NewCells(mem, l, 4)
+	k := layout.Key{Lo: 1, Hi: 2}
+	c.InsertAt(2, k, 3)
+	commit, gk, gv := c.Snapshot(2)
+	if !l.Occupied(commit) || gk != k || gv != 3 {
+		t.Fatalf("snapshot = (%#x, %+v, %d)", commit, gk, gv)
+	}
+}
+
+// Property: for any sequence of InsertAt/DeleteAt on random cells, an
+// occupied cell always reads back exactly the last key/value inserted
+// there, and an empty cell always has a zero payload.
+func TestQuickCellProtocolInvariants(t *testing.T) {
+	f := func(ops []uint32, twoWord bool) bool {
+		keyBytes := 8
+		if twoWord {
+			keyBytes = 16
+		}
+		l := layout.ForKeySize(keyBytes)
+		mem := native.New(1 << 16)
+		c := NewCells(mem, l, 32)
+		type slot struct {
+			k        layout.Key
+			v        uint64
+			occupied bool
+		}
+		shadow := make([]slot, 32)
+		for n, op := range ops {
+			i := uint64(op) % 32
+			if op%2 == 0 {
+				k := layout.Key{Lo: uint64(op)/64 + 1, Hi: uint64(n)}
+				v := uint64(n) + 1
+				if shadow[i].occupied {
+					c.DeleteAt(i) // cells require empty targets for InsertAt
+				}
+				c.InsertAt(i, k, v)
+				shadow[i] = slot{k: l.Canon(k), v: v, occupied: true}
+			} else if shadow[i].occupied {
+				c.DeleteAt(i)
+				shadow[i] = slot{}
+			}
+		}
+		for i := uint64(0); i < 32; i++ {
+			if shadow[i].occupied {
+				if !c.Matches(i, shadow[i].k) || c.Value(i) != shadow[i].v {
+					return false
+				}
+			} else {
+				if c.Occupied(i) || !c.PayloadZero(i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

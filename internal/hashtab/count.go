@@ -1,0 +1,32 @@
+package hashtab
+
+import "grouphash/internal/layout"
+
+// Count is a persistent occupied-cell counter (the paper's per-table
+// "count" field), updated with the same atomic-write-plus-persist step
+// every scheme uses in Algorithms 1 and 3.
+type Count struct {
+	Mem  Mem
+	Addr uint64
+}
+
+// NewCount allocates a count word (on its own cacheline, as in the
+// paper's Global info block) initialised to zero.
+func NewCount(mem Mem) Count {
+	return Count{Mem: mem, Addr: mem.Alloc(layout.WordSize, 64)}
+}
+
+// Get reads the counter.
+func (c Count) Get() uint64 { return c.Mem.Read8(c.Addr) }
+
+// Set atomically writes and persists the counter.
+func (c Count) Set(n uint64) {
+	c.Mem.AtomicWrite8(c.Addr, n)
+	c.Mem.Persist(c.Addr, layout.WordSize)
+}
+
+// Inc adds one (atomic update + persist).
+func (c Count) Inc() { c.Set(c.Get() + 1) }
+
+// Dec subtracts one (atomic update + persist).
+func (c Count) Dec() { c.Set(c.Get() - 1) }

@@ -1,0 +1,114 @@
+package linearprobe
+
+import (
+	"testing"
+
+	"grouphash/internal/cache"
+	"grouphash/internal/layout"
+	"grouphash/internal/memsim"
+)
+
+// The shift delete is linear probing's hardest consistency case: it
+// rewrites a whole cluster. With the WAL (Linear-L), EVERY internal
+// crash point must recover to either the pre-delete or post-delete
+// state; without the WAL, some crash points corrupt data — which is
+// exactly the paper's motivation for consistency mechanisms.
+
+// buildCluster returns a deterministic logged table with a 5-item
+// cluster whose keys all hash to the same home cell.
+func buildCluster(seed int64, logged bool) (*memsim.Memory, *Table, []layout.Key) {
+	mem := memsim.New(memsim.Config{Size: 1 << 21, Seed: seed, Geoms: cache.SmallGeometry()})
+	tab := New(mem, Options{Cells: 64, Seed: 5, Logged: logged})
+	target := tab.h.Index(1, 0)
+	var cluster []layout.Key
+	for i := uint64(1); len(cluster) < 5; i++ {
+		if tab.h.Index(i, 0) == target {
+			cluster = append(cluster, layout.Key{Lo: i})
+		}
+	}
+	for n, k := range cluster {
+		if err := tab.Insert(k, uint64(n+1)); err != nil {
+			panic(err)
+		}
+	}
+	mem.CleanShutdown()
+	return mem, tab, cluster
+}
+
+func TestLoggedShiftDeleteEveryCrashPointRecovers(t *testing.T) {
+	for _, p := range []float64{0, 0.5, 1} {
+		for offset := uint64(1); ; offset++ {
+			mem, tab, cluster := buildCluster(int64(offset), true)
+			start := mem.Counters().Accesses
+			mem.ScheduleShadowCrash(start+offset, p)
+			if !tab.Delete(cluster[0]) {
+				t.Fatal("delete failed")
+			}
+			if !mem.AdoptShadowCrash() {
+				break
+			}
+			rep, err := tab.Recover()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Outcome must be all-or-nothing: either the full
+			// pre-delete state (op rolled back) or the full post-delete
+			// state (op completed before the cut, commit included).
+			_, head := tab.Lookup(cluster[0])
+			for n, k := range cluster[1:] {
+				v, ok := tab.Lookup(k)
+				if !ok || v != uint64(n+2) {
+					t.Fatalf("p=%v offset=%d: survivor %d = (%d, %v), undone=%d",
+						p, offset, n+1, v, ok, rep.UndoneOps)
+				}
+			}
+			wantLen := uint64(4)
+			if head {
+				wantLen = 5
+			}
+			if tab.Len() != wantLen {
+				t.Fatalf("p=%v offset=%d: Len=%d head=%v", p, offset, tab.Len(), head)
+			}
+		}
+	}
+}
+
+func TestUnloggedShiftDeleteHasUnsafeCrashPoints(t *testing.T) {
+	// Demonstrate the motivation: WITHOUT logging, some crash point of
+	// the shift delete violates atomicity. Because the per-cell commit
+	// protocol still orders persists, survivors are never lost — the
+	// violation is subtler, exactly Figure 1's case 3: the cell being
+	// overwritten transiently holds the OLD key with the NEW value, so
+	// the half-deleted item resurfaces with a torn value. The test
+	// asserts this corruption IS observed at some crash point.
+	sawCorruption := false
+	for offset := uint64(1); ; offset++ {
+		mem, tab, cluster := buildCluster(int64(3000+offset), false)
+		start := mem.Counters().Accesses
+		mem.ScheduleShadowCrash(start+offset, 0)
+		if !tab.Delete(cluster[0]) {
+			t.Fatal("delete failed")
+		}
+		if !mem.AdoptShadowCrash() {
+			break
+		}
+		if _, err := tab.Recover(); err != nil {
+			t.Fatal(err)
+		}
+		// Atomicity of the interrupted delete: cluster[0] must be
+		// either fully present (value 1) or absent. A present item
+		// with any other value is torn.
+		if v, ok := tab.Lookup(cluster[0]); ok && v != 1 {
+			sawCorruption = true
+		}
+		// Survivor damage would also count.
+		for n, k := range cluster[1:] {
+			if v, ok := tab.Lookup(k); !ok || v != uint64(n+2) {
+				sawCorruption = true
+			}
+		}
+	}
+	if !sawCorruption {
+		t.Fatal("unlogged shift delete survived every crash point — the WAL would be pointless")
+	}
+}

@@ -1,0 +1,250 @@
+// Package linearprobe implements the linear-probing baseline of the
+// paper's evaluation: the classic open-addressing scheme with
+// backward-shift deletion (Knuth's Algorithm R), whose cluster
+// re-compaction is the "complicated delete process" the paper blames
+// for linear hashing's poor delete performance (§2.3, §4.2).
+//
+// Collision-resolution cells are the immediately following cells, so
+// probing is perfectly contiguous — which is why linear probing posts
+// the best insert/query latency and L3-miss numbers among the baselines
+// (Figures 2, 5, 6) despite its deletes.
+//
+// The table can run with or without a write-ahead log (the paper's
+// Linear-L vs Linear): without one, an interrupted insert or shift can
+// leave a torn item behind an occupied bitmap, which is exactly the
+// inconsistency the paper's motivation demonstrates.
+package linearprobe
+
+import (
+	"grouphash/internal/hashtab"
+	"grouphash/internal/layout"
+	"grouphash/internal/wal"
+	"grouphash/internal/xhash"
+)
+
+// Options configures a table.
+type Options struct {
+	// Cells is the table size (power of two).
+	Cells uint64
+	// KeyBytes is 8 or 16.
+	KeyBytes int
+	// Seed selects the hash function.
+	Seed uint64
+	// Logged attaches an undo WAL (the paper's Linear-L variant).
+	Logged bool
+}
+
+// Table is a linear-probing hash table over persistent memory.
+type Table struct {
+	mem   hashtab.Mem
+	l     layout.Layout
+	h     xhash.Func
+	cells hashtab.Cells
+	count hashtab.Count
+	log   *wal.Log
+}
+
+// New allocates a table in mem.
+func New(mem hashtab.Mem, opts Options) *Table {
+	if opts.Cells == 0 || opts.Cells&(opts.Cells-1) != 0 {
+		panic("linearprobe: Cells must be a nonzero power of two")
+	}
+	if opts.KeyBytes == 0 {
+		opts.KeyBytes = 8
+	}
+	l := layout.ForKeySize(opts.KeyBytes)
+	t := &Table{
+		mem:   mem,
+		l:     l,
+		h:     xhash.NewFunc(opts.Seed, opts.Cells, l.KeyWords() == 2),
+		cells: hashtab.NewCells(mem, l, opts.Cells),
+		count: hashtab.NewCount(mem),
+	}
+	if opts.Logged {
+		t.log = wal.New(mem, l)
+	}
+	return t
+}
+
+// Name implements hashtab.Table.
+func (t *Table) Name() string {
+	if t.log != nil {
+		return "linear-L"
+	}
+	return "linear"
+}
+
+// Len returns the number of stored items.
+func (t *Table) Len() uint64 { return t.count.Get() }
+
+// Capacity returns the number of cells.
+func (t *Table) Capacity() uint64 { return t.cells.N }
+
+// LoadFactor returns Len/Capacity.
+func (t *Table) LoadFactor() float64 { return float64(t.Len()) / float64(t.Capacity()) }
+
+func (t *Table) mask() uint64 { return t.cells.N - 1 }
+
+// logCell records the pre-image of cell i when logging is enabled.
+func (t *Table) logCell(i uint64) {
+	if t.log == nil {
+		return
+	}
+	meta, k, v := t.cells.Snapshot(i)
+	t.log.LogCell(t.cells.Addr(i), meta, k, v)
+}
+
+func (t *Table) commit() {
+	if t.log != nil {
+		t.log.Commit()
+	}
+}
+
+// Insert probes forward from h(k) for an empty cell and stores the item
+// there. Returns ErrTableFull when every cell is occupied.
+func (t *Table) Insert(k layout.Key, v uint64) error {
+	if !t.l.ValidKey(k) {
+		return hashtab.ErrInvalidKey
+	}
+	start := t.h.Index(k.Lo, k.Hi)
+	for d := uint64(0); d < t.cells.N; d++ {
+		i := (start + d) & t.mask()
+		if !t.cells.Occupied(i) {
+			t.logCell(i)
+			t.cells.InsertAt(i, k, v)
+			t.count.Inc()
+			t.commit()
+			return nil
+		}
+	}
+	return hashtab.ErrTableFull
+}
+
+// Lookup probes forward from h(k), stopping at the first empty cell
+// (backward-shift deletion keeps clusters gap-free, so an empty cell
+// proves absence).
+func (t *Table) Lookup(k layout.Key) (uint64, bool) {
+	start := t.h.Index(k.Lo, k.Hi)
+	for d := uint64(0); d < t.cells.N; d++ {
+		i := (start + d) & t.mask()
+		if !t.cells.Occupied(i) {
+			return 0, false
+		}
+		if t.cells.Matches(i, k) {
+			return t.cells.Value(i), true
+		}
+	}
+	return 0, false
+}
+
+// Update overwrites the value of an existing key in place (one
+// failure-atomic word; no logging needed even in the -L variant).
+func (t *Table) Update(k layout.Key, v uint64) bool {
+	start := t.h.Index(k.Lo, k.Hi)
+	for d := uint64(0); d < t.cells.N; d++ {
+		i := (start + d) & t.mask()
+		if !t.cells.Occupied(i) {
+			return false
+		}
+		if t.cells.Matches(i, k) {
+			addr := t.l.ValOff(t.cells.Addr(i))
+			t.mem.AtomicWrite8(addr, v)
+			t.mem.Persist(addr, layout.WordSize)
+			return true
+		}
+	}
+	return false
+}
+
+// Delete removes k using backward-shift compaction: after emptying the
+// target cell, subsequent cluster items that would become unreachable
+// are moved back to fill the hole. Every moved cell is an extra NVM
+// write plus persist — the delete cost the paper measures.
+func (t *Table) Delete(k layout.Key) bool {
+	start := t.h.Index(k.Lo, k.Hi)
+	hole := uint64(0)
+	found := false
+	for d := uint64(0); d < t.cells.N; d++ {
+		i := (start + d) & t.mask()
+		if !t.cells.Occupied(i) {
+			return false
+		}
+		if t.cells.Matches(i, k) {
+			hole = i
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	// Knuth Algorithm R: walk the rest of the cluster; any item whose
+	// home position does not lie cyclically in (hole, j] must be moved
+	// into the hole, which then moves to j.
+	j := hole
+	for {
+		j = (j + 1) & t.mask()
+		if !t.cells.Occupied(j) {
+			break
+		}
+		kj := t.cells.Key(j)
+		home := t.h.Index(kj.Lo, kj.Hi)
+		// If home is cyclically in (hole, j], the item at j is still
+		// reachable once the hole is emptied; otherwise move it.
+		if cyclicallyBetween(hole, home, j) {
+			continue
+		}
+		vj := t.cells.Value(j)
+		t.logCell(hole)
+		// Overwrite the hole with item j. The destination is logically
+		// empty but its bitmap is still 1 mid-cluster; we rewrite
+		// payload first and then the meta word (with j's tag) so the
+		// logged variant can always roll back.
+		t.cells.WritePayload(hole, kj, vj)
+		t.cells.PersistPayload(hole)
+		t.cells.CommitOccupied(hole, kj)
+		hole = j
+	}
+	// Empty the final hole with the bitmap-first delete protocol.
+	t.logCell(hole)
+	t.cells.DeleteAt(hole)
+	t.count.Dec()
+	t.commit()
+	return true
+}
+
+// cyclicallyBetween reports whether x lies in the half-open cyclic
+// interval (a, b].
+func cyclicallyBetween(a, x, b uint64) bool {
+	if a <= b {
+		return a < x && x <= b
+	}
+	return a < x || x <= b
+}
+
+// Recover restores consistency after a crash: roll back any in-flight
+// logged operation, scrub payloads behind zero bitmaps, and recount.
+// Without a log (the paper's plain Linear) the rollback step is
+// unavailable, and torn occupied cells cannot be repaired — the
+// motivation for the paper's consistency mechanisms.
+func (t *Table) Recover() (hashtab.RecoveryReport, error) {
+	var rep hashtab.RecoveryReport
+	if t.log != nil {
+		rep.UndoneOps = t.log.Recover()
+	}
+	n := uint64(0)
+	for i := uint64(0); i < t.cells.N; i++ {
+		rep.CellsScanned++
+		if t.cells.Occupied(i) {
+			n++
+			continue
+		}
+		if !t.cells.PayloadZero(i) {
+			t.cells.ClearPayload(i)
+			rep.CellsCleared++
+		}
+	}
+	rep.CountCorrected = t.count.Get() != n
+	t.count.Set(n)
+	return rep, nil
+}

@@ -1,0 +1,331 @@
+package linearprobe
+
+import (
+	"math/rand"
+	"testing"
+
+	"grouphash/internal/cache"
+	"grouphash/internal/layout"
+	"grouphash/internal/memsim"
+	"grouphash/internal/native"
+)
+
+func simMem(seed int64) *memsim.Memory {
+	return memsim.New(memsim.Config{Size: 8 << 20, Seed: seed, Geoms: cache.SmallGeometry()})
+}
+
+func TestBasicOps(t *testing.T) {
+	for _, logged := range []bool{false, true} {
+		mem := simMem(1)
+		tab := New(mem, Options{Cells: 1024, Logged: logged})
+		wantName := "linear"
+		if logged {
+			wantName = "linear-L"
+		}
+		if tab.Name() != wantName {
+			t.Fatalf("Name = %q", tab.Name())
+		}
+		for i := uint64(1); i <= 600; i++ {
+			if err := tab.Insert(layout.Key{Lo: i}, i*2); err != nil {
+				t.Fatalf("insert %d: %v", i, err)
+			}
+		}
+		if tab.Len() != 600 || tab.Capacity() != 1024 {
+			t.Fatalf("len=%d cap=%d", tab.Len(), tab.Capacity())
+		}
+		for i := uint64(1); i <= 600; i++ {
+			if v, ok := tab.Lookup(layout.Key{Lo: i}); !ok || v != i*2 {
+				t.Fatalf("lookup %d = (%d, %v)", i, v, ok)
+			}
+		}
+		if _, ok := tab.Lookup(layout.Key{Lo: 10000}); ok {
+			t.Fatal("phantom key")
+		}
+		for i := uint64(1); i <= 600; i += 3 {
+			if !tab.Delete(layout.Key{Lo: i}) {
+				t.Fatalf("delete %d", i)
+			}
+		}
+		for i := uint64(1); i <= 600; i++ {
+			_, ok := tab.Lookup(layout.Key{Lo: i})
+			if want := i%3 != 1; ok != want {
+				t.Fatalf("key %d presence %v, want %v", i, ok, want)
+			}
+		}
+	}
+}
+
+func TestFillsToLoadFactorOne(t *testing.T) {
+	// Linear probing has no fixed utilisation bound (the paper omits it
+	// from Figure 7 because "its load factor can be up to 1").
+	mem := native.New(1 << 20)
+	tab := New(mem, Options{Cells: 256})
+	for i := uint64(1); i <= 256; i++ {
+		if err := tab.Insert(layout.Key{Lo: i}, i); err != nil {
+			t.Fatalf("insert %d into %d-cell table: %v", i, 256, err)
+		}
+	}
+	if tab.LoadFactor() != 1.0 {
+		t.Fatalf("load factor = %v", tab.LoadFactor())
+	}
+	if err := tab.Insert(layout.Key{Lo: 1000}, 1); err == nil {
+		t.Fatal("insert into a full table succeeded")
+	}
+}
+
+func TestBackwardShiftKeepsClusterSearchable(t *testing.T) {
+	// Force a cluster: keys that all hash to the same start cell.
+	mem := native.New(1 << 20)
+	tab := New(mem, Options{Cells: 64, Seed: 5})
+	target := tab.h.Index(1, 0)
+	var cluster []layout.Key
+	for i := uint64(1); len(cluster) < 6; i++ {
+		if tab.h.Index(i, 0) == target {
+			cluster = append(cluster, layout.Key{Lo: i})
+		}
+	}
+	for n, k := range cluster {
+		if err := tab.Insert(k, uint64(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete the FIRST item: the rest must be shifted back and all
+	// remain reachable (no tombstones in this scheme).
+	if !tab.Delete(cluster[0]) {
+		t.Fatal("delete failed")
+	}
+	for n, k := range cluster[1:] {
+		if v, ok := tab.Lookup(k); !ok || v != uint64(n+1) {
+			t.Fatalf("cluster item %d lost after shift: (%d, %v)", n+1, v, ok)
+		}
+	}
+	// The cluster must have no holes: the cell at `target` must now be
+	// occupied by one of the shifted items.
+	if !tab.cells.Occupied(target) {
+		t.Fatal("backward shift left a hole at the cluster head")
+	}
+}
+
+func TestDeleteMiddleOfWrappedCluster(t *testing.T) {
+	// Cluster wrapping around the table end exercises the cyclic
+	// interval logic.
+	mem := native.New(1 << 20)
+	tab := New(mem, Options{Cells: 16, Seed: 2})
+	// Fill the last 3 and first 3 cells with a synthetic wrapped
+	// cluster: insert keys whose home is near the end.
+	var keys []layout.Key
+	for i := uint64(1); len(keys) < 6; i++ {
+		h := tab.h.Index(i, 0)
+		if h >= 13 {
+			keys = append(keys, layout.Key{Lo: i})
+			tab.Insert(layout.Key{Lo: i}, i)
+		}
+	}
+	for _, k := range keys {
+		if _, ok := tab.Lookup(k); !ok {
+			t.Fatalf("key %d missing before delete", k.Lo)
+		}
+	}
+	// Delete them one by one, checking the others stay reachable.
+	for n, k := range keys {
+		if !tab.Delete(k) {
+			t.Fatalf("delete %d failed", k.Lo)
+		}
+		for _, k2 := range keys[n+1:] {
+			if _, ok := tab.Lookup(k2); !ok {
+				t.Fatalf("key %d lost after deleting %d", k2.Lo, k.Lo)
+			}
+		}
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+}
+
+func TestCyclicallyBetween(t *testing.T) {
+	cases := []struct {
+		a, x, b uint64
+		want    bool
+	}{
+		{5, 6, 8, true},
+		{5, 8, 8, true},
+		{5, 5, 8, false},
+		{5, 3, 8, false},
+		{14, 15, 2, true},
+		{14, 0, 2, true},
+		{14, 2, 2, true},
+		{14, 14, 2, false},
+		{14, 13, 2, false},
+	}
+	for _, c := range cases {
+		if got := cyclicallyBetween(c.a, c.x, c.b); got != c.want {
+			t.Errorf("cyclicallyBetween(%d, %d, %d) = %v, want %v", c.a, c.x, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOracleFuzz(t *testing.T) {
+	mem := native.New(32 << 20)
+	tab := New(mem, Options{Cells: 2048, Seed: 9})
+	oracle := make(map[uint64]uint64)
+	rng := rand.New(rand.NewSource(17))
+	for op := 0; op < 30000; op++ {
+		key := uint64(rng.Intn(1500)) + 1
+		k := layout.Key{Lo: key}
+		switch rng.Intn(3) {
+		case 0:
+			if _, exists := oracle[key]; !exists {
+				if err := tab.Insert(k, key*3); err == nil {
+					oracle[key] = key * 3
+				}
+			}
+		case 1:
+			v, ok := tab.Lookup(k)
+			ov, ook := oracle[key]
+			if ok != ook || (ok && v != ov) {
+				t.Fatalf("op %d: lookup(%d) = (%d,%v), oracle (%d,%v)", op, key, v, ok, ov, ook)
+			}
+		case 2:
+			ok := tab.Delete(k)
+			if _, ook := oracle[key]; ok != ook {
+				t.Fatalf("op %d: delete(%d) = %v, oracle %v", op, key, ok, ook)
+			}
+			delete(oracle, key)
+		}
+	}
+	if tab.Len() != uint64(len(oracle)) {
+		t.Fatalf("Len = %d, oracle %d", tab.Len(), len(oracle))
+	}
+}
+
+func TestLoggedRecoveryAfterCrash(t *testing.T) {
+	mem := simMem(31)
+	tab := New(mem, Options{Cells: 256, Logged: true, Seed: 3})
+	committed := make(map[uint64]uint64)
+	for i := uint64(1); i <= 100; i++ {
+		tab.Insert(layout.Key{Lo: i}, i)
+		committed[i] = i
+	}
+	for i := uint64(1); i <= 100; i += 4 {
+		tab.Delete(layout.Key{Lo: i})
+		delete(committed, i)
+	}
+	// Crash between operations: the log is clean, recovery just
+	// recounts/scrubs.
+	mem.Crash(0.5)
+	rep, err := tab.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.UndoneOps != 0 {
+		t.Fatalf("clean log rolled back %d entries", rep.UndoneOps)
+	}
+	for key, v := range committed {
+		if got, ok := tab.Lookup(layout.Key{Lo: key}); !ok || got != v {
+			t.Fatalf("committed key %d lost: (%d, %v)", key, got, ok)
+		}
+	}
+	if tab.Len() != uint64(len(committed)) {
+		t.Fatalf("count %d, want %d", tab.Len(), len(committed))
+	}
+}
+
+func TestLoggedRecoveryRollsBackMidDelete(t *testing.T) {
+	// Interrupt a shift-delete halfway: the WAL must restore the full
+	// pre-delete cluster state.
+	mem := simMem(32)
+	tab := New(mem, Options{Cells: 64, Logged: true, Seed: 5})
+	target := tab.h.Index(1, 0)
+	var cluster []layout.Key
+	for i := uint64(1); len(cluster) < 5; i++ {
+		if tab.h.Index(i, 0) == target {
+			cluster = append(cluster, layout.Key{Lo: i})
+		}
+	}
+	for n, k := range cluster {
+		tab.Insert(k, uint64(n+1))
+	}
+	mem.CleanShutdown()
+
+	// Hand-drive the first part of a delete of cluster[0]: log and
+	// overwrite the head with cluster[1]'s item, then crash before the
+	// operation completes (no Commit).
+	hole := target
+	j := (target + 1) & tab.mask()
+	meta, k0, v0 := tab.cells.Snapshot(hole)
+	tab.log.LogCell(tab.cells.Addr(hole), meta, k0, v0)
+	kj := tab.cells.Key(j)
+	vj := tab.cells.Value(j)
+	tab.cells.WritePayload(hole, kj, vj)
+	tab.cells.PersistPayload(hole)
+	tab.cells.CommitOccupied(hole, kj)
+	mem.Crash(0.5)
+
+	rep, err := tab.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.UndoneOps != 1 {
+		t.Fatalf("UndoneOps = %d, want 1", rep.UndoneOps)
+	}
+	// All five items must be intact with their original values.
+	for n, k := range cluster {
+		if v, ok := tab.Lookup(k); !ok || v != uint64(n+1) {
+			t.Fatalf("item %d after rollback: (%d, %v)", n, v, ok)
+		}
+	}
+	if tab.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", tab.Len())
+	}
+}
+
+func TestLoggedInsertCostsMoreFlushes(t *testing.T) {
+	// Figure 2's premise at the scheme level.
+	memA := simMem(1)
+	plain := New(memA, Options{Cells: 1024})
+	memB := simMem(1)
+	logged := New(memB, Options{Cells: 1024, Logged: true})
+
+	cA0 := memA.Counters()
+	cB0 := memB.Counters()
+	for i := uint64(1); i <= 200; i++ {
+		plain.Insert(layout.Key{Lo: i}, i)
+		logged.Insert(layout.Key{Lo: i}, i)
+	}
+	dA := memA.Counters().Sub(cA0)
+	dB := memB.Counters().Sub(cB0)
+	if dB.Flushes <= dA.Flushes {
+		t.Fatalf("logged flushes %d <= plain %d", dB.Flushes, dA.Flushes)
+	}
+	if dB.ClockNs <= dA.ClockNs {
+		t.Fatalf("logged latency %v <= plain %v", dB.ClockNs, dA.ClockNs)
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	mem := simMem(61)
+	tab := New(mem, Options{Cells: 256, Seed: 2})
+	if tab.Update(layout.Key{Lo: 5}, 1) {
+		t.Fatal("updated an absent key")
+	}
+	tab.Insert(layout.Key{Lo: 5}, 1)
+	c0 := mem.Counters()
+	if !tab.Update(layout.Key{Lo: 5}, 2) {
+		t.Fatal("update failed")
+	}
+	d := mem.Counters().Sub(c0)
+	if d.Flushes != 1 || d.Fences != 1 {
+		t.Fatalf("update cost %d flushes / %d fences, want exactly 1/1", d.Flushes, d.Fences)
+	}
+	if v, _ := tab.Lookup(layout.Key{Lo: 5}); v != 2 {
+		t.Fatalf("value = %d", v)
+	}
+	if tab.Len() != 1 {
+		t.Fatal("update changed the count")
+	}
+	// Crash immediately after: atomic value is durable.
+	mem.Crash(0.0)
+	if v, ok := tab.Lookup(layout.Key{Lo: 5}); !ok || v != 2 {
+		t.Fatalf("updated value lost: (%d, %v)", v, ok)
+	}
+}

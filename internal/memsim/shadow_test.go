@@ -1,0 +1,130 @@
+package memsim
+
+import (
+	"testing"
+
+	"grouphash/internal/cache"
+)
+
+func TestShadowCrashCapturesExactPoint(t *testing.T) {
+	m := New(Config{Size: 1 << 16, Seed: 1, Geoms: cache.SmallGeometry()})
+	m.Write8(0, 1)
+	m.Persist(0, 8)
+	// Trigger on the NEXT access; survival 0 rolls back everything
+	// dirty at that moment.
+	m.ScheduleShadowCrash(m.Counters().Accesses+1, 0)
+	m.Write8(8, 2)  // the access that fires the trigger: word 8 dirty
+	m.Write8(16, 3) // after the trigger: not part of the image
+	m.Persist(8, 16)
+	if !m.AdoptShadowCrash() {
+		t.Fatal("trigger did not fire")
+	}
+	if m.Read8(0) != 1 {
+		t.Fatal("persisted pre-crash word lost")
+	}
+	if m.Read8(8) != 0 {
+		t.Fatalf("word dirty at the trigger survived survival=0: %d", m.Read8(8))
+	}
+	if m.Read8(16) != 0 {
+		t.Fatal("post-trigger write leaked into the crash image")
+	}
+	if m.Region().DirtyWords() != 0 {
+		t.Fatal("adopted image must be fully persisted")
+	}
+}
+
+func TestShadowCrashSurvivalOne(t *testing.T) {
+	m := New(Config{Size: 1 << 16, Seed: 2, Geoms: cache.SmallGeometry()})
+	m.ScheduleShadowCrash(m.Counters().Accesses+2, 1)
+	m.Write8(0, 7)
+	m.Write8(8, 8)
+	if !m.AdoptShadowCrash() {
+		t.Fatal("trigger did not fire")
+	}
+	if m.Read8(0) != 7 || m.Read8(8) != 8 {
+		t.Fatal("survival=1 must keep all dirty words written before the trigger")
+	}
+}
+
+func TestShadowCrashNeverTriggered(t *testing.T) {
+	m := New(Config{Size: 1 << 16, Seed: 3, Geoms: cache.SmallGeometry()})
+	m.Write8(0, 1)
+	m.ScheduleShadowCrash(m.Counters().Accesses+1000, 0.5)
+	m.Write8(8, 2)
+	if m.AdoptShadowCrash() {
+		t.Fatal("trigger fired before its scheduled event")
+	}
+	// State untouched by a non-firing schedule.
+	if m.Read8(0) != 1 || m.Read8(8) != 2 {
+		t.Fatal("non-firing schedule disturbed state")
+	}
+}
+
+func TestShadowCrashRearm(t *testing.T) {
+	m := New(Config{Size: 1 << 16, Seed: 4, Geoms: cache.SmallGeometry()})
+	m.ScheduleShadowCrash(m.Counters().Accesses+1, 1)
+	m.Write8(0, 1)
+	if !m.AdoptShadowCrash() {
+		t.Fatal("first trigger")
+	}
+	// Re-arm and fire again.
+	m.ScheduleShadowCrash(m.Counters().Accesses+1, 0)
+	m.Write8(8, 2)
+	if !m.AdoptShadowCrash() {
+		t.Fatal("second trigger")
+	}
+	if m.Read8(8) != 0 {
+		t.Fatal("second crash did not roll back")
+	}
+}
+
+func TestPrefetcherServesSequentialScan(t *testing.T) {
+	run := func(disable bool) uint64 {
+		m := New(Config{Size: 1 << 20, Seed: 5, DisablePrefetch: disable})
+		// Sequential read of 64 lines, twice the L1's reach.
+		for addr := uint64(0); addr < 64*cache.LineSize; addr += 8 {
+			m.Read8(addr)
+		}
+		return m.Counters().L3Misses
+	}
+	with := run(false)
+	without := run(true)
+	if with >= without {
+		t.Fatalf("prefetcher did not reduce misses: %d vs %d", with, without)
+	}
+	// Without prefetch every line misses; with it, only the stream
+	// head should.
+	if without != 64 {
+		t.Fatalf("prefetch-off misses = %d, want 64", without)
+	}
+	if with > 8 {
+		t.Fatalf("prefetch-on misses = %d, want a small head", with)
+	}
+}
+
+func TestPrefetcherDoesNotCrossRegionEnd(t *testing.T) {
+	m := New(Config{Size: 2 * cache.LineSize, Seed: 6})
+	// Access the last line twice: the next-line prefetch would be out
+	// of range and must be suppressed, not panic.
+	m.Read8(cache.LineSize)
+	m.Read8(cache.LineSize + 8)
+	m.Read8(0)
+	m.Read8(8)
+}
+
+func TestSetAllocatedValidation(t *testing.T) {
+	m := New(Config{Size: 1 << 12, Seed: 7, Geoms: cache.SmallGeometry()})
+	m.SetAllocated(64)
+	if m.Allocated() != 64 {
+		t.Fatal("watermark not set")
+	}
+	if a := m.Alloc(8, 8); a < 64 {
+		t.Fatal("allocation ignored restored watermark")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range watermark")
+		}
+	}()
+	m.SetAllocated(1 << 20)
+}

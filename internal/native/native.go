@@ -1,0 +1,92 @@
+// Package native provides a plain in-process implementation of the
+// hashtab.Mem interface: a flat byte buffer with no cache simulation, no
+// latency model and no crash injection. Persist calls are no-ops.
+//
+// This backend exists for two reasons:
+//
+//   - real-throughput benchmarks: testing.B benches over native memory
+//     measure the Go-level cost of the algorithms themselves, separate
+//     from the simulated machine;
+//   - the concurrent table variant, which would be meaningless on the
+//     single-clock simulator.
+//
+// On a machine with real persistent memory, this backend is also the
+// template for an mmap-backed region: the algorithms above it already
+// issue stores and persist barriers in the correct order, so only Persist
+// would need to become a real CLWB+SFENCE sequence.
+package native
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Memory is a volatile hashtab.Mem backend. It is not internally
+// synchronised; the concurrent table wrapper serialises access with
+// striped locks.
+type Memory struct {
+	buf  []byte
+	next uint64
+}
+
+// New creates a native memory of the given size in bytes.
+func New(size uint64) *Memory {
+	size = (size + 7) &^ 7
+	return &Memory{buf: make([]byte, size)}
+}
+
+// Size returns the buffer size in bytes.
+func (m *Memory) Size() uint64 { return uint64(len(m.buf)) }
+
+func (m *Memory) check(addr, n uint64) {
+	if addr+n > uint64(len(m.buf)) || addr+n < addr {
+		panic(fmt.Sprintf("native: access [%d,%d) out of range of %d-byte memory", addr, addr+n, len(m.buf)))
+	}
+}
+
+// Read8 loads an aligned 8-byte word.
+func (m *Memory) Read8(addr uint64) uint64 {
+	m.check(addr, 8)
+	if addr%8 != 0 {
+		panic(fmt.Sprintf("native: misaligned load at %d", addr))
+	}
+	return binary.LittleEndian.Uint64(m.buf[addr : addr+8])
+}
+
+// Write8 stores an aligned 8-byte word.
+func (m *Memory) Write8(addr, val uint64) {
+	m.check(addr, 8)
+	if addr%8 != 0 {
+		panic(fmt.Sprintf("native: misaligned store at %d", addr))
+	}
+	binary.LittleEndian.PutUint64(m.buf[addr:addr+8], val)
+}
+
+// AtomicWrite8 stores an aligned 8-byte word; on this backend it is the
+// same as Write8 (single-writer sections are guaranteed by the callers'
+// locking).
+func (m *Memory) AtomicWrite8(addr, val uint64) { m.Write8(addr, val) }
+
+// Persist is a no-op: native memory has no persistence domain.
+func (m *Memory) Persist(addr, n uint64) {}
+
+// Alloc reserves size bytes at the given power-of-two alignment. Unlike
+// the fixed-size simulated NVM region, native memory models ordinary
+// process memory: the buffer grows on demand (doubling), so repeated
+// table expansions never exhaust it.
+func (m *Memory) Alloc(size, align uint64) uint64 {
+	if align == 0 || align&(align-1) != 0 {
+		panic(fmt.Sprintf("native: alignment %d is not a power of two", align))
+	}
+	addr := (m.next + align - 1) &^ (align - 1)
+	if addr+size < addr {
+		panic(fmt.Sprintf("native: allocation of %d bytes overflows the address space", size))
+	}
+	for addr+size > uint64(len(m.buf)) {
+		grown := make([]byte, max(uint64(len(m.buf))*2, addr+size))
+		copy(grown, m.buf)
+		m.buf = grown
+	}
+	m.next = addr + size
+	return addr
+}

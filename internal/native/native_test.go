@@ -1,0 +1,100 @@
+package native
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	m := New(1 << 12)
+	m.Write8(0, 5)
+	m.AtomicWrite8(8, 6)
+	if m.Read8(0) != 5 || m.Read8(8) != 6 {
+		t.Fatal("word round trip failed")
+	}
+	m.Persist(0, 16) // no-op, must not panic
+	if m.Size() != 1<<12 {
+		t.Fatalf("Size = %d", m.Size())
+	}
+}
+
+func TestSizeRounding(t *testing.T) {
+	if New(13).Size() != 16 {
+		t.Fatal("size must round up to a word")
+	}
+}
+
+func TestMisalignedPanics(t *testing.T) {
+	m := New(64)
+	for _, f := range []func(){
+		func() { m.Read8(3) },
+		func() { m.Write8(5, 1) },
+		func() { m.Read8(1 << 20) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAllocGrowsOnDemand(t *testing.T) {
+	m := New(64)
+	a := m.Alloc(1024, 8) // larger than the initial buffer
+	m.Write8(a+1016, 42)
+	if m.Read8(a+1016) != 42 {
+		t.Fatal("grown region unusable")
+	}
+	b := m.Alloc(1<<16, 64)
+	if b%64 != 0 {
+		t.Fatal("alignment lost after growth")
+	}
+	m.Write8(b, 1)
+}
+
+func TestAllocPreservesContents(t *testing.T) {
+	m := New(64)
+	a := m.Alloc(8, 8)
+	m.Write8(a, 1234)
+	m.Alloc(1<<20, 8) // forces growth
+	if m.Read8(a) != 1234 {
+		t.Fatal("growth lost earlier contents")
+	}
+}
+
+func TestBadAlignmentPanics(t *testing.T) {
+	m := New(64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Alloc(8, 12)
+}
+
+// Property: disjoint allocations never alias.
+func TestQuickAllocationsDisjoint(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		m := New(1 << 10)
+		type span struct{ a, n uint64 }
+		var spans []span
+		for _, sz := range sizes {
+			n := uint64(sz)%512 + 8
+			a := m.Alloc(n, 8)
+			for _, s := range spans {
+				if a < s.a+s.n && s.a < a+n {
+					return false
+				}
+			}
+			spans = append(spans, span{a, n})
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,361 @@
+// Package nvm models a byte-addressable non-volatile memory region with
+// the failure semantics assumed by the group-hashing paper (ICPP 2018):
+//
+//   - The failure-atomicity unit is an aligned 8-byte word. A single
+//     aligned 8-byte store is either entirely old or entirely new after a
+//     crash; it is never torn. Larger writes tear at word boundaries.
+//   - Ordinary stores land in the (volatile) CPU cache and reach the
+//     persistence domain at an arbitrary later time: on a crash, each
+//     un-persisted dirty word independently may or may not have made it
+//     to NVM. This models both write-back caching and the reordering
+//     performed by the CPU and memory controller.
+//   - A persist barrier (clflush of the covered lines followed by an
+//     mfence, driven by the memsim layer) makes a range durable before
+//     the program proceeds.
+//
+// The region keeps the current (volatile) image in a flat byte slice and
+// tracks, for every dirty word, the value it last had in the persistence
+// domain. The persisted image is therefore implicit: it equals the
+// volatile image with the dirty words rolled back. Crash() materialises
+// a legal post-failure image by rolling back a pseudo-random subset of
+// the dirty words, seeded for reproducibility.
+//
+// Addresses are byte offsets from the start of the region. The zero
+// offset is valid; the region performs its own bounds checking and
+// panics on out-of-range access, mirroring a wild pointer in C.
+package nvm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// WordSize is the failure-atomicity unit of the modelled NVM, in bytes.
+// The paper (and the persistent-memory literature it cites, e.g. PMFS,
+// FAST&FAIR, WORT) assumes aligned 8-byte stores are failure atomic.
+const WordSize = 8
+
+// Stats aggregates write-traffic counters for a region. All counters are
+// cumulative since the region was created (or since ResetStats).
+type Stats struct {
+	// Stores is the number of store operations of any size issued to
+	// the region, including atomic stores.
+	Stores uint64
+	// BytesStored is the total payload of those stores.
+	BytesStored uint64
+	// WordsDirtied counts transitions of a clean word to dirty. A word
+	// overwritten repeatedly between persists is counted once; this is
+	// the number of words that must eventually be written to the NVM
+	// media and is the paper's notion of "NVM writes".
+	WordsDirtied uint64
+	// WordsPersisted counts dirty words made durable by an explicit
+	// persist (flush) as opposed to a cache eviction.
+	WordsPersisted uint64
+	// WordsEvicted counts dirty words made durable because the cache
+	// model evicted their line.
+	WordsEvicted uint64
+	// AtomicStores counts 8-byte failure-atomic stores.
+	AtomicStores uint64
+}
+
+// Region is an emulated NVM device. It is not safe for concurrent use;
+// the memsim layer (and the concurrent table wrapper above it) serialise
+// access, matching the single-memory-controller view of the hardware.
+type Region struct {
+	cur   []byte
+	old   map[uint64]uint64 // dirty word offset -> persisted (old) value
+	stats Stats
+	rng   *rand.Rand
+	wear  []uint32 // per-word media-write counters (nil = tracking off)
+}
+
+// NewRegion creates a region of the given size in bytes, rounded up to a
+// whole number of words, with all bytes zero and everything persisted.
+// The seed drives crash injection only.
+func NewRegion(size uint64, seed int64) *Region {
+	size = (size + WordSize - 1) &^ uint64(WordSize-1)
+	return &Region{
+		cur: make([]byte, size),
+		old: make(map[uint64]uint64),
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Size returns the region size in bytes.
+func (r *Region) Size() uint64 { return uint64(len(r.cur)) }
+
+// Stats returns a copy of the current counters.
+func (r *Region) Stats() Stats { return r.stats }
+
+// ResetStats zeroes all counters.
+func (r *Region) ResetStats() { r.stats = Stats{} }
+
+// DirtyWords returns the number of words whose latest value has not yet
+// reached the persistence domain.
+func (r *Region) DirtyWords() int { return len(r.old) }
+
+func (r *Region) check(addr, n uint64) {
+	if addr+n > uint64(len(r.cur)) || addr+n < addr {
+		panic(fmt.Sprintf("nvm: access [%d,%d) out of range of %d-byte region", addr, addr+n, len(r.cur)))
+	}
+}
+
+// wordAt returns the current value of the aligned word containing addr.
+func (r *Region) wordAt(w uint64) uint64 {
+	return binary.LittleEndian.Uint64(r.cur[w : w+WordSize])
+}
+
+// touchWord records the persisted value of word w before it is first
+// modified, marking it dirty.
+func (r *Region) touchWord(w uint64) {
+	if _, dirty := r.old[w]; !dirty {
+		r.old[w] = r.wordAt(w)
+		r.stats.WordsDirtied++
+	}
+}
+
+// Load8 reads the aligned 8-byte word at addr from the volatile image.
+func (r *Region) Load8(addr uint64) uint64 {
+	r.check(addr, WordSize)
+	if addr%WordSize != 0 {
+		panic(fmt.Sprintf("nvm: misaligned 8-byte load at %d", addr))
+	}
+	return r.wordAt(addr)
+}
+
+// Store8 writes an aligned 8-byte word. The store is failure atomic by
+// construction (it covers exactly one word) but, like any store, is not
+// durable until persisted or evicted.
+func (r *Region) Store8(addr, val uint64) {
+	r.check(addr, WordSize)
+	if addr%WordSize != 0 {
+		panic(fmt.Sprintf("nvm: misaligned 8-byte store at %d", addr))
+	}
+	r.touchWord(addr)
+	binary.LittleEndian.PutUint64(r.cur[addr:addr+WordSize], val)
+	r.stats.Stores++
+	r.stats.BytesStored += WordSize
+}
+
+// AtomicStore8 is Store8 with the additional documented guarantee that
+// the word is the commit point of a failure-atomic update protocol. The
+// region models all aligned word stores as atomic, so the distinction is
+// purely statistical, but keeping it separate lets the harness count the
+// paper's "8-byte failure-atomic writes".
+func (r *Region) AtomicStore8(addr, val uint64) {
+	r.Store8(addr, val)
+	r.stats.Stores-- // re-classified below
+	r.stats.AtomicStores++
+	r.stats.Stores++
+}
+
+// Load copies len(buf) bytes at addr from the volatile image into buf.
+func (r *Region) Load(addr uint64, buf []byte) {
+	r.check(addr, uint64(len(buf)))
+	copy(buf, r.cur[addr:addr+uint64(len(buf))])
+}
+
+// Store writes buf at addr. The write tears at word boundaries on a
+// crash: each covered word is tracked independently.
+func (r *Region) Store(addr uint64, buf []byte) {
+	n := uint64(len(buf))
+	r.check(addr, n)
+	if n == 0 {
+		return
+	}
+	first := addr &^ uint64(WordSize-1)
+	last := (addr + n - 1) &^ uint64(WordSize-1)
+	for w := first; w <= last; w += WordSize {
+		r.touchWord(w)
+	}
+	copy(r.cur[addr:addr+n], buf)
+	r.stats.Stores++
+	r.stats.BytesStored += n
+}
+
+// PersistRange makes [addr, addr+n) durable, as if every covered
+// cacheline had been flushed and a fence executed. It returns the number
+// of dirty words persisted, which the latency model charges for.
+func (r *Region) PersistRange(addr, n uint64) int {
+	if n == 0 {
+		return 0
+	}
+	r.check(addr, n)
+	first := addr &^ uint64(WordSize-1)
+	last := (addr + n - 1) &^ uint64(WordSize-1)
+	persisted := 0
+	for w := first; w <= last; w += WordSize {
+		if _, dirty := r.old[w]; dirty {
+			delete(r.old, w)
+			r.recordWear(w)
+			persisted++
+		}
+	}
+	r.stats.WordsPersisted += uint64(persisted)
+	return persisted
+}
+
+// Evict makes [addr, addr+n) durable because the cache model wrote the
+// line back. Semantically identical to PersistRange but counted apart:
+// evictions are silent background traffic, not consistency-protocol cost.
+func (r *Region) Evict(addr, n uint64) int {
+	if n == 0 {
+		return 0
+	}
+	r.check(addr, n)
+	first := addr &^ uint64(WordSize-1)
+	last := (addr + n - 1) &^ uint64(WordSize-1)
+	evicted := 0
+	for w := first; w <= last; w += WordSize {
+		if _, dirty := r.old[w]; dirty {
+			delete(r.old, w)
+			r.recordWear(w)
+			evicted++
+		}
+	}
+	r.stats.WordsEvicted += uint64(evicted)
+	return evicted
+}
+
+// DirtyInRange reports the number of dirty words in [addr, addr+n).
+func (r *Region) DirtyInRange(addr, n uint64) int {
+	if n == 0 {
+		return 0
+	}
+	r.check(addr, n)
+	first := addr &^ uint64(WordSize-1)
+	last := (addr + n - 1) &^ uint64(WordSize-1)
+	dirty := 0
+	for w := first; w <= last; w += WordSize {
+		if _, ok := r.old[w]; ok {
+			dirty++
+		}
+	}
+	return dirty
+}
+
+// PersistedLoad8 reads the aligned word at addr as it currently stands
+// in the persistence domain — i.e. the value that would survive an
+// immediate crash in which no further dirty words were written back.
+// Intended for tests and verification tooling.
+func (r *Region) PersistedLoad8(addr uint64) uint64 {
+	r.check(addr, WordSize)
+	w := addr &^ uint64(WordSize-1)
+	if old, dirty := r.old[w]; dirty {
+		return old
+	}
+	return r.wordAt(w)
+}
+
+// CrashOutcome describes what Crash did, for logging and tests.
+type CrashOutcome struct {
+	// DirtyWords is how many words were un-persisted at the crash.
+	DirtyWords int
+	// Survived is how many of those happened to reach NVM anyway
+	// (e.g. were in flight or evicted just before power was cut).
+	Survived int
+	// RolledBack is how many reverted to their persisted value.
+	RolledBack int
+}
+
+// Crash simulates a power failure: every dirty word independently either
+// survives (its new value is deemed to have reached NVM before the
+// failure) or rolls back to its persisted value. survivalProb in [0,1]
+// sets the per-word survival probability; 0.5 exercises the most
+// adversarial interleavings. After Crash the region is fully persisted
+// and represents the post-reboot NVM contents; volatile CPU state is
+// gone by definition.
+//
+// The dirty set is visited in sorted address order so outcomes are a
+// deterministic function of (seed, history).
+func (r *Region) Crash(survivalProb float64) CrashOutcome {
+	words := make([]uint64, 0, len(r.old))
+	for w := range r.old {
+		words = append(words, w)
+	}
+	sort.Slice(words, func(i, j int) bool { return words[i] < words[j] })
+	out := CrashOutcome{DirtyWords: len(words)}
+	for _, w := range words {
+		if r.rng.Float64() < survivalProb {
+			out.Survived++
+			r.recordWear(w)
+		} else {
+			binary.LittleEndian.PutUint64(r.cur[w:w+WordSize], r.old[w])
+			out.RolledBack++
+		}
+		delete(r.old, w)
+	}
+	return out
+}
+
+// SnapshotPersisted materialises a legal post-failure image of the
+// region WITHOUT disturbing its live state: a copy of the volatile
+// image in which each currently dirty word has independently either
+// kept its new value (probability survivalProb) or been rolled back to
+// its persisted value. Together with Restore, this lets a harness
+// simulate a crash at an exact mid-operation point: snapshot at the
+// trigger, let the operation finish, then restore the snapshot.
+func (r *Region) SnapshotPersisted(survivalProb float64) []byte {
+	img := make([]byte, len(r.cur))
+	copy(img, r.cur)
+	words := make([]uint64, 0, len(r.old))
+	for w := range r.old {
+		words = append(words, w)
+	}
+	sort.Slice(words, func(i, j int) bool { return words[i] < words[j] })
+	for _, w := range words {
+		if r.rng.Float64() >= survivalProb {
+			binary.LittleEndian.PutUint64(img[w:w+WordSize], r.old[w])
+		}
+	}
+	return img
+}
+
+// Restore replaces the region's contents with a previously captured
+// post-failure image and marks everything persisted, completing a
+// simulated crash. The image must be exactly the region's size.
+func (r *Region) Restore(img []byte) {
+	if len(img) != len(r.cur) {
+		panic(fmt.Sprintf("nvm: restore image is %d bytes, region is %d", len(img), len(r.cur)))
+	}
+	copy(r.cur, img)
+	r.old = make(map[uint64]uint64)
+}
+
+// Image returns a copy of the region's volatile contents. Callers that
+// want a durable image must persist first (PersistAll / the memsim
+// layer's CleanShutdown); Image panics if dirty words remain, because
+// writing a half-persisted image to stable storage would fabricate
+// durability the simulated machine never provided.
+func (r *Region) Image() []byte {
+	if len(r.old) != 0 {
+		panic(fmt.Sprintf("nvm: Image with %d dirty words; persist first", len(r.old)))
+	}
+	img := make([]byte, len(r.cur))
+	copy(img, r.cur)
+	return img
+}
+
+// SetImage replaces the region contents with img (same size required)
+// and marks everything persisted — loading a stored NVM image at boot.
+func (r *Region) SetImage(img []byte) {
+	if len(img) != len(r.cur) {
+		panic(fmt.Sprintf("nvm: image is %d bytes, region is %d", len(img), len(r.cur)))
+	}
+	copy(r.cur, img)
+	r.old = make(map[uint64]uint64)
+}
+
+// PersistAll flushes every dirty word, modelling a clean shutdown.
+// It returns the number of words persisted.
+func (r *Region) PersistAll() int {
+	n := len(r.old)
+	for w := range r.old {
+		r.recordWear(w)
+	}
+	r.stats.WordsPersisted += uint64(n)
+	r.old = make(map[uint64]uint64)
+	return n
+}

@@ -1,0 +1,49 @@
+package pathhash
+
+import (
+	"testing"
+
+	"grouphash/internal/cache"
+	"grouphash/internal/layout"
+	"grouphash/internal/memsim"
+)
+
+// Exhaustive crash-point coverage for the logged path-hashing insert:
+// with the WAL, every internal memory event of an insert must recover
+// to an all-or-nothing outcome with all bystanders intact.
+func TestLoggedInsertEveryCrashPointRecovers(t *testing.T) {
+	for _, p := range []float64{0, 0.5, 1} {
+		for offset := uint64(1); ; offset++ {
+			mem := memsim.New(memsim.Config{Size: 1 << 21, Seed: int64(offset), Geoms: cache.SmallGeometry()})
+			tab := New(mem, Options{Cells: 64, Levels: 5, Logged: true, Seed: 7})
+			for i := uint64(1); i <= 30; i++ {
+				if err := tab.Insert(layout.Key{Lo: i}, i); err != nil {
+					t.Fatal(err)
+				}
+			}
+			mem.CleanShutdown()
+			start := mem.Counters().Accesses
+			mem.ScheduleShadowCrash(start+offset, p)
+			if err := tab.Insert(layout.Key{Lo: 777}, 42); err != nil {
+				t.Fatal(err)
+			}
+			if !mem.AdoptShadowCrash() {
+				break
+			}
+			if _, err := tab.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			if v, ok := tab.Lookup(layout.Key{Lo: 777}); ok && v != 42 {
+				t.Fatalf("p=%v offset=%d: torn insert value %d", p, offset, v)
+			}
+			for i := uint64(1); i <= 30; i++ {
+				if v, ok := tab.Lookup(layout.Key{Lo: i}); !ok || v != i {
+					t.Fatalf("p=%v offset=%d: bystander %d = (%d, %v)", p, offset, i, v, ok)
+				}
+			}
+			if tab.Len() != 30 && tab.Len() != 31 {
+				t.Fatalf("p=%v offset=%d: count %d", p, offset, tab.Len())
+			}
+		}
+	}
+}

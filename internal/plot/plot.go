@@ -1,0 +1,122 @@
+// Package plot renders horizontal bar charts as plain text, so ghbench
+// can echo the paper's figures in a terminal — grouped bars per
+// category, scaled to the terminal width, with value labels. Stdlib
+// only, no colour codes (pipe-safe).
+//
+//	RandomNum lf 0.50 — insert latency (ns)
+//	  linear-L  ████████████████████████████████████▌ 2508
+//	  pfht-L    ██████████████████████████████████████▊ 2657
+//	  path-L    ██████████████████████████████████████▏ 2613
+//	  group     ████████████████████▊ 1420
+package plot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// eighth-block runes give sub-character bar resolution.
+var eighths = []rune{' ', '▏', '▎', '▍', '▌', '▋', '▊', '▉'}
+
+// Bar is one labelled value.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// Chart is a titled group of bars sharing a scale.
+type Chart struct {
+	Title string
+	Bars  []Bar
+	// Width is the maximum bar width in character cells (default 40).
+	Width int
+	// Format renders the value label; default "%.4g".
+	Format string
+}
+
+// Render writes the chart to w.
+func (c Chart) Render(w io.Writer) {
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	format := c.Format
+	if format == "" {
+		format = "%.4g"
+	}
+	if c.Title != "" {
+		fmt.Fprintf(w, "%s\n", c.Title)
+	}
+	maxVal := 0.0
+	labelWidth := 0
+	for _, b := range c.Bars {
+		if b.Value > maxVal {
+			maxVal = b.Value
+		}
+		if len(b.Label) > labelWidth {
+			labelWidth = len(b.Label)
+		}
+	}
+	for _, b := range c.Bars {
+		fmt.Fprintf(w, "  %-*s %s %s\n",
+			labelWidth, b.Label,
+			bar(b.Value, maxVal, width),
+			fmt.Sprintf(format, b.Value))
+	}
+}
+
+// bar builds the block-character run for value on a [0, max] scale.
+func bar(value, max float64, width int) string {
+	if max <= 0 || value <= 0 {
+		return ""
+	}
+	cells := value / max * float64(width)
+	full := int(cells)
+	frac := cells - float64(full)
+	var sb strings.Builder
+	sb.WriteString(strings.Repeat("█", full))
+	if idx := int(frac * 8); idx > 0 {
+		sb.WriteRune(eighths[idx])
+	}
+	return sb.String()
+}
+
+// Grouped renders several charts that share one value scale — the
+// paper's side-by-side sub-figures. Each chart keeps its own title but
+// bars are scaled against the global maximum, so lengths compare
+// across groups.
+func Grouped(w io.Writer, charts []Chart, width int, format string) {
+	if width <= 0 {
+		width = 40
+	}
+	if format == "" {
+		format = "%.4g"
+	}
+	maxVal := 0.0
+	labelWidth := 0
+	for _, c := range charts {
+		for _, b := range c.Bars {
+			if b.Value > maxVal {
+				maxVal = b.Value
+			}
+			if len(b.Label) > labelWidth {
+				labelWidth = len(b.Label)
+			}
+		}
+	}
+	for i, c := range charts {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		if c.Title != "" {
+			fmt.Fprintf(w, "%s\n", c.Title)
+		}
+		for _, b := range c.Bars {
+			fmt.Fprintf(w, "  %-*s %s %s\n",
+				labelWidth, b.Label,
+				bar(b.Value, maxVal, width),
+				fmt.Sprintf(format, b.Value))
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	var buf bytes.Buffer
+	Chart{
+		Title: "latency",
+		Bars: []Bar{
+			{Label: "group", Value: 1400},
+			{Label: "linear-L", Value: 2800},
+		},
+		Width: 20,
+	}.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "latency") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// The max bar fills the width; the half bar is about half.
+	full := strings.Count(lines[2], "█")
+	half := strings.Count(lines[1], "█")
+	if full != 20 {
+		t.Fatalf("max bar = %d cells, want 20", full)
+	}
+	if half < 9 || half > 11 {
+		t.Fatalf("half bar = %d cells", half)
+	}
+	if !strings.Contains(lines[1], "1400") || !strings.Contains(lines[2], "2800") {
+		t.Fatal("value labels missing")
+	}
+}
+
+func TestRenderZeroAndEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	Chart{Bars: []Bar{{Label: "zero", Value: 0}}}.Render(&buf)
+	if strings.Contains(buf.String(), "█") {
+		t.Fatal("zero value drew a bar")
+	}
+	buf.Reset()
+	Chart{}.Render(&buf) // no bars: no panic
+}
+
+func TestFractionalEighths(t *testing.T) {
+	var buf bytes.Buffer
+	Chart{
+		Bars:  []Bar{{Label: "a", Value: 15}, {Label: "b", Value: 16}},
+		Width: 4,
+	}.Render(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	// 15/16 of 4 cells = 3.75 cells: 3 full + the 6/8 block.
+	if !strings.Contains(lines[0], "███▊") {
+		t.Fatalf("fractional bar = %q", lines[0])
+	}
+}
+
+func TestLabelAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	Chart{
+		Bars:  []Bar{{Label: "x", Value: 1}, {Label: "longer-label", Value: 1}},
+		Width: 5,
+	}.Render(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	// Bars must start at the same column.
+	if strings.Index(lines[0], "█") != strings.Index(lines[1], "█") {
+		t.Fatalf("bars misaligned:\n%s", buf.String())
+	}
+}
+
+func TestGroupedSharedScale(t *testing.T) {
+	var buf bytes.Buffer
+	Grouped(&buf, []Chart{
+		{Title: "g1", Bars: []Bar{{Label: "a", Value: 10}}},
+		{Title: "g2", Bars: []Bar{{Label: "b", Value: 20}}},
+	}, 10, "%.0f")
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	var aBar, bBar int
+	for _, l := range lines {
+		if strings.Contains(l, "a ") {
+			aBar = strings.Count(l, "█")
+		}
+		if strings.Contains(l, "b ") {
+			bBar = strings.Count(l, "█")
+		}
+	}
+	if bBar != 10 || aBar != 5 {
+		t.Fatalf("shared scale broken: a=%d b=%d", aBar, bBar)
+	}
+	if !strings.Contains(buf.String(), "g1") || !strings.Contains(buf.String(), "g2") {
+		t.Fatal("titles missing")
+	}
+}

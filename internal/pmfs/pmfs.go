@@ -1,0 +1,100 @@
+// Package pmfs persists simulated-NVM images to ordinary files — the
+// role PMFS plays in the paper's setup (§4.1: "a portion of the DRAM
+// region as NVM ... managed by PMFS, which gives direct access to the
+// memory region with mmap"). On a machine without persistent memory,
+// the closest faithful analogue of a PMFS file is an image file: the
+// region's durable bytes plus the metadata needed to remap it — the
+// region size, the allocator watermark, and the application's root
+// address (the table header).
+//
+// Saves are crash-safe in the ordinary file-system sense: the image is
+// written to a temporary file, fsynced, and renamed over the target, so
+// a crash during Save leaves either the old image or the new one.
+package pmfs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"grouphash/internal/memsim"
+)
+
+// Magic identifies a pmfs image file.
+const Magic = 0x504d46535f474801 // "PMFS_GH" + format version 1
+
+// header layout (words): magic, region size, allocator watermark, root.
+const headerWords = 4
+
+// Save writes mem's durable image to path, recording root (the
+// application's persistent root address, e.g. the table header) in the
+// image header. The machine is cleanly shut down first — every dirty
+// line is written back — because an image may only contain durable
+// state.
+func Save(path string, mem *memsim.Memory, root uint64) error {
+	mem.CleanShutdown()
+	img := mem.Region().Image()
+
+	buf := make([]byte, headerWords*8+len(img))
+	binary.LittleEndian.PutUint64(buf[0:8], Magic)
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(len(img)))
+	binary.LittleEndian.PutUint64(buf[16:24], mem.Allocated())
+	binary.LittleEndian.PutUint64(buf[24:32], root)
+	copy(buf[headerWords*8:], img)
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".pmfs-*")
+	if err != nil {
+		return fmt.Errorf("pmfs: creating temp image: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after successful rename
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("pmfs: writing image: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("pmfs: syncing image: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("pmfs: closing image: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("pmfs: publishing image: %w", err)
+	}
+	return nil
+}
+
+// Load reads an image file and builds a fresh simulated machine holding
+// its contents, returning the machine and the stored root address. The
+// supplied config's Size is overridden by the image's region size; the
+// other knobs (seed, latency, geometry) apply to the new machine.
+func Load(path string, cfg memsim.Config) (*memsim.Memory, uint64, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("pmfs: reading image: %w", err)
+	}
+	if len(buf) < headerWords*8 {
+		return nil, 0, fmt.Errorf("pmfs: image truncated (%d bytes)", len(buf))
+	}
+	if got := binary.LittleEndian.Uint64(buf[0:8]); got != Magic {
+		return nil, 0, fmt.Errorf("pmfs: bad magic %#x", got)
+	}
+	size := binary.LittleEndian.Uint64(buf[8:16])
+	next := binary.LittleEndian.Uint64(buf[16:24])
+	root := binary.LittleEndian.Uint64(buf[24:32])
+	img := buf[headerWords*8:]
+	if uint64(len(img)) != size {
+		return nil, 0, fmt.Errorf("pmfs: image body is %d bytes, header says %d", len(img), size)
+	}
+	if next > size {
+		return nil, 0, fmt.Errorf("pmfs: corrupt watermark %d for %d-byte region", next, size)
+	}
+	cfg.Size = size
+	mem := memsim.New(cfg)
+	mem.Region().SetImage(img)
+	mem.SetAllocated(next)
+	return mem, root, nil
+}

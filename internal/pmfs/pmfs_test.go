@@ -1,0 +1,141 @@
+package pmfs
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"grouphash/internal/cache"
+	"grouphash/internal/core"
+	"grouphash/internal/layout"
+	"grouphash/internal/memsim"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "table.img")
+
+	mem := memsim.New(memsim.Config{Size: 1 << 20, Seed: 1, Geoms: cache.SmallGeometry()})
+	tab, err := core.Create(mem, core.Options{Cells: 1024, GroupSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 500; i++ {
+		if err := tab.Insert(layout.Key{Lo: i}, i*2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := Save(path, mem, tab.Header()); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Reboot": an entirely new machine from the image.
+	mem2, root, err := Load(path, memsim.Config{Seed: 2, Geoms: cache.SmallGeometry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab2, err := core.Open(mem2, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab2.Len() != 500 {
+		t.Fatalf("reloaded Len = %d", tab2.Len())
+	}
+	for i := uint64(1); i <= 500; i++ {
+		if v, ok := tab2.Lookup(layout.Key{Lo: i}); !ok || v != i*2 {
+			t.Fatalf("reloaded key %d = (%d, %v)", i, v, ok)
+		}
+	}
+	if bad := tab2.CheckConsistency(); len(bad) != 0 {
+		t.Fatalf("inconsistencies after reload: %v", bad)
+	}
+	// The allocator must continue from the stored watermark, not
+	// clobber the table.
+	if mem2.Allocated() != mem.Allocated() {
+		t.Fatalf("watermark %d, want %d", mem2.Allocated(), mem.Allocated())
+	}
+	addr := mem2.Alloc(64, 8)
+	if addr < mem.Allocated() {
+		t.Fatal("new allocation overlaps reloaded structures")
+	}
+}
+
+func TestSavePersistsDirtyState(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dirty.img")
+	mem := memsim.New(memsim.Config{Size: 1 << 16, Seed: 1, Geoms: cache.SmallGeometry()})
+	mem.Write8(0, 99) // dirty, never explicitly persisted
+	if err := Save(path, mem, 0); err != nil {
+		t.Fatal(err)
+	}
+	mem2, _, err := Load(path, memsim.Config{Seed: 1, Geoms: cache.SmallGeometry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem2.Read8(0) != 99 {
+		t.Fatal("Save must clean-shutdown first")
+	}
+}
+
+func TestLoadRejectsCorruptImages(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string][]byte{
+		"truncated": make([]byte, 8),
+		"badmagic":  make([]byte, 64),
+	}
+	// Bad watermark: valid magic, size 8, watermark 4096.
+	bw := make([]byte, 32+8)
+	binary.LittleEndian.PutUint64(bw[0:8], Magic)
+	binary.LittleEndian.PutUint64(bw[8:16], 8)
+	binary.LittleEndian.PutUint64(bw[16:24], 4096)
+	cases["badwatermark"] = bw
+	// Size mismatch: header says 16, body has 8.
+	sm := make([]byte, 32+8)
+	binary.LittleEndian.PutUint64(sm[0:8], Magic)
+	binary.LittleEndian.PutUint64(sm[8:16], 16)
+	cases["sizemismatch"] = sm
+
+	for name, data := range cases {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Load(p, memsim.Config{}); err == nil {
+			t.Errorf("%s: corrupt image accepted", name)
+		}
+	}
+	if _, _, err := Load(filepath.Join(dir, "missing"), memsim.Config{}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestSaveIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "atomic.img")
+	mem := memsim.New(memsim.Config{Size: 1 << 16, Seed: 1, Geoms: cache.SmallGeometry()})
+	mem.Write8(0, 1)
+	if err := Save(path, mem, 0); err != nil {
+		t.Fatal(err)
+	}
+	// A second save over the same path succeeds and leaves no temp
+	// droppings.
+	mem.Write8(0, 2)
+	if err := Save(path, mem, 0); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want just the image", len(entries))
+	}
+	mem2, _, err := Load(path, memsim.Config{Geoms: cache.SmallGeometry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem2.Read8(0) != 2 {
+		t.Fatal("second save not visible")
+	}
+}

@@ -1,0 +1,209 @@
+// Package trace provides the three workloads of the paper's evaluation
+// (§4.1) as deterministic, endless item streams:
+//
+//   - RandomNum: random integers in [0, 2^26), 8-byte keys — the
+//     microbenchmark trace of SmartCuckoo/path hashing.
+//   - Bag-of-Words: (DocID, WordID) pairs with Zipf-distributed word
+//     frequencies, 8-byte keys, standing in for the UCI PubMed
+//     collection (offline substitution; see DESIGN.md).
+//   - Fingerprint: 16-byte MD5 digests of a synthetic file stream,
+//     standing in for the FSL Mac-server snapshot trace.
+//
+// Traces are infinite: hash-table experiments consume exactly as many
+// items as a target load factor requires, so generators never run dry.
+// Reset rewinds a trace to its first item; two traces with the same
+// seed produce identical streams.
+package trace
+
+import (
+	"crypto/md5"
+	"encoding/binary"
+	"math/rand"
+
+	"grouphash/internal/layout"
+)
+
+// Item is one trace record: a key to insert and its payload word.
+type Item struct {
+	Key   layout.Key
+	Value uint64
+}
+
+// Trace is a deterministic stream of items.
+type Trace interface {
+	// Name identifies the trace in reports ("RandomNum", ...).
+	Name() string
+	// KeyBytes is 8 or 16, fixing the cell layout.
+	KeyBytes() int
+	// Next returns the next item. Traces never run dry.
+	Next() Item
+	// Reset rewinds the stream to the beginning.
+	Reset()
+}
+
+// RandomNum is the random-integer trace: keys drawn uniformly from
+// [0, 2^26), as in the paper ("we generate the random integer ranging
+// from 0 to 2^26"). Item size 16 bytes (8-byte key + value).
+type RandomNum struct {
+	seed int64
+	rng  *rand.Rand
+	n    uint64
+}
+
+// KeySpace is the RandomNum key range bound from the paper.
+const KeySpace = 1 << 26
+
+// NewRandomNum creates the trace with a seed.
+func NewRandomNum(seed int64) *RandomNum {
+	t := &RandomNum{seed: seed}
+	t.Reset()
+	return t
+}
+
+// Name implements Trace.
+func (t *RandomNum) Name() string { return "RandomNum" }
+
+// KeyBytes implements Trace.
+func (t *RandomNum) KeyBytes() int { return 8 }
+
+// Next implements Trace.
+func (t *RandomNum) Next() Item {
+	t.n++
+	// Keys are drawn from [1, 2^26): the compact 16-byte cell layout
+	// reserves key 0 as its empty marker.
+	return Item{
+		Key:   layout.Key{Lo: uint64(t.rng.Int63n(KeySpace-1)) + 1},
+		Value: t.n,
+	}
+}
+
+// Reset implements Trace.
+func (t *RandomNum) Reset() {
+	t.rng = rand.New(rand.NewSource(t.seed))
+	t.n = 0
+}
+
+// BagOfWords models the UCI bag-of-words PubMed collection: a stream of
+// (DocID, WordID) co-occurrence pairs. Word IDs follow a Zipf
+// distribution (word frequencies in text are Zipfian); each document
+// contributes a run of pairs with distinct words. The key packs
+// DocID<<32 | WordID, matching the paper's "combinations of DocID and
+// WordID are used as the keys".
+type BagOfWords struct {
+	seed      int64
+	rng       *rand.Rand
+	zipf      *rand.Zipf
+	doc       uint64
+	docWords  map[uint32]bool
+	remaining int
+	n         uint64
+}
+
+// VocabSize approximates the PubMed vocabulary (141,043 distinct words
+// in the real collection).
+const VocabSize = 141043
+
+// NewBagOfWords creates the trace with a seed.
+func NewBagOfWords(seed int64) *BagOfWords {
+	t := &BagOfWords{seed: seed}
+	t.Reset()
+	return t
+}
+
+// Name implements Trace.
+func (t *BagOfWords) Name() string { return "Bag-of-Words" }
+
+// KeyBytes implements Trace.
+func (t *BagOfWords) KeyBytes() int { return 8 }
+
+// Next implements Trace.
+func (t *BagOfWords) Next() Item {
+	for {
+		if t.remaining == 0 {
+			t.doc++
+			// PubMed abstracts average ~60 distinct words/document.
+			t.remaining = 20 + t.rng.Intn(80)
+			t.docWords = make(map[uint32]bool, t.remaining)
+		}
+		w := uint32(t.zipf.Uint64())
+		if t.docWords[w] {
+			continue // the same word twice in one doc is one pair
+		}
+		t.docWords[w] = true
+		t.remaining--
+		t.n++
+		return Item{
+			Key:   layout.Key{Lo: t.doc<<32 | uint64(w)},
+			Value: t.n,
+		}
+	}
+}
+
+// Reset implements Trace.
+func (t *BagOfWords) Reset() {
+	t.rng = rand.New(rand.NewSource(t.seed))
+	// s=1.05 gives the gentle Zipf slope typical of scientific text.
+	t.zipf = rand.NewZipf(t.rng, 1.05, 1, VocabSize-1)
+	t.doc = 0
+	t.remaining = 0
+	t.n = 0
+}
+
+// Fingerprint models the FSL deduplication trace: 16-byte MD5 file
+// fingerprints ("we use the 16-byte MD5 fingerprints of the files as
+// the keys"). Digesting a seeded counter stream yields uniformly
+// distributed 128-bit keys, statistically matching real fingerprints.
+// Item size 32 bytes (16-byte key + value + metadata word).
+type Fingerprint struct {
+	seed int64
+	n    uint64
+}
+
+// NewFingerprint creates the trace with a seed.
+func NewFingerprint(seed int64) *Fingerprint {
+	return &Fingerprint{seed: seed}
+}
+
+// Name implements Trace.
+func (t *Fingerprint) Name() string { return "Fingerprint" }
+
+// KeyBytes implements Trace.
+func (t *Fingerprint) KeyBytes() int { return 16 }
+
+// Next implements Trace.
+func (t *Fingerprint) Next() Item {
+	t.n++
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(t.seed))
+	binary.LittleEndian.PutUint64(buf[8:16], t.n)
+	sum := md5.Sum(buf[:])
+	return Item{
+		Key: layout.Key{
+			Lo: binary.LittleEndian.Uint64(sum[0:8]),
+			Hi: binary.LittleEndian.Uint64(sum[8:16]),
+		},
+		Value: t.n,
+	}
+}
+
+// Reset implements Trace.
+func (t *Fingerprint) Reset() { t.n = 0 }
+
+// ByName returns the named trace ("randomnum", "bagofwords",
+// "fingerprint") or nil.
+func ByName(name string, seed int64) Trace {
+	switch name {
+	case "randomnum", "RandomNum":
+		return NewRandomNum(seed)
+	case "bagofwords", "Bag-of-Words", "bag-of-words":
+		return NewBagOfWords(seed)
+	case "fingerprint", "Fingerprint":
+		return NewFingerprint(seed)
+	}
+	return nil
+}
+
+// All returns the paper's three traces in evaluation order.
+func All(seed int64) []Trace {
+	return []Trace{NewRandomNum(seed), NewBagOfWords(seed), NewFingerprint(seed)}
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestDeterminismAndReset(t *testing.T) {
+	for _, tr := range All(7) {
+		t.Run(tr.Name(), func(t *testing.T) {
+			first := make([]Item, 100)
+			for i := range first {
+				first[i] = tr.Next()
+			}
+			tr.Reset()
+			for i := range first {
+				if got := tr.Next(); got != first[i] {
+					t.Fatalf("item %d differs after Reset: %+v vs %+v", i, got, first[i])
+				}
+			}
+		})
+	}
+}
+
+func TestSameSeedSameStream(t *testing.T) {
+	a := NewBagOfWords(3)
+	b := NewBagOfWords(3)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("streams diverge at item %d", i)
+		}
+	}
+	c := NewBagOfWords(4)
+	diverged := false
+	a.Reset()
+	for i := 0; i < 1000; i++ {
+		if a.Next() != c.Next() {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced the same stream")
+	}
+}
+
+func TestRandomNumRange(t *testing.T) {
+	tr := NewRandomNum(1)
+	if tr.KeyBytes() != 8 {
+		t.Fatal("key size")
+	}
+	for i := 0; i < 100000; i++ {
+		it := tr.Next()
+		if it.Key.Lo >= KeySpace {
+			t.Fatalf("key %d outside [0, 2^26)", it.Key.Lo)
+		}
+		if it.Key.Hi != 0 {
+			t.Fatal("RandomNum keys must be one word")
+		}
+		if it.Value == 0 {
+			t.Fatal("zero value breaks payload-zero recovery checks")
+		}
+	}
+}
+
+func TestBagOfWordsPairsDistinctWithinDoc(t *testing.T) {
+	tr := NewBagOfWords(1)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 200000; i++ {
+		it := tr.Next()
+		if seen[it.Key.Lo] {
+			t.Fatalf("duplicate (doc,word) pair: %#x", it.Key.Lo)
+		}
+		seen[it.Key.Lo] = true
+	}
+}
+
+func TestBagOfWordsZipfSkew(t *testing.T) {
+	// The most popular words must appear in far more documents than
+	// the median word: verify heavy skew of the word-ID marginal.
+	tr := NewBagOfWords(2)
+	counts := make(map[uint32]int)
+	for i := 0; i < 300000; i++ {
+		counts[uint32(tr.Next().Key.Lo&0xffffffff)]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	mean := 300000 / len(counts)
+	if max < 10*mean {
+		t.Fatalf("word distribution not skewed: max %d vs mean %d", max, mean)
+	}
+}
+
+func TestFingerprintKeysLookUniform(t *testing.T) {
+	tr := NewFingerprint(1)
+	if tr.KeyBytes() != 16 {
+		t.Fatal("key size")
+	}
+	seen := make(map[uint64]bool)
+	buckets := make([]int, 16)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		it := tr.Next()
+		if it.Key.Hi == 0 && it.Key.Lo == 0 {
+			t.Fatal("zero fingerprint")
+		}
+		if seen[it.Key.Lo] {
+			t.Fatal("fingerprint collision in the low word (astronomically unlikely)")
+		}
+		seen[it.Key.Lo] = true
+		buckets[it.Key.Lo&15]++
+	}
+	for b, c := range buckets {
+		if c < n/16-n/64 || c > n/16+n/64 {
+			t.Fatalf("bucket %d count %d deviates from uniform", b, c)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"randomnum", "bagofwords", "fingerprint"} {
+		if ByName(name, 1) == nil {
+			t.Fatalf("ByName(%q) = nil", name)
+		}
+	}
+	if ByName("nonsense", 1) != nil {
+		t.Fatal("ByName accepted garbage")
+	}
+}
+
+func TestAllReturnsThreePaperTraces(t *testing.T) {
+	ts := All(1)
+	if len(ts) != 3 {
+		t.Fatalf("All returned %d traces", len(ts))
+	}
+	want := []string{"RandomNum", "Bag-of-Words", "Fingerprint"}
+	for i, tr := range ts {
+		if tr.Name() != want[i] {
+			t.Fatalf("trace %d = %q, want %q", i, tr.Name(), want[i])
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package trace
+
+import "testing"
+
+func TestYCSBValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewYCSB('z', 100, 1) },
+		func() { NewYCSB('a', 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestYCSBNamesAndDeterminism(t *testing.T) {
+	for _, w := range []byte{'a', 'b', 'c', 'd', 'f'} {
+		y1 := NewYCSB(w, 1000, 3)
+		y2 := NewYCSB(w, 1000, 3)
+		want := "YCSB-" + string(rune(w-'a'+'A'))
+		if y1.Name() != want {
+			t.Fatalf("Name = %q, want %q", y1.Name(), want)
+		}
+		for i := 0; i < 2000; i++ {
+			if y1.Next() != y2.Next() {
+				t.Fatalf("%s: nondeterministic at step %d", want, i)
+			}
+		}
+		y1.Reset()
+		y3 := NewYCSB(w, 1000, 3)
+		for i := 0; i < 100; i++ {
+			if y1.Next() != y3.Next() {
+				t.Fatalf("%s: Reset did not rewind", want)
+			}
+		}
+	}
+}
+
+func TestYCSBMixRatios(t *testing.T) {
+	const n = 100000
+	count := func(w byte) map[YCSBOp]int {
+		y := NewYCSB(w, 10000, 1)
+		m := make(map[YCSBOp]int)
+		for i := 0; i < n; i++ {
+			m[y.Next().Op]++
+		}
+		return m
+	}
+	within := func(got int, frac, tol float64) bool {
+		return float64(got) > (frac-tol)*n && float64(got) < (frac+tol)*n
+	}
+
+	a := count('a')
+	if !within(a[YCSBRead], 0.5, 0.02) || !within(a[YCSBUpdate], 0.5, 0.02) {
+		t.Fatalf("A mix = %v", a)
+	}
+	b := count('b')
+	if !within(b[YCSBRead], 0.95, 0.01) || !within(b[YCSBUpdate], 0.05, 0.01) {
+		t.Fatalf("B mix = %v", b)
+	}
+	c := count('c')
+	if c[YCSBRead] != n {
+		t.Fatalf("C mix = %v", c)
+	}
+	d := count('d')
+	if !within(d[YCSBRead], 0.95, 0.01) || !within(d[YCSBInsert], 0.05, 0.01) {
+		t.Fatalf("D mix = %v", d)
+	}
+	f := count('f')
+	if !within(f[YCSBRead], 0.5, 0.02) || !within(f[YCSBRMW], 0.5, 0.02) {
+		t.Fatalf("F mix = %v", f)
+	}
+}
+
+func TestYCSBKeysInRangeAndSkewed(t *testing.T) {
+	y := NewYCSB('a', 5000, 2)
+	counts := make(map[uint64]int)
+	for i := 0; i < 100000; i++ {
+		st := y.Next()
+		k := st.Item.Key.Lo
+		if k == 0 || k > 5000 {
+			t.Fatalf("key %d outside [1, records]", k)
+		}
+		counts[k]++
+	}
+	// Zipf skew: the hottest key must be hit far above uniform.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 100000/5000*10 {
+		t.Fatalf("no skew: hottest key hit %d times", max)
+	}
+}
+
+func TestYCSBDInsertsExtendKeyspace(t *testing.T) {
+	y := NewYCSB('d', 1000, 4)
+	maxSeen := uint64(0)
+	inserts := 0
+	for i := 0; i < 50000; i++ {
+		st := y.Next()
+		if st.Op == YCSBInsert {
+			inserts++
+			if st.Item.Key.Lo <= 1000 && inserts > 0 && st.Item.Key.Lo <= maxSeen {
+				t.Fatalf("insert reused key %d", st.Item.Key.Lo)
+			}
+			if st.Item.Key.Lo > maxSeen {
+				maxSeen = st.Item.Key.Lo
+			}
+		}
+	}
+	if inserts == 0 {
+		t.Fatal("workload D produced no inserts")
+	}
+	if maxSeen != 1000+uint64(inserts) {
+		t.Fatalf("inserted keys not dense: max %d after %d inserts", maxSeen, inserts)
+	}
+}
+
+func TestYCSBOpString(t *testing.T) {
+	names := map[YCSBOp]string{YCSBRead: "read", YCSBUpdate: "update", YCSBInsert: "insert", YCSBRMW: "rmw", YCSBOp(9): "unknown"}
+	for op, want := range names {
+		if op.String() != want {
+			t.Fatalf("%d.String() = %q", int(op), op.String())
+		}
+	}
+}
