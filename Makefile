@@ -13,14 +13,25 @@ build:
 vet:
 	$(GO) vet ./...
 
+# test is the tier-1 gate: vet, the full suite, and the race detector
+# over the concurrent table (whose seqlock read path only a -race run
+# can meaningfully exercise).
 test:
+	$(GO) vet ./...
 	$(GO) test ./...
+	$(GO) test -race ./internal/core
 
 race:
 	$(GO) test -race ./internal/core ./internal/harness .
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Substrate microbenchmarks: dirty-word tracker (paged vs legacy map),
+# cache hit path, memsim stack, and the fixed trace replay.
+bench-substrate:
+	$(GO) test -run XXX -bench 'BenchmarkSubstrate' .
+	$(GO) test -run XXX -bench 'BenchmarkConcurrent.*Parallel' -cpu 1,2,4 ./internal/core
 
 fuzz:
 	$(GO) test -fuzz=FuzzTableOps -fuzztime=30s ./internal/core

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	ghbench [-exp all|fig2|fig5|fig6|fig7|fig8|table3] [-scale test|default|paper]
+//	        [-csv dir] [-json BENCH_<scale>.json] [-plot]
 //
 // The default scale shrinks table sizes ~16× against the paper (keeping
 // them far larger than the simulated 15 MB L3, so cache behaviour and
@@ -31,6 +32,7 @@ func main() {
 	scaleName := flag.String("scale", "default", "experiment scale: test, default, paper")
 	csvDir := flag.String("csv", "", "also write each experiment's data as CSV into this directory")
 	plotOut := flag.Bool("plot", false, "render figures additionally as terminal bar charts")
+	jsonOut := flag.String("json", "", "write figure metrics (sim-ns/op, L3miss/op, flush/op, util%) as JSON to this file (convention: BENCH_<scale>.json)")
 	flag.Parse()
 
 	writeCSV := func(name string, fn func(f *os.File) error) {
@@ -71,6 +73,7 @@ func main() {
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	ran := 0
 	w := os.Stdout
+	report := jsonReport{Scale: scale.Name, Cells: scale.RandomNumCells, OpsPhase: scale.Ops}
 
 	fmt.Fprintf(w, "group hashing reproduction — scale %q\n", scale.Name)
 	fmt.Fprintf(w, "  RandomNum %d cells, Bag-of-Words %d cells, Fingerprint %d cells, %d ops/phase\n\n",
@@ -87,6 +90,7 @@ func main() {
 		timed("fig2", func() {
 			r := harness.Fig2(scale)
 			harness.PrintFig2(w, r)
+			report.addLatency("fig2", r.Rows)
 			writeCSV("fig2.csv", func(f *os.File) error { return harness.WriteLatencyCSV(f, r.Rows) })
 		})
 	}
@@ -106,6 +110,7 @@ func main() {
 					harness.PlotFig6(w, m)
 				}
 			}
+			report.addLatency("fig5_fig6", m.Rows)
 			writeCSV("fig5_fig6.csv", func(f *os.File) error { return harness.WriteLatencyCSV(f, m.Rows) })
 		})
 	}
@@ -116,6 +121,7 @@ func main() {
 			if *plotOut {
 				harness.PlotFig7(w, r)
 			}
+			report.addSpaceUtil("fig7", r)
 			writeCSV("fig7.csv", func(f *os.File) error { return harness.WriteSpaceUtilCSV(f, r) })
 		})
 	}
@@ -185,5 +191,12 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "ghbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+	if *jsonOut != "" {
+		if err := report.write(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "ghbench: writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "figure metrics written to %s\n", *jsonOut)
 	}
 }

@@ -117,11 +117,32 @@ func (c *Cache) setFor(line uint64) *set { return &c.sets[line&c.setMask] }
 
 // promote moves way i of s to the MRU position.
 func (s *set) promote(i int) {
+	if i == 0 {
+		return // already MRU
+	}
 	tag, valid, dirty := s.tags[i], s.valid[i], s.dirty[i]
 	copy(s.tags[1:i+1], s.tags[:i])
 	copy(s.valid[1:i+1], s.valid[:i])
 	copy(s.dirty[1:i+1], s.dirty[:i])
 	s.tags[0], s.valid[0], s.dirty[0] = tag, valid, dirty
+}
+
+// hitMRU services the access if the line is already in the MRU way of
+// its set — the overwhelmingly common case for the word-by-word access
+// streams the memsim front-end generates (several accesses per line
+// before moving on). It performs exactly the state transitions the
+// general path would (Hits counter, dirty bit) and no others: the line
+// is already MRU, so promote would be a no-op.
+func (c *Cache) hitMRU(line uint64, write bool) bool {
+	s := &c.sets[line&c.setMask]
+	if !s.valid[0] || s.tags[0] != line {
+		return false
+	}
+	if write {
+		s.dirty[0] = true
+	}
+	c.stats.Hits++
+	return true
 }
 
 // Evicted describes a line displaced by a fill.
@@ -135,8 +156,12 @@ type Evicted struct {
 // hit, and, when the fill displaced a valid line, the eviction details.
 func (c *Cache) Access(addr uint64, write bool) (hit bool, ev Evicted, evicted bool) {
 	line := lineOf(addr)
+	if c.hitMRU(line, write) {
+		return true, Evicted{}, false
+	}
 	s := c.setFor(line)
-	for i := 0; i < c.ways; i++ {
+	// Way 0 was checked by the MRU fast path; scan the rest.
+	for i := 1; i < c.ways; i++ {
 		if s.valid[i] && s.tags[i] == line {
 			s.promote(i)
 			if write {

@@ -69,6 +69,13 @@ func (h *Hierarchy) Last() *Cache { return h.levels[len(h.levels)-1] }
 // dirty lines that left the hierarchy entirely (LLC dirty evictions),
 // which the caller must write back to the NVM region.
 func (h *Hierarchy) Access(addr uint64, write bool) (serviced Level, writebacks []uint64) {
+	// Fast path: an L1 MRU hit needs no fills, no evictions and no
+	// write-backs — it short-circuits the per-level loop (and its slice
+	// bookkeeping) entirely. State transitions are identical to the
+	// general path below.
+	if h.levels[0].hitMRU(lineOf(addr), write) {
+		return L1, nil
+	}
 	for i, c := range h.levels {
 		hit, ev, evicted := c.Access(addr, write)
 		if evicted {

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"grouphash/internal/hashtab"
 	"grouphash/internal/layout"
@@ -13,19 +15,47 @@ import (
 // and the matching level-2 group, both inside group g = h(k)/group_size,
 // so operations on different groups never conflict.
 //
+// Writes take the stripe lock exclusively. Reads use a seqlock-style
+// optimistic protocol when the backend allows it (see Lookup): each
+// stripe carries a version counter that writers bump to odd on entry
+// and back to even on exit, so a reader can probe with no lock held and
+// retry if the version moved under it. On backends without atomic word
+// reads (the simulator), reads fall back to the shared stripe lock.
+//
 // The persistent count word is shared by all groups; it is protected by
 // its own mutex, taken after the group lock (a fixed order, so no
-// deadlock). Lookups take the group lock shared.
+// deadlock).
 //
 // Concurrent is intended for the native memory backend: the simulated
 // backend has a single global clock and cache, which would serialise
 // everything anyway.
 type Concurrent struct {
 	t       *Table
-	stripes []sync.RWMutex
+	stripes []stripe
 	countMu sync.Mutex
 	mask    uint64
+	// optimistic enables the lock-free read path: the backend has
+	// atomic word reads (hashtab.ConcurrentReader) and the table has no
+	// volatile group-occupancy index (whose counters are written
+	// without atomics). Fixed at construction.
+	optimistic bool
 }
+
+// stripe is one lock unit: an exclusive/shared mutex for writers and
+// pessimistic readers, plus the seqlock version counter (odd = write in
+// progress). Padded to a cacheline so stripes on different cores don't
+// false-share.
+type stripe struct {
+	mu  sync.RWMutex
+	seq atomic.Uint64
+	_   [64 - 32]byte
+}
+
+// seqlockRetries is how many optimistic attempts a reader makes before
+// falling back to the shared stripe lock. Retries only happen while a
+// writer holds the same stripe, so a small budget suffices; the
+// fallback guarantees progress under write storms.
+const seqlockRetries = 4
 
 // NewConcurrent wraps t. stripes is rounded up to a power of two;
 // 0 means one stripe per 64 groups, capped at 1024.
@@ -49,16 +79,38 @@ func NewConcurrent(t *Table, stripes int) *Concurrent {
 	for n < stripes {
 		n <<= 1
 	}
-	return &Concurrent{t: t, stripes: make([]sync.RWMutex, n), mask: uint64(n - 1)}
+	_, atomicMem := t.mem.(hashtab.ConcurrentReader)
+	return &Concurrent{
+		t:          t,
+		stripes:    make([]stripe, n),
+		mask:       uint64(n - 1),
+		optimistic: atomicMem && t.occ == nil,
+	}
 }
 
 // Table returns the wrapped table. Callers must not use it while
 // concurrent operations are in flight.
 func (c *Concurrent) Table() *Table { return c.t }
 
-func (c *Concurrent) stripe(k layout.Key) *sync.RWMutex {
+// OptimisticReads reports whether lookups use the lock-free seqlock
+// path (true on atomic-word backends) or the shared stripe lock.
+func (c *Concurrent) OptimisticReads() bool { return c.optimistic }
+
+func (c *Concurrent) stripeFor(k layout.Key) *stripe {
 	g := c.t.h.Index(k.Lo, k.Hi) / c.t.gsz
 	return &c.stripes[g&c.mask]
+}
+
+// lock takes s exclusively and marks a write in progress (version goes
+// odd). unlock publishes the write (version back to even) and releases.
+func (s *stripe) lock() {
+	s.mu.Lock()
+	s.seq.Add(1)
+}
+
+func (s *stripe) unlock() {
+	s.seq.Add(1)
+	s.mu.Unlock()
 }
 
 // Name implements hashtab.Table.
@@ -68,9 +120,9 @@ func (c *Concurrent) Name() string { return "group-concurrent" }
 // under the count mutex; the commit order (cell first, count second)
 // matches the sequential protocol, so crash consistency is unchanged.
 func (c *Concurrent) Insert(k layout.Key, v uint64) error {
-	mu := c.stripe(k)
-	mu.Lock()
-	defer mu.Unlock()
+	s := c.stripeFor(k)
+	s.lock()
+	defer s.unlock()
 	idx := c.t.h.Index(k.Lo, k.Hi)
 	if !c.t.tab1.Occupied(idx) {
 		c.t.tab1.InsertAt(idx, k, v)
@@ -89,19 +141,41 @@ func (c *Concurrent) Insert(k layout.Key, v uint64) error {
 	return hashtab.ErrTableFull
 }
 
-// Lookup returns the value under a shared group lock.
+// Lookup returns the value under k. On backends with atomic word reads
+// it first runs the seqlock fast path: read the stripe version (even
+// means no writer), probe with no lock held, and accept the result only
+// if the version is unchanged — otherwise a concurrent writer may have
+// torn the multi-word cell mid-probe, so retry. After seqlockRetries
+// failed attempts it degrades to the shared stripe lock, which cannot
+// starve. Word reads are individually atomic, so the probe itself never
+// sees a torn word; the version check is what makes the multi-word
+// (commit word + payload) read consistent.
 func (c *Concurrent) Lookup(k layout.Key) (uint64, bool) {
-	mu := c.stripe(k)
-	mu.RLock()
-	defer mu.RUnlock()
+	s := c.stripeFor(k)
+	if c.optimistic {
+		for try := 0; try < seqlockRetries; try++ {
+			v1 := s.seq.Load()
+			if v1&1 != 0 {
+				// A writer is mid-update; yield instead of spinning.
+				runtime.Gosched()
+				continue
+			}
+			v, ok := c.t.Lookup(k)
+			if s.seq.Load() == v1 {
+				return v, ok
+			}
+		}
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return c.t.Lookup(k)
 }
 
 // Delete removes k under the group lock.
 func (c *Concurrent) Delete(k layout.Key) bool {
-	mu := c.stripe(k)
-	mu.Lock()
-	defer mu.Unlock()
+	s := c.stripeFor(k)
+	s.lock()
+	defer s.unlock()
 	idx := c.t.h.Index(k.Lo, k.Hi)
 	if c.t.tab1.Matches(idx, k) {
 		c.t.tab1.DeleteAt(idx)
@@ -122,9 +196,9 @@ func (c *Concurrent) Delete(k layout.Key) bool {
 
 // Update overwrites an existing key's value under the group lock.
 func (c *Concurrent) Update(k layout.Key, v uint64) bool {
-	mu := c.stripe(k)
-	mu.Lock()
-	defer mu.Unlock()
+	s := c.stripeFor(k)
+	s.lock()
+	defer s.unlock()
 	return c.t.Update(k, v)
 }
 

@@ -49,6 +49,18 @@ type Mem interface {
 	Size() uint64
 }
 
+// ConcurrentReader marks Mem backends whose Read8 may run concurrently
+// with word stores from other goroutines: every word access is
+// individually atomic, so an unlocked reader can never observe a torn
+// word (multi-word consistency remains the caller's problem — the
+// seqlock wrapper in core.Concurrent validates it with per-stripe
+// version counters). Backends that keep shared mutable state per access
+// (the memsim simulator's cache and clock) must NOT implement this.
+type ConcurrentReader interface {
+	// ConcurrentReadSafe is a marker; it performs no work.
+	ConcurrentReadSafe()
+}
+
 // Table is the common key-value interface. Keys are fixed-size
 // (layout.Key); values are single words, the small-item regime the
 // paper's motivating key-value stores (memcached, MemC3) are dominated

@@ -1,5 +1,5 @@
 // Package native provides a plain in-process implementation of the
-// hashtab.Mem interface: a flat byte buffer with no cache simulation, no
+// hashtab.Mem interface: a flat word buffer with no cache simulation, no
 // latency model and no crash injection. Persist calls are no-ops.
 //
 // This backend exists for two reasons:
@@ -10,6 +10,14 @@
 //   - the concurrent table variant, which would be meaningless on the
 //     single-clock simulator.
 //
+// Every word access is an atomic load or store (the Mem interface is
+// word-granular, so the backing array is []uint64 and atomics cost the
+// same as plain moves on mainstream hardware). That makes this backend
+// safe for the seqlock-style optimistic read protocol of core.Concurrent:
+// readers may call Read8 with no lock held while writers store
+// concurrently, with no torn words and no race-detector reports. The
+// marker method ConcurrentReadSafe advertises the property.
+//
 // On a machine with real persistent memory, this backend is also the
 // template for an mmap-backed region: the algorithms above it already
 // issue stores and persist barriers in the correct order, so only Persist
@@ -17,32 +25,39 @@
 package native
 
 import (
-	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 )
 
-// Memory is a volatile hashtab.Mem backend. It is not internally
-// synchronised; the concurrent table wrapper serialises access with
-// striped locks.
+// Memory is a volatile hashtab.Mem backend. Word reads and writes are
+// individually atomic and may run concurrently with each other; compound
+// operations (and Alloc, which may move the buffer) still require the
+// callers' locking, which the concurrent table wrapper provides.
 type Memory struct {
-	buf  []byte
-	next uint64
+	words []uint64
+	next  uint64
 }
 
 // New creates a native memory of the given size in bytes.
 func New(size uint64) *Memory {
 	size = (size + 7) &^ 7
-	return &Memory{buf: make([]byte, size)}
+	return &Memory{words: make([]uint64, size/8)}
 }
 
 // Size returns the buffer size in bytes.
-func (m *Memory) Size() uint64 { return uint64(len(m.buf)) }
+func (m *Memory) Size() uint64 { return uint64(len(m.words)) * 8 }
 
 func (m *Memory) check(addr, n uint64) {
-	if addr+n > uint64(len(m.buf)) || addr+n < addr {
-		panic(fmt.Sprintf("native: access [%d,%d) out of range of %d-byte memory", addr, addr+n, len(m.buf)))
+	if addr+n > m.Size() || addr+n < addr {
+		panic(fmt.Sprintf("native: access [%d,%d) out of range of %d-byte memory", addr, addr+n, m.Size()))
 	}
 }
+
+// ConcurrentReadSafe marks this backend as supporting lock-free
+// concurrent word reads (see hashtab.ConcurrentReader): every Read8 and
+// Write8 is an atomic word operation, so optimistic readers never
+// observe a torn word and never trip the race detector.
+func (m *Memory) ConcurrentReadSafe() {}
 
 // Read8 loads an aligned 8-byte word.
 func (m *Memory) Read8(addr uint64) uint64 {
@@ -50,7 +65,7 @@ func (m *Memory) Read8(addr uint64) uint64 {
 	if addr%8 != 0 {
 		panic(fmt.Sprintf("native: misaligned load at %d", addr))
 	}
-	return binary.LittleEndian.Uint64(m.buf[addr : addr+8])
+	return atomic.LoadUint64(&m.words[addr/8])
 }
 
 // Write8 stores an aligned 8-byte word.
@@ -59,12 +74,11 @@ func (m *Memory) Write8(addr, val uint64) {
 	if addr%8 != 0 {
 		panic(fmt.Sprintf("native: misaligned store at %d", addr))
 	}
-	binary.LittleEndian.PutUint64(m.buf[addr:addr+8], val)
+	atomic.StoreUint64(&m.words[addr/8], val)
 }
 
-// AtomicWrite8 stores an aligned 8-byte word; on this backend it is the
-// same as Write8 (single-writer sections are guaranteed by the callers'
-// locking).
+// AtomicWrite8 stores an aligned 8-byte word; on this backend every
+// word store is atomic, so it is the same as Write8.
 func (m *Memory) AtomicWrite8(addr, val uint64) { m.Write8(addr, val) }
 
 // Persist is a no-op: native memory has no persistence domain.
@@ -73,7 +87,9 @@ func (m *Memory) Persist(addr, n uint64) {}
 // Alloc reserves size bytes at the given power-of-two alignment. Unlike
 // the fixed-size simulated NVM region, native memory models ordinary
 // process memory: the buffer grows on demand (doubling), so repeated
-// table expansions never exhaust it.
+// table expansions never exhaust it. Growth moves the buffer, so Alloc
+// must not race with concurrent table operations; in practice it is
+// called only while a table is being created or expanded.
 func (m *Memory) Alloc(size, align uint64) uint64 {
 	if align == 0 || align&(align-1) != 0 {
 		panic(fmt.Sprintf("native: alignment %d is not a power of two", align))
@@ -82,10 +98,10 @@ func (m *Memory) Alloc(size, align uint64) uint64 {
 	if addr+size < addr {
 		panic(fmt.Sprintf("native: allocation of %d bytes overflows the address space", size))
 	}
-	for addr+size > uint64(len(m.buf)) {
-		grown := make([]byte, max(uint64(len(m.buf))*2, addr+size))
-		copy(grown, m.buf)
-		m.buf = grown
+	for addr+size > m.Size() {
+		grown := make([]uint64, max(uint64(len(m.words))*2, (addr+size+7)/8))
+		copy(grown, m.words)
+		m.words = grown
 	}
 	m.next = addr + size
 	return addr

@@ -1,0 +1,177 @@
+package nvm
+
+import "math/bits"
+
+// Paged dirty-word tracker. The region's original tracker was a
+// map[word]oldValue, which put a hash + allocation on every store and a
+// map probe per word on every flush — the simulation substrate, not the
+// hashing schemes, dominated wall-clock. This structure replaces it with
+// a two-level bitmap plus per-page shadow-value arrays:
+//
+//	summary bitmap  — one bit per page: "this page has ≥1 dirty word"
+//	page bitmap     — one bit per word of the page (8 × uint64 for a
+//	                  4 KiB page)
+//	page shadow     — the persisted (old) value of each dirty word,
+//	                  indexed by its position in the page
+//
+// touchWord becomes two shifts, a mask test and a store; PersistRange,
+// Evict and DirtyInRange over a cacheline reduce to a single masked
+// bitmap word; whole-region scans (Crash, SnapshotPersisted,
+// PersistAll) walk the summary bitmap and skip clean pages wholesale.
+// Pages are allocated lazily on first dirtying and retained afterwards,
+// so steady-state operation allocates nothing.
+
+const (
+	// pageWordsLog sets the page size: 2^9 words = 4 KiB per page.
+	pageWordsLog = 9
+	pageWords    = 1 << pageWordsLog
+	// pageMaskWords is the page bitmap size in uint64 words.
+	pageMaskWords = pageWords / 64
+)
+
+// dirtyPage tracks the dirty words of one 4 KiB page: a per-word bitmap,
+// a live count (for cheap summary-bit maintenance), and the shadow array
+// of persisted values.
+type dirtyPage struct {
+	bits   [pageMaskWords]uint64
+	count  uint32
+	shadow [pageWords]uint64
+}
+
+// newTracking (re)initialises the tracker for a region of the given byte
+// size. Used at construction and by the operations that atomically mark
+// the whole region persisted (Restore, SetImage).
+func (r *Region) newTracking(size uint64) {
+	words := size / WordSize
+	npages := (words + pageWords - 1) / pageWords
+	r.pages = make([]*dirtyPage, npages)
+	r.summary = make([]uint64, (npages+63)/64)
+	r.dirty = 0
+}
+
+// pageFor returns the lazily allocated page containing word index wi.
+func (r *Region) pageFor(p uint64) *dirtyPage {
+	pg := r.pages[p]
+	if pg == nil {
+		pg = new(dirtyPage)
+		r.pages[p] = pg
+	}
+	return pg
+}
+
+// isDirtyWord reports whether word index wi is dirty and, if so, its
+// shadow (persisted) value.
+func (r *Region) isDirtyWord(wi uint64) (uint64, bool) {
+	pg := r.pages[wi>>pageWordsLog]
+	if pg == nil {
+		return 0, false
+	}
+	idx := wi & (pageWords - 1)
+	if pg.bits[idx>>6]&(1<<(idx&63)) == 0 {
+		return 0, false
+	}
+	return pg.shadow[idx], true
+}
+
+// countDirtyWords returns the number of dirty words in the inclusive
+// word-index range [firstW, lastW] using masked popcounts.
+func (r *Region) countDirtyWords(firstW, lastW uint64) int {
+	total := 0
+	for w := firstW; w <= lastW; {
+		p := w >> pageWordsLog
+		pageLast := (p+1)<<pageWordsLog - 1
+		end := pageLast
+		if lastW < end {
+			end = lastW
+		}
+		pg := r.pages[p]
+		if pg == nil || pg.count == 0 {
+			w = end + 1
+			continue
+		}
+		lo, hi := w&(pageWords-1), end&(pageWords-1)
+		for bw := lo >> 6; bw <= hi>>6; bw++ {
+			mask := ^uint64(0)
+			if bw == lo>>6 {
+				mask &= ^uint64(0) << (lo & 63)
+			}
+			if bw == hi>>6 {
+				mask &= ^uint64(0) >> (63 - hi&63)
+			}
+			total += bits.OnesCount64(pg.bits[bw] & mask)
+		}
+		w = end + 1
+	}
+	return total
+}
+
+// cleanWords clears the dirty bits in the inclusive word-index range
+// [firstW, lastW], records media wear for each cleaned word, maintains
+// the summary bitmap, and returns how many words were cleaned. Shared by
+// PersistRange and Evict, which differ only in which counter they bump.
+func (r *Region) cleanWords(firstW, lastW uint64) int {
+	total := 0
+	for w := firstW; w <= lastW; {
+		p := w >> pageWordsLog
+		pageLast := (p+1)<<pageWordsLog - 1
+		end := pageLast
+		if lastW < end {
+			end = lastW
+		}
+		pg := r.pages[p]
+		if pg == nil || pg.count == 0 {
+			w = end + 1
+			continue
+		}
+		lo, hi := w&(pageWords-1), end&(pageWords-1)
+		for bw := lo >> 6; bw <= hi>>6; bw++ {
+			mask := ^uint64(0)
+			if bw == lo>>6 {
+				mask &= ^uint64(0) << (lo & 63)
+			}
+			if bw == hi>>6 {
+				mask &= ^uint64(0) >> (63 - hi&63)
+			}
+			hit := pg.bits[bw] & mask
+			if hit == 0 {
+				continue
+			}
+			pg.bits[bw] &^= hit
+			n := bits.OnesCount64(hit)
+			total += n
+			pg.count -= uint32(n)
+			if r.wear != nil {
+				base := p<<pageWordsLog + bw<<6
+				for h := hit; h != 0; h &= h - 1 {
+					r.wear[base+uint64(bits.TrailingZeros64(h))]++
+				}
+			}
+		}
+		if pg.count == 0 {
+			r.summary[p>>6] &^= 1 << (p & 63)
+		}
+		w = end + 1
+	}
+	r.dirty -= total
+	return total
+}
+
+// forEachDirty visits every dirty word in ascending address order,
+// passing its word index and shadow value. The ascending order matches
+// the sorted iteration of the original map tracker, so rng-consuming
+// callers (Crash, SnapshotPersisted) remain a deterministic function of
+// (seed, history).
+func (r *Region) forEachDirty(fn func(wi uint64, old uint64)) {
+	for sw, sbits := range r.summary {
+		for s := sbits; s != 0; s &= s - 1 {
+			p := uint64(sw)<<6 + uint64(bits.TrailingZeros64(s))
+			pg := r.pages[p]
+			for bw := 0; bw < pageMaskWords; bw++ {
+				for h := pg.bits[bw]; h != 0; h &= h - 1 {
+					idx := uint64(bw)<<6 + uint64(bits.TrailingZeros64(h))
+					fn(p<<pageWordsLog+idx, pg.shadow[idx])
+				}
+			}
+		}
+	}
+}

@@ -40,10 +40,11 @@ func (r *Region) EnableWearTracking() {
 // WearEnabled reports whether wear counters are active.
 func (r *Region) WearEnabled() bool { return r.wear != nil }
 
-// recordWear counts one media write of word w.
-func (r *Region) recordWear(w uint64) {
+// wearWord counts one media write of the word with index wi (byte
+// address / WordSize).
+func (r *Region) wearWord(wi uint64) {
 	if r.wear != nil {
-		r.wear[w/WordSize]++
+		r.wear[wi]++
 	}
 }
 
