@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench race fuzz figures figures-paper examples clean
+.PHONY: all build test vet bench race fuzz serve-smoke figures figures-paper examples clean
 
 all: build vet test
 
@@ -15,14 +15,14 @@ vet:
 
 # test is the tier-1 gate: vet, the full suite, and the race detector
 # over the concurrent table (whose seqlock read path only a -race run
-# can meaningfully exercise).
+# can meaningfully exercise) plus the network layer built on top of it.
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/core
+	$(GO) test -race ./internal/core ./internal/server ./internal/client
 
 race:
-	$(GO) test -race ./internal/core ./internal/harness .
+	$(GO) test -race ./internal/core ./internal/server ./internal/client ./internal/harness .
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -32,6 +32,21 @@ bench:
 bench-substrate:
 	$(GO) test -run XXX -bench 'BenchmarkSubstrate' .
 	$(GO) test -run XXX -bench 'BenchmarkConcurrent.*Parallel' -cpu 1,2,4 ./internal/core
+
+# serve-smoke exercises the ghserver/ghload pair end to end: start a
+# server, push a short YCSB-B burst through it, SIGTERM it mid-serve,
+# and check the graceful drain left a loadable image behind.
+serve-smoke:
+	$(GO) build -o /tmp/gh-smoke/ ./cmd/ghserver ./cmd/ghload
+	rm -f /tmp/gh-smoke/store.pmfs
+	/tmp/gh-smoke/ghserver -addr 127.0.0.1:47790 -image /tmp/gh-smoke/store.pmfs \
+		>/tmp/gh-smoke/server.log 2>&1 & \
+	SRV=$$!; \
+	/tmp/gh-smoke/ghload -addr 127.0.0.1:47790 -records 20000 -ops 200000 -conns 4 || exit 1; \
+	kill -TERM $$SRV && wait $$SRV || exit 1; \
+	test -s /tmp/gh-smoke/store.pmfs || { echo "serve-smoke: no image saved"; exit 1; }; \
+	grep -q "final snapshot" /tmp/gh-smoke/server.log || { echo "serve-smoke: no drain snapshot"; exit 1; }; \
+	echo "serve-smoke: OK (drained image saved)"
 
 fuzz:
 	$(GO) test -fuzz=FuzzTableOps -fuzztime=30s ./internal/core

@@ -1,0 +1,195 @@
+// Command ghload is the load generator for ghserver: it preloads a
+// keyspace, then drives a YCSB mix (internal/trace) over pipelined
+// connections and reports achieved throughput and latency percentiles.
+//
+// Usage:
+//
+//	ghload -addr 127.0.0.1:4777 -workload b -records 100000 -ops 1000000 -conns 4 -depth 64
+//
+// Each connection runs its own YCSB generator (seeded differently) and
+// pipelines -depth operations per batch; reads, updates and
+// read-modify-writes follow the mix's ratios (YCSB inserts are sent as
+// upserts so repeated runs against one server don't grow duplicate
+// items). A server drain mid-run is handled gracefully: the worker
+// stops and only acked operations are counted — the number a restarted
+// server must still hold.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"grouphash/internal/client"
+	"grouphash/internal/layout"
+	"grouphash/internal/stats"
+	"grouphash/internal/trace"
+	"grouphash/internal/wire"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:4777", "server address")
+		workload = flag.String("workload", "b", "YCSB mix: a, b, c, d or f")
+		records  = flag.Uint64("records", 100_000, "keys preloaded before the mix runs")
+		ops      = flag.Uint64("ops", 1_000_000, "total operations across all connections")
+		conns    = flag.Int("conns", 4, "concurrent connections (one goroutine each)")
+		depth    = flag.Int("depth", 64, "pipelined operations per batch")
+		seed     = flag.Int64("seed", 1, "workload seed (each connection derives its own)")
+		skipLoad = flag.Bool("skip-load", false, "skip the preload phase (server already holds the records)")
+	)
+	flag.Parse()
+	log.SetPrefix("ghload: ")
+	log.SetFlags(0)
+	if *conns < 1 || *depth < 1 || *records == 0 {
+		log.Fatal("need -conns ≥ 1, -depth ≥ 1, -records ≥ 1")
+	}
+	if len(*workload) != 1 {
+		log.Fatal("-workload must be a single letter")
+	}
+
+	fmt.Printf("ghload: addr=%s workload=YCSB-%s records=%d ops=%d conns=%d depth=%d\n",
+		*addr, *workload, *records, *ops, *conns, *depth)
+
+	if !*skipLoad {
+		start := time.Now()
+		loaded := preload(*addr, *records, *conns, *depth)
+		dur := time.Since(start)
+		fmt.Printf("load:  %d keys in %.2fs (%.0f ops/s)\n",
+			loaded, dur.Seconds(), float64(loaded)/dur.Seconds())
+	}
+
+	acked, drained, rtt, dur := run(*addr, (*workload)[0], *records, *ops, *conns, *depth, *seed)
+	fmt.Printf("run:   %d ops acked in %.2fs (%.0f ops/s)\n",
+		acked, dur.Seconds(), float64(acked)/dur.Seconds())
+	us := func(q float64) float64 { return rtt.Quantile(q) / 1e3 }
+	fmt.Printf("batch RTT (%d ops/batch): p50=%.0fµs p90=%.0fµs p99=%.0fµs max=%.0fµs\n",
+		*depth, us(0.5), us(0.9), us(0.99), us(1))
+	if c, err := client.Dial(*addr, 0); err == nil {
+		if text, err := c.ServerStats(); err == nil {
+			fmt.Printf("server: %s\n", text)
+		}
+		c.Close()
+	}
+	if drained {
+		fmt.Println("ghload: server drained mid-run; counts above cover acked operations only")
+		os.Exit(3)
+	}
+}
+
+// preload puts keys 1..records (value = key) through pipelined
+// batches, split across conns connections. Returns acked count.
+func preload(addr string, records uint64, conns, depth int) uint64 {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var total uint64
+	per := records / uint64(conns)
+	for w := 0; w < conns; w++ {
+		lo := uint64(w)*per + 1
+		hi := lo + per - 1
+		if w == conns-1 {
+			hi = records
+		}
+		wg.Add(1)
+		go func(lo, hi uint64) {
+			defer wg.Done()
+			c, err := client.Dial(addr, 5*time.Second)
+			if err != nil {
+				log.Fatalf("dial: %v", err)
+			}
+			defer c.Close()
+			var acked uint64
+			reqs := make([]wire.Request, 0, depth)
+			for k := lo; k <= hi; {
+				reqs = reqs[:0]
+				for ; k <= hi && len(reqs) < depth; k++ {
+					reqs = append(reqs, wire.Request{Op: wire.OpPut, Key: layout.Key{Lo: k}, Value: k})
+				}
+				resps, err := c.Do(reqs)
+				if err != nil {
+					log.Fatalf("preload batch: %v", err)
+				}
+				for _, r := range resps {
+					if r.Status != wire.StatusOK {
+						log.Fatalf("preload status %d", r.Status)
+					}
+					acked++
+				}
+			}
+			mu.Lock()
+			total += acked
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	return total
+}
+
+// run drives the mix and returns (acked ops, drained?, batch RTT
+// reservoir, wall time).
+func run(addr string, workload byte, records, ops uint64, conns, depth int, seed int64) (uint64, bool, *stats.Reservoir, time.Duration) {
+	rtt := stats.NewReservoir(16384)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var total uint64
+	var drained bool
+	per := ops / uint64(conns)
+	start := time.Now()
+	for w := 0; w < conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := client.Dial(addr, 5*time.Second)
+			if err != nil {
+				log.Fatalf("dial: %v", err)
+			}
+			defer c.Close()
+			gen := trace.NewYCSB(workload, records, seed+int64(w)*7919)
+			var acked uint64
+			reqs := make([]wire.Request, 0, depth+1)
+			for done := uint64(0); done < per; {
+				reqs = reqs[:0]
+				for uint64(len(reqs)) < uint64(depth) && done+uint64(len(reqs)) < per {
+					step := gen.Next()
+					switch step.Op {
+					case trace.YCSBRead:
+						reqs = append(reqs, wire.Request{Op: wire.OpGet, Key: step.Item.Key})
+					case trace.YCSBUpdate, trace.YCSBInsert:
+						reqs = append(reqs, wire.Request{Op: wire.OpPut, Key: step.Item.Key, Value: step.Item.Value})
+					case trace.YCSBRMW:
+						// Read-modify-write: the read and the write of
+						// one RMW travel in the same pipeline and count
+						// as two wire operations.
+						reqs = append(reqs,
+							wire.Request{Op: wire.OpGet, Key: step.Item.Key},
+							wire.Request{Op: wire.OpPut, Key: step.Item.Key, Value: step.Item.Value})
+					}
+				}
+				t0 := time.Now()
+				resps, err := c.Do(reqs)
+				rtt.Add(float64(time.Since(t0).Nanoseconds()))
+				if err != nil {
+					mu.Lock()
+					drained = true
+					mu.Unlock()
+					break
+				}
+				for _, r := range resps {
+					if r.Status == wire.StatusFull || r.Status == wire.StatusInvalidKey || r.Status == wire.StatusBadRequest {
+						log.Fatalf("server rejected an operation: status %d", r.Status)
+					}
+				}
+				acked += uint64(len(resps))
+				done += uint64(len(resps))
+			}
+			mu.Lock()
+			total += acked
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	return total, drained, rtt, time.Since(start)
+}

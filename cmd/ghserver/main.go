@@ -1,0 +1,97 @@
+// Command ghserver serves a grouphash store over TCP: the concurrent
+// native-backend table behind the length-prefixed wire protocol, with
+// periodic background snapshots and a graceful drain on SIGINT/SIGTERM
+// that quiesces writers and saves a final image — restart with the
+// same -image and every write acked before the drain is back.
+//
+// Usage:
+//
+//	ghserver -addr :4777 -capacity 1048576 -image /var/lib/gh/store.pmfs
+//
+// Durability: acked writes are durable up to the last snapshot (plus
+// the final drain snapshot on clean shutdown); a power failure loses
+// acked writes since the last snapshot — there is no WAL yet. See
+// DESIGN.md §6.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"grouphash"
+	"grouphash/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":4777", "TCP listen address")
+		capacity = flag.Uint64("capacity", 1<<20, "target item capacity (fixed: the concurrent store does not expand online)")
+		group    = flag.Uint64("group-size", 0, "cells per group (0 = the paper's 256)")
+		image    = flag.String("image", "", "pmfs image path: loaded at start if present, snapshot target while serving")
+		every    = flag.Duration("snapshot-every", 30*time.Second, "background snapshot period (0 = only the final drain snapshot)")
+		statsDur = flag.Duration("stats-every", 0, "log server stats at this period (0 = off)")
+	)
+	flag.Parse()
+	log.SetPrefix("ghserver: ")
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+
+	var st *grouphash.Store
+	var err error
+	if *image != "" {
+		if _, statErr := os.Stat(*image); statErr == nil {
+			if st, err = grouphash.LoadSnapshot(*image, true); err != nil {
+				log.Fatalf("loading image %s: %v", *image, err)
+			}
+			log.Printf("loaded %d items from %s", st.Len(), *image)
+		}
+	}
+	if st == nil {
+		st, err = grouphash.New(grouphash.Options{
+			Capacity:   *capacity,
+			GroupSize:  *group,
+			Concurrent: true,
+		})
+		if err != nil {
+			log.Fatalf("creating store: %v", err)
+		}
+	}
+
+	srv, err := server.New(server.Config{
+		Store:         st,
+		SnapshotPath:  *image,
+		SnapshotEvery: *every,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *statsDur > 0 {
+		go func() {
+			for range time.Tick(*statsDur) {
+				log.Print(srv.StatsText())
+			}
+		}()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe(*addr) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		log.Fatalf("serve: %v", err)
+	case got := <-sig:
+		log.Printf("%s: draining", got)
+		if err := srv.Drain(); err != nil {
+			log.Fatalf("drain: %v", err)
+		}
+		<-serveErr
+		log.Print(srv.StatsText())
+	}
+}

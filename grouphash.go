@@ -36,7 +36,9 @@ import (
 	"grouphash/internal/core"
 	"grouphash/internal/hashtab"
 	"grouphash/internal/layout"
+	"grouphash/internal/memsim"
 	"grouphash/internal/native"
+	"grouphash/internal/pmfs"
 )
 
 // Key is a fixed-size key: 8-byte keys use Lo (and must be non-zero);
@@ -166,13 +168,13 @@ func Open(mem hashtab.Mem, header uint64, concurrent bool) (*Store, error) {
 func (s *Store) Header() uint64 { return s.tab.Header() }
 
 // Put stores (k, v), replacing any existing value for k. The table
-// expands automatically when full (unless disabled).
+// expands automatically when full (unless disabled). On a concurrent
+// store the update-or-insert pair runs as one atomic operation under
+// the group lock, so racing Puts of the same key can never commit
+// duplicate items.
 func (s *Store) Put(k Key, v uint64) error {
 	if s.conc != nil {
-		if s.conc.Update(k, v) {
-			return nil
-		}
-		return s.conc.Insert(k, v)
+		return s.conc.Upsert(k, v)
 	}
 	if s.tab.Update(k, v) {
 		return nil
@@ -260,6 +262,73 @@ func (s *Store) Recover() (RecoveryReport, error) { return s.tab.Recover() }
 // CheckConsistency verifies the table invariants without repairing,
 // returning human-readable violations (empty when consistent).
 func (s *Store) CheckConsistency() []string { return s.tab.CheckConsistency() }
+
+// Concurrent reports whether the store was built with the striped-lock
+// wrapper and is safe for concurrent use.
+func (s *Store) Concurrent() bool { return s.conc != nil }
+
+// Quiesce runs fn while every writer is excluded. On a concurrent
+// store it locks all stripes (in a fixed order, so concurrent Quiesce
+// calls cannot deadlock); on a sequential store the caller already
+// owns exclusivity and fn simply runs. fn must not call the store's
+// own operations (it would self-deadlock on the held stripes) — it is
+// the hook under which Snapshot copies a consistent memory image while
+// the store keeps serving readers on other goroutines' fallback locks.
+func (s *Store) Quiesce(fn func()) {
+	if s.conc != nil {
+		s.conc.Quiesce(fn)
+		return
+	}
+	fn()
+}
+
+// imager is the optional memory-backend surface Snapshot needs: a
+// consistent byte image of the allocated region plus the allocator
+// watermark. The native backend implements it.
+type imager interface {
+	Image() []byte
+	Allocated() uint64
+}
+
+// Snapshot atomically persists the store's entire memory image to a
+// pmfs image file at path: writers are quiesced, the allocated region
+// is copied, and the copy is written crash-safely (temp file + fsync +
+// rename + directory fsync). The resulting file reopens with
+// LoadSnapshot. Supported for native-backed stores (the default) and
+// simulated stores; other Memory implementations return an error.
+//
+// The pause is O(allocated bytes) for the in-memory copy only — file
+// I/O happens after the writers resume.
+func (s *Store) Snapshot(path string) error {
+	switch m := s.mem.(type) {
+	case *memsim.Memory:
+		var err error
+		s.Quiesce(func() { err = pmfs.Save(path, m, s.Header()) })
+		return err
+	case imager:
+		var img []byte
+		var allocated uint64
+		s.Quiesce(func() { img, allocated = m.Image(), m.Allocated() })
+		return pmfs.SaveImage(path, img, allocated, s.Header())
+	default:
+		return fmt.Errorf("grouphash: memory backend %T cannot be snapshotted", s.mem)
+	}
+}
+
+// LoadSnapshot rebuilds a store from an image file written by
+// Snapshot, over a fresh native memory. Images are only ever written
+// from a quiesced table, so no recovery pass is needed; the store is
+// immediately serviceable.
+func LoadSnapshot(path string, concurrent bool) (*Store, error) {
+	img, allocated, root, err := pmfs.LoadImage(path)
+	if err != nil {
+		return nil, err
+	}
+	mem := native.New(uint64(len(img)))
+	mem.SetImage(img)
+	mem.SetAllocated(allocated)
+	return Open(mem, root, concurrent)
+}
 
 // String describes the store.
 func (s *Store) String() string {

@@ -1,0 +1,43 @@
+package client
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"grouphash/internal/wire"
+)
+
+func TestStatusErrMapping(t *testing.T) {
+	cases := []struct {
+		status byte
+		want   error
+	}{
+		{wire.StatusOK, nil},
+		{wire.StatusNotFound, nil}, // absence is data, not failure
+		{wire.StatusFull, ErrFull},
+		{wire.StatusInvalidKey, ErrInvalidKey},
+		{wire.StatusDraining, ErrDraining},
+		{wire.StatusBadRequest, ErrBadRequest},
+	}
+	for _, c := range cases {
+		if got := StatusErr(c.status); !errors.Is(got, c.want) {
+			t.Fatalf("StatusErr(%d) = %v, want %v", c.status, got, c.want)
+		}
+	}
+	if StatusErr(250) == nil {
+		t.Fatal("unknown status must be an error")
+	}
+}
+
+func TestDialFailsFast(t *testing.T) {
+	// A port from the TEST-NET range nothing listens on: Dial with a
+	// zero timeout must make exactly one attempt and fail.
+	start := time.Now()
+	if _, err := Dial("127.0.0.1:1", 0); err == nil {
+		t.Fatal("Dial to a dead port succeeded")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("zero-timeout Dial retried")
+	}
+}

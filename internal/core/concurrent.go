@@ -116,29 +116,49 @@ func (s *stripe) unlock() {
 // Name implements hashtab.Table.
 func (c *Concurrent) Name() string { return "group-concurrent" }
 
-// Insert stores (k, v) under the group lock. Count maintenance happens
-// under the count mutex; the commit order (cell first, count second)
-// matches the sequential protocol, so crash consistency is unchanged.
+// Insert stores (k, v) under the group lock. Placement delegates to
+// the same placeWithoutCount helper the sequential Insert uses, so the
+// two paths cannot drift; the key is validated first, exactly as in
+// Table.Insert (the compact layout's reserved zero key would corrupt
+// the key-word-as-bitmap occupancy invariant if committed). Count
+// maintenance happens under the count mutex; the commit order (cell
+// first, count second) matches the sequential protocol, so crash
+// consistency is unchanged.
 func (c *Concurrent) Insert(k layout.Key, v uint64) error {
+	if !c.t.l.ValidKey(k) {
+		return hashtab.ErrInvalidKey
+	}
 	s := c.stripeFor(k)
 	s.lock()
 	defer s.unlock()
-	idx := c.t.h.Index(k.Lo, k.Hi)
-	if !c.t.tab1.Occupied(idx) {
-		c.t.tab1.InsertAt(idx, k, v)
-		c.bumpCount(1)
+	if !c.t.placeWithoutCount(k, v) {
+		return hashtab.ErrTableFull
+	}
+	c.bumpCount(1)
+	return nil
+}
+
+// Upsert stores (k, v), overwriting any existing value for k, as one
+// atomic operation under the group lock. Unlike an Update-then-Insert
+// sequence composed by the caller (two separate lock acquisitions,
+// between which another goroutine can insert the same key), Upsert
+// cannot create duplicate items under concurrency — the property a
+// networked front-end's PUT needs.
+func (c *Concurrent) Upsert(k layout.Key, v uint64) error {
+	if !c.t.l.ValidKey(k) {
+		return hashtab.ErrInvalidKey
+	}
+	s := c.stripeFor(k)
+	s.lock()
+	defer s.unlock()
+	if c.t.Update(k, v) {
 		return nil
 	}
-	j := c.t.groupStart(idx)
-	for i := uint64(0); i < c.t.gsz; i++ {
-		if !c.t.tab2.Occupied(j + i) {
-			c.t.tab2.InsertAt(j+i, k, v)
-			c.t.noteL2Insert(j)
-			c.bumpCount(1)
-			return nil
-		}
+	if !c.t.placeWithoutCount(k, v) {
+		return hashtab.ErrTableFull
 	}
-	return hashtab.ErrTableFull
+	c.bumpCount(1)
+	return nil
 }
 
 // Lookup returns the value under k. On backends with atomic word reads
@@ -171,27 +191,17 @@ func (c *Concurrent) Lookup(k layout.Key) (uint64, bool) {
 	return c.t.Lookup(k)
 }
 
-// Delete removes k under the group lock.
+// Delete removes k under the group lock, delegating to the same
+// removeWithoutCount helper as the sequential Delete.
 func (c *Concurrent) Delete(k layout.Key) bool {
 	s := c.stripeFor(k)
 	s.lock()
 	defer s.unlock()
-	idx := c.t.h.Index(k.Lo, k.Hi)
-	if c.t.tab1.Matches(idx, k) {
-		c.t.tab1.DeleteAt(idx)
-		c.bumpCount(-1)
-		return true
+	if !c.t.removeWithoutCount(k) {
+		return false
 	}
-	j := c.t.groupStart(idx)
-	for i := uint64(0); i < c.t.gsz; i++ {
-		if c.t.tab2.Matches(j+i, k) {
-			c.t.tab2.DeleteAt(j + i)
-			c.t.noteL2Delete(j)
-			c.bumpCount(-1)
-			return true
-		}
-	}
-	return false
+	c.bumpCount(-1)
+	return true
 }
 
 // Update overwrites an existing key's value under the group lock.
@@ -221,4 +231,24 @@ func (c *Concurrent) Capacity() uint64 { return c.t.Capacity() }
 // LoadFactor returns Len/Capacity.
 func (c *Concurrent) LoadFactor() float64 {
 	return float64(c.Len()) / float64(c.Capacity())
+}
+
+// Quiesce runs fn while every stripe is held exclusively: no insert,
+// upsert, delete or update is in flight, optimistic readers observe an
+// odd version and fall back to the (blocked) shared lock, and the
+// wrapped table is momentarily as quiet as a single-threaded one.
+// This is the snapshot hook: fn may read the entire backing memory
+// (e.g. copy an image for a pmfs save) without racing any writer.
+// Stripes are always taken in index order, so concurrent Quiesce calls
+// cannot deadlock each other; fn must not call other methods of c
+// (they would self-deadlock on the held stripes) but may use the
+// wrapped Table directly.
+func (c *Concurrent) Quiesce(fn func()) {
+	for i := range c.stripes {
+		c.stripes[i].lock()
+	}
+	fn()
+	for i := range c.stripes {
+		c.stripes[i].unlock()
+	}
 }

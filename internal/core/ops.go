@@ -75,34 +75,44 @@ func (t *Table) lookupInGroup(j uint64, k layout.Key) (uint64, bool) {
 // and a crash between the two steps leaves only a stale payload behind
 // a zero bitmap for Recover to scrub (§3.4's ordering argument).
 func (t *Table) Delete(k layout.Key) bool {
+	if !t.removeWithoutCount(k) {
+		return false
+	}
+	t.setCount(t.Len() - 1)
+	return true
+}
+
+// removeWithoutCount runs the cell retire protocol (clear commit word,
+// scrub payload) without the count update, reporting whether the key
+// was found. It is the deletion twin of placeWithoutCount and the
+// single implementation both Table.Delete and Concurrent.Delete build
+// on, so the sequential and concurrent paths cannot drift.
+func (t *Table) removeWithoutCount(k layout.Key) bool {
 	i1, i2, n := t.homes(k)
 	if t.tab1.Matches(i1, k) {
 		t.tab1.DeleteAt(i1)
-		t.setCount(t.Len() - 1)
 		return true
 	}
 	if n == 2 && t.tab1.Matches(i2, k) {
 		t.tab1.DeleteAt(i2)
-		t.setCount(t.Len() - 1)
 		return true
 	}
-	if t.deleteInGroup(t.groupStart(i1), k) {
+	if t.removeInGroup(t.groupStart(i1), k) {
 		return true
 	}
 	if n == 2 && t.groupStart(i2) != t.groupStart(i1) {
-		return t.deleteInGroup(t.groupStart(i2), k)
+		return t.removeInGroup(t.groupStart(i2), k)
 	}
 	return false
 }
 
-func (t *Table) deleteInGroup(j uint64, k layout.Key) bool {
+func (t *Table) removeInGroup(j uint64, k layout.Key) bool {
 	remaining := t.occupancy(j)
 	for i := uint64(0); i < t.gsz && remaining > 0; i++ {
 		match, occupied := t.tab2.Probe(j+i, k)
 		if match {
 			t.tab2.DeleteAt(j + i)
 			t.noteL2Delete(j)
-			t.setCount(t.Len() - 1)
 			return true
 		}
 		if occupied {

@@ -25,6 +25,7 @@
 package native
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync/atomic"
 )
@@ -83,6 +84,49 @@ func (m *Memory) AtomicWrite8(addr, val uint64) { m.Write8(addr, val) }
 
 // Persist is a no-op: native memory has no persistence domain.
 func (m *Memory) Persist(addr, n uint64) {}
+
+// Allocated returns the allocator watermark: every address handed out
+// by Alloc lies below it, so the bytes under it are the memory's entire
+// live content.
+func (m *Memory) Allocated() uint64 { return m.next }
+
+// SetAllocated restores the allocator watermark, e.g. after SetImage
+// rebuilt the contents from a saved image.
+func (m *Memory) SetAllocated(n uint64) { m.next = n }
+
+// Image returns a copy of the allocated prefix of the memory as bytes
+// (little-endian words, the byte order the pmfs image format and the
+// simulated region share). Words are read with atomic loads, so an
+// Image taken while lock-free readers are probing is race-free; the
+// caller must still exclude WRITERS (e.g. via Concurrent.Quiesce) for
+// the image to be a consistent cut.
+func (m *Memory) Image() []byte {
+	words := (m.next + 7) / 8
+	img := make([]byte, words*8)
+	for i := uint64(0); i < words; i++ {
+		binary.LittleEndian.PutUint64(img[i*8:], atomic.LoadUint64(&m.words[i]))
+	}
+	return img[:min(m.next, uint64(len(img)))]
+}
+
+// SetImage overwrites the front of the memory with a saved image,
+// growing the buffer if needed. Not safe to run concurrently with any
+// other access; intended for rebuilding a memory at load time.
+func (m *Memory) SetImage(img []byte) {
+	if need := (uint64(len(img)) + 7) / 8; need > uint64(len(m.words)) {
+		grown := make([]uint64, need)
+		copy(grown, m.words)
+		m.words = grown
+	}
+	for i := 0; i+8 <= len(img); i += 8 {
+		m.words[i/8] = binary.LittleEndian.Uint64(img[i:])
+	}
+	if tail := len(img) % 8; tail != 0 {
+		var b [8]byte
+		copy(b[:], img[len(img)-tail:])
+		m.words[len(img)/8] = binary.LittleEndian.Uint64(b[:])
+	}
+}
 
 // Alloc reserves size bytes at the given power-of-two alignment. Unlike
 // the fixed-size simulated NVM region, native memory models ordinary

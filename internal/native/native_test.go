@@ -98,3 +98,30 @@ func TestQuickAllocationsDisjoint(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestImageRoundtrip checks that Image/SetImage move the allocated
+// prefix faithfully, including a non-word-aligned watermark tail.
+func TestImageRoundtrip(t *testing.T) {
+	m := New(1 << 12)
+	a := m.Alloc(64, 8)
+	for i := uint64(0); i < 8; i++ {
+		m.Write8(a+i*8, 0x1111*(i+1))
+	}
+	m.SetAllocated(m.Allocated() - 3) // unaligned watermark
+	img := m.Image()
+	if uint64(len(img)) != m.Allocated() {
+		t.Fatalf("image is %d bytes, watermark %d", len(img), m.Allocated())
+	}
+
+	m2 := New(8) // deliberately too small: SetImage must grow it
+	m2.SetImage(img)
+	m2.SetAllocated(uint64(len(img)))
+	for i := uint64(0); i < 7; i++ { // last word was truncated by the tail
+		if got := m2.Read8(a + i*8); got != 0x1111*(i+1) {
+			t.Fatalf("word %d = %#x after roundtrip", i, got)
+		}
+	}
+	if m2.Allocated() != uint64(len(img)) {
+		t.Fatal("watermark not restored")
+	}
+}

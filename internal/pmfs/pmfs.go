@@ -8,8 +8,23 @@
 // address (the table header).
 //
 // Saves are crash-safe in the ordinary file-system sense: the image is
-// written to a temporary file, fsynced, and renamed over the target, so
-// a crash during Save leaves either the old image or the new one.
+// written to a temporary file in the target's directory, fsynced,
+// renamed over the target, and the parent DIRECTORY is fsynced after
+// the rename. All three barriers are required for the "either the old
+// image or the new one" guarantee on a real file system: the file
+// fsync makes the new bytes durable, the atomic rename switches the
+// name, and the directory fsync makes the switch itself durable — on
+// POSIX file systems a rename lives in the directory's data, so a
+// crash before the directory sync can legally resurrect the old
+// directory entry (that still points at the old, intact image — the
+// guarantee holds either way, but only because the temp file was
+// fully synced BEFORE the rename).
+//
+// The same image format serves both memory backends: Save/Load wrap
+// the simulated machine (cache write-back, latency model), while
+// SaveImage/LoadImage move raw image bytes for callers that manage
+// their own memory — the native-backend network server snapshots
+// through them.
 package pmfs
 
 import (
@@ -34,12 +49,20 @@ const headerWords = 4
 // state.
 func Save(path string, mem *memsim.Memory, root uint64) error {
 	mem.CleanShutdown()
-	img := mem.Region().Image()
+	return SaveImage(path, mem.Region().Image(), mem.Allocated(), root)
+}
 
+// SaveImage crash-safely writes a raw memory image to path: temp file
+// in path's directory, write, fsync, rename, directory fsync (see the
+// package comment for why each step is needed). The image must be a
+// consistent cut of the region — for the simulated machine that means
+// after CleanShutdown (Save does this), for a concurrently served
+// native memory it means inside a quiesce window.
+func SaveImage(path string, img []byte, allocated, root uint64) error {
 	buf := make([]byte, headerWords*8+len(img))
 	binary.LittleEndian.PutUint64(buf[0:8], Magic)
 	binary.LittleEndian.PutUint64(buf[8:16], uint64(len(img)))
-	binary.LittleEndian.PutUint64(buf[16:24], mem.Allocated())
+	binary.LittleEndian.PutUint64(buf[16:24], allocated)
 	binary.LittleEndian.PutUint64(buf[24:32], root)
 	copy(buf[headerWords*8:], img)
 
@@ -64,6 +87,20 @@ func Save(path string, mem *memsim.Memory, root uint64) error {
 	if err := os.Rename(tmpName, path); err != nil {
 		return fmt.Errorf("pmfs: publishing image: %w", err)
 	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-completed rename inside it is
+// durable, not merely visible.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("pmfs: opening directory for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("pmfs: syncing directory: %w", err)
+	}
 	return nil
 }
 
@@ -72,29 +109,41 @@ func Save(path string, mem *memsim.Memory, root uint64) error {
 // supplied config's Size is overridden by the image's region size; the
 // other knobs (seed, latency, geometry) apply to the new machine.
 func Load(path string, cfg memsim.Config) (*memsim.Memory, uint64, error) {
-	buf, err := os.ReadFile(path)
+	img, next, root, err := LoadImage(path)
 	if err != nil {
-		return nil, 0, fmt.Errorf("pmfs: reading image: %w", err)
+		return nil, 0, err
 	}
-	if len(buf) < headerWords*8 {
-		return nil, 0, fmt.Errorf("pmfs: image truncated (%d bytes)", len(buf))
-	}
-	if got := binary.LittleEndian.Uint64(buf[0:8]); got != Magic {
-		return nil, 0, fmt.Errorf("pmfs: bad magic %#x", got)
-	}
-	size := binary.LittleEndian.Uint64(buf[8:16])
-	next := binary.LittleEndian.Uint64(buf[16:24])
-	root := binary.LittleEndian.Uint64(buf[24:32])
-	img := buf[headerWords*8:]
-	if uint64(len(img)) != size {
-		return nil, 0, fmt.Errorf("pmfs: image body is %d bytes, header says %d", len(img), size)
-	}
-	if next > size {
-		return nil, 0, fmt.Errorf("pmfs: corrupt watermark %d for %d-byte region", next, size)
-	}
-	cfg.Size = size
+	cfg.Size = uint64(len(img))
 	mem := memsim.New(cfg)
 	mem.Region().SetImage(img)
 	mem.SetAllocated(next)
 	return mem, root, nil
+}
+
+// LoadImage reads and validates an image file, returning the raw image
+// bytes, the allocator watermark and the root address. Backend-neutral:
+// Load feeds the result to a fresh simulated machine, the network
+// server feeds it to a native memory.
+func LoadImage(path string) (img []byte, allocated, root uint64, err error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("pmfs: reading image: %w", err)
+	}
+	if len(buf) < headerWords*8 {
+		return nil, 0, 0, fmt.Errorf("pmfs: image truncated (%d bytes)", len(buf))
+	}
+	if got := binary.LittleEndian.Uint64(buf[0:8]); got != Magic {
+		return nil, 0, 0, fmt.Errorf("pmfs: bad magic %#x", got)
+	}
+	size := binary.LittleEndian.Uint64(buf[8:16])
+	allocated = binary.LittleEndian.Uint64(buf[16:24])
+	root = binary.LittleEndian.Uint64(buf[24:32])
+	img = buf[headerWords*8:]
+	if uint64(len(img)) != size {
+		return nil, 0, 0, fmt.Errorf("pmfs: image body is %d bytes, header says %d", len(img), size)
+	}
+	if allocated > size {
+		return nil, 0, 0, fmt.Errorf("pmfs: corrupt watermark %d for %d-byte region", allocated, size)
+	}
+	return img, allocated, root, nil
 }

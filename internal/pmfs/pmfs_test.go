@@ -139,3 +139,27 @@ func TestSaveIsAtomic(t *testing.T) {
 		t.Fatal("second save not visible")
 	}
 }
+
+// TestSaveImageLoadImageRoundtrip checks the backend-neutral raw-image
+// path the network server snapshots through.
+func TestSaveImageLoadImageRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "raw.img")
+	want := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	if err := SaveImage(path, want, 11, 42); err != nil {
+		t.Fatal(err)
+	}
+	img, allocated, root, err := LoadImage(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(img) != string(want) || allocated != 11 || root != 42 {
+		t.Fatalf("roundtrip = (%v, %d, %d)", img, allocated, root)
+	}
+	// Overwrite in place: the rename path must replace, not append.
+	if err := SaveImage(path, want[:8], 8, 7); err != nil {
+		t.Fatal(err)
+	}
+	if img, _, root, err = LoadImage(path); err != nil || len(img) != 8 || root != 7 {
+		t.Fatalf("second roundtrip = (%d bytes, root %d, %v)", len(img), root, err)
+	}
+}

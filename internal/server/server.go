@@ -1,0 +1,357 @@
+// Package server puts a grouphash store behind a TCP socket: the
+// first layer of this repository that exercises the table the way a
+// production service would — many connections, pipelined requests,
+// background snapshots, and a graceful drain that turns a SIGTERM into
+// a durable image.
+//
+// Architecture: one goroutine per connection over the wire protocol
+// (internal/wire), buffered framing with a flush-before-blocking-read
+// rule so pipelined batches are answered in one writev, the concurrent
+// native-backend store underneath (per-group striped locks, seqlock
+// reads), and the façade's Quiesce/Snapshot hooks for consistent
+// images while serving.
+//
+// Durability contract: the server is a cache-with-snapshots, not a
+// database. Acked writes are guaranteed durable only up to the most
+// recent completed snapshot; on a clean drain (Drain, typically wired
+// to SIGINT/SIGTERM) a final snapshot makes EVERY acked write durable.
+// On a power failure, acked writes since the last snapshot are lost —
+// there is no write-ahead log yet. See DESIGN.md §6.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"grouphash"
+	"grouphash/internal/hashtab"
+	"grouphash/internal/stats"
+	"grouphash/internal/wire"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Store is the store to serve. It must have been built with
+	// Options.Concurrent (every connection gets its own goroutine).
+	Store *grouphash.Store
+	// SnapshotPath, when non-empty, enables snapshots: a final image
+	// on Drain, plus periodic background images every SnapshotEvery.
+	SnapshotPath string
+	// SnapshotEvery is the background snapshot period; 0 disables
+	// periodic snapshots (the final drain snapshot still happens).
+	SnapshotEvery time.Duration
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Metrics is a point-in-time copy of the server's counters.
+type Metrics struct {
+	// ConnsAccepted counts connections ever accepted; ConnsActive is
+	// the current count.
+	ConnsAccepted, ConnsActive uint64
+	// Reads, Writes, Deletes, Others count requests by class (Get;
+	// Put+Insert; Delete; Ping+Len+Stats).
+	Reads, Writes, Deletes, Others uint64
+	// Full, InvalidKey, BadRequest count non-OK outcomes.
+	Full, InvalidKey, BadRequest uint64
+	// Snapshots counts completed snapshot saves (periodic + final).
+	Snapshots uint64
+}
+
+// Server serves one Store over TCP. Create with New, start with Serve
+// or ListenAndServe, stop with Drain.
+type Server struct {
+	cfg  Config
+	ln   net.Listener
+	logf func(string, ...any)
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	handlers   sync.WaitGroup // per-connection goroutines
+	loops      sync.WaitGroup // snapshot ticker goroutine
+	stop       chan struct{}  // closed by Drain
+	acceptDone chan struct{}  // closed when the accept loop exits
+	serving    atomic.Bool    // Serve was entered
+	draining   atomic.Bool
+	drainErr   error
+	drained    sync.Once
+
+	accepted, closedConns            stats.Counter
+	reads, writes, deletes, others   stats.Counter
+	full, invalid, badreq, snapshots stats.Counter
+	lat                              *stats.Reservoir
+}
+
+// New validates cfg and builds a Server (not yet listening).
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("server: Config.Store is required")
+	}
+	if !cfg.Store.Concurrent() {
+		return nil, fmt.Errorf("server: the store must be built with Options.Concurrent")
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{
+		cfg:        cfg,
+		logf:       logf,
+		conns:      make(map[net.Conn]struct{}),
+		stop:       make(chan struct{}),
+		acceptDone: make(chan struct{}),
+		lat:        stats.NewReservoir(8192),
+	}, nil
+}
+
+// ListenAndServe listens on addr and serves until Drain.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Drain is called, then returns
+// nil (any non-drain accept failure is returned as an error). The
+// snapshot ticker starts here and stops at drain.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.serving.Store(true)
+	defer close(s.acceptDone)
+	if s.cfg.SnapshotPath != "" && s.cfg.SnapshotEvery > 0 {
+		s.loops.Add(1)
+		go s.snapshotLoop()
+	}
+	s.logf("server: serving on %s", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		s.accepted.Inc()
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		if s.draining.Load() {
+			// Drain's deadline sweep may have run before this conn was
+			// registered; nudge it ourselves so the drain cannot hang.
+			conn.SetReadDeadline(time.Now())
+		}
+		s.mu.Unlock()
+		s.handlers.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// Addr returns the listening address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Drain gracefully shuts the server down: stop accepting, let every
+// connection finish the requests the server has already buffered
+// (responses are flushed, so they are acked), close the connections,
+// and — when snapshots are configured — save a final image containing
+// every acked write. Safe to call more than once; later calls return
+// the first call's result after it completes.
+func (s *Server) Drain() error {
+	s.drained.Do(func() {
+		s.draining.Store(true)
+		close(s.stop)
+		s.mu.Lock()
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		// Kick handlers out of blocking reads; requests already in
+		// their userspace buffers are still served before they exit.
+		now := time.Now()
+		for conn := range s.conns {
+			conn.SetReadDeadline(now)
+		}
+		s.mu.Unlock()
+		if s.serving.Load() {
+			// The accept loop must exit before handlers.Wait: a conn
+			// accepted just before the listener closed is only counted
+			// into the WaitGroup by the loop's final iteration.
+			<-s.acceptDone
+		}
+		s.handlers.Wait()
+		s.loops.Wait()
+		if s.cfg.SnapshotPath != "" {
+			s.drainErr = s.snapshot("final")
+		}
+		s.logf("server: drained (%d conns served, %d writes, %d reads)",
+			s.accepted.Load(), s.writes.Load(), s.reads.Load())
+	})
+	return s.drainErr
+}
+
+// snapshotLoop saves periodic background images until drain.
+func (s *Server) snapshotLoop() {
+	defer s.loops.Done()
+	t := time.NewTicker(s.cfg.SnapshotEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			if err := s.snapshot("periodic"); err != nil {
+				s.logf("server: periodic snapshot failed: %v", err)
+			}
+		}
+	}
+}
+
+// snapshot quiesces writers and saves one image.
+func (s *Server) snapshot(kind string) error {
+	start := time.Now()
+	if err := s.cfg.Store.Snapshot(s.cfg.SnapshotPath); err != nil {
+		return err
+	}
+	s.snapshots.Inc()
+	s.logf("server: %s snapshot (%d items) in %s", kind, s.cfg.Store.Len(), time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// handle runs one connection: read a frame, serve it, queue the
+// response; flush whenever the input buffer runs dry (the pipelining
+// rule — a batch of k requests costs one flush, a lone request is
+// answered immediately before the next blocking read).
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+		s.closedConns.Inc()
+		s.handlers.Done()
+	}()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	for {
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+		req, err := wire.ReadRequest(br)
+		if err != nil {
+			// Clean close, drain deadline, or protocol garbage: flush
+			// whatever was answered (those become acked) and hang up.
+			bw.Flush()
+			return
+		}
+		start := time.Now()
+		resp := s.dispatch(req)
+		s.lat.Add(float64(time.Since(start).Nanoseconds()))
+		if err := wire.WriteResponse(bw, resp); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch executes one request against the store.
+func (s *Server) dispatch(req wire.Request) wire.Response {
+	st := s.cfg.Store
+	switch req.Op {
+	case wire.OpPing:
+		s.others.Inc()
+		return wire.Response{Status: wire.StatusOK}
+	case wire.OpGet:
+		s.reads.Inc()
+		v, ok := st.Get(req.Key)
+		if !ok {
+			return wire.Response{Status: wire.StatusNotFound}
+		}
+		return wire.Response{Status: wire.StatusOK, Value: v}
+	case wire.OpPut:
+		s.writes.Inc()
+		return s.errResponse(st.Put(req.Key, req.Value))
+	case wire.OpInsert:
+		s.writes.Inc()
+		return s.errResponse(st.Insert(req.Key, req.Value))
+	case wire.OpDelete:
+		s.deletes.Inc()
+		if !st.Delete(req.Key) {
+			return wire.Response{Status: wire.StatusNotFound}
+		}
+		return wire.Response{Status: wire.StatusOK}
+	case wire.OpLen:
+		s.others.Inc()
+		return wire.Response{Status: wire.StatusOK, Value: st.Len()}
+	case wire.OpStats:
+		s.others.Inc()
+		return wire.Response{Status: wire.StatusOK, Extra: []byte(s.StatsText())}
+	default:
+		s.badreq.Inc()
+		return wire.Response{Status: wire.StatusBadRequest}
+	}
+}
+
+// errResponse maps store write errors to wire statuses.
+func (s *Server) errResponse(err error) wire.Response {
+	switch {
+	case err == nil:
+		return wire.Response{Status: wire.StatusOK}
+	case errors.Is(err, hashtab.ErrTableFull):
+		s.full.Inc()
+		return wire.Response{Status: wire.StatusFull}
+	case errors.Is(err, hashtab.ErrInvalidKey):
+		s.invalid.Inc()
+		return wire.Response{Status: wire.StatusInvalidKey}
+	default:
+		s.badreq.Inc()
+		return wire.Response{Status: wire.StatusBadRequest}
+	}
+}
+
+// Stats returns a copy of the server's counters.
+func (s *Server) Stats() Metrics {
+	return Metrics{
+		ConnsAccepted: s.accepted.Load(),
+		ConnsActive:   s.accepted.Load() - s.closedConns.Load(),
+		Reads:         s.reads.Load(),
+		Writes:        s.writes.Load(),
+		Deletes:       s.deletes.Load(),
+		Others:        s.others.Load(),
+		Full:          s.full.Load(),
+		InvalidKey:    s.invalid.Load(),
+		BadRequest:    s.badreq.Load(),
+		Snapshots:     s.snapshots.Load(),
+	}
+}
+
+// StatsText renders the counters and request-latency quantiles as the
+// human-readable text OpStats returns.
+func (s *Server) StatsText() string {
+	m := s.Stats()
+	sample := s.lat.Snapshot()
+	us := func(q float64) float64 { return sample.Quantile(q) / 1e3 }
+	return fmt.Sprintf(
+		"items=%d load=%.3f conns=%d/%d reads=%d writes=%d deletes=%d others=%d "+
+			"full=%d invalid=%d bad=%d snapshots=%d draining=%v "+
+			"latency_us{p50=%.1f p90=%.1f p99=%.1f max=%.1f n=%d}",
+		s.cfg.Store.Len(), s.cfg.Store.LoadFactor(),
+		m.ConnsActive, m.ConnsAccepted,
+		m.Reads, m.Writes, m.Deletes, m.Others,
+		m.Full, m.InvalidKey, m.BadRequest, m.Snapshots, s.draining.Load(),
+		us(0.5), us(0.9), us(0.99), us(1), sample.N())
+}

@@ -1,0 +1,353 @@
+package server
+
+import (
+	"errors"
+	"net"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"grouphash"
+	"grouphash/internal/client"
+	"grouphash/internal/layout"
+	"grouphash/internal/wire"
+)
+
+// startServer spins up a server on a loopback port and returns it with
+// its address and a cleanup-registered drain.
+func startServer(t *testing.T, opts grouphash.Options, cfg Config) (*Server, string) {
+	t.Helper()
+	opts.Concurrent = true
+	st, err := grouphash.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Store = st
+	cfg.Logf = t.Logf
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ln) }()
+	t.Cleanup(func() {
+		s.Drain()
+		if err := <-serveDone; err != nil {
+			t.Errorf("Serve returned %v", err)
+		}
+	})
+	return s, ln.Addr().String()
+}
+
+func dial(t *testing.T, addr string) *client.Client {
+	t.Helper()
+	c, err := client.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New without a store must fail")
+	}
+	seq, err := grouphash.New(grouphash.Options{Capacity: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Store: seq}); err == nil {
+		t.Fatal("New with a non-concurrent store must fail")
+	}
+}
+
+func TestServeBasicOps(t *testing.T) {
+	s, addr := startServer(t, grouphash.Options{Capacity: 1 << 12}, Config{})
+	c := dial(t, addr)
+
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(layout.Key{Lo: 7}, 70); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := c.Get(layout.Key{Lo: 7}); err != nil || !ok || v != 70 {
+		t.Fatalf("Get = (%d, %v, %v)", v, ok, err)
+	}
+	if _, ok, err := c.Get(layout.Key{Lo: 999}); err != nil || ok {
+		t.Fatalf("absent Get = (ok=%v, %v)", ok, err)
+	}
+	if err := c.Put(layout.Key{Lo: 7}, 71); err != nil { // overwrite, no duplicate
+		t.Fatal(err)
+	}
+	if n, err := c.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = (%d, %v)", n, err)
+	}
+	if err := c.Insert(layout.Key{Lo: 8}, 80); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := c.Delete(layout.Key{Lo: 7}); err != nil || !ok {
+		t.Fatalf("Delete = (%v, %v)", ok, err)
+	}
+	if ok, err := c.Delete(layout.Key{Lo: 7}); err != nil || ok {
+		t.Fatalf("second Delete = (%v, %v)", ok, err)
+	}
+	// The concurrent wrapper's zero-key rejection travels the wire as
+	// a typed error.
+	if err := c.Put(layout.Key{}, 1); !errors.Is(err, client.ErrInvalidKey) {
+		t.Fatalf("zero-key Put = %v, want ErrInvalidKey", err)
+	}
+	text, err := c.ServerStats()
+	if err != nil || !strings.Contains(text, "latency_us") {
+		t.Fatalf("ServerStats = (%q, %v)", text, err)
+	}
+	if m := s.Stats(); m.Writes == 0 || m.Reads == 0 || m.InvalidKey != 1 {
+		t.Fatalf("counters = %+v", m)
+	}
+}
+
+func TestServePipelined(t *testing.T) {
+	_, addr := startServer(t, grouphash.Options{Capacity: 1 << 12}, Config{})
+	c := dial(t, addr)
+
+	const n = 500
+	reqs := make([]wire.Request, 0, n)
+	for i := uint64(1); i <= n; i++ {
+		reqs = append(reqs, wire.Request{Op: wire.OpPut, Key: layout.Key{Lo: i}, Value: i * 2})
+	}
+	resps, err := c.Do(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range resps {
+		if r.Status != wire.StatusOK {
+			t.Fatalf("put %d status %d", i, r.Status)
+		}
+	}
+	// Mixed batch, responses must line up positionally.
+	mixed := []wire.Request{
+		{Op: wire.OpGet, Key: layout.Key{Lo: 3}},
+		{Op: wire.OpDelete, Key: layout.Key{Lo: 3}},
+		{Op: wire.OpGet, Key: layout.Key{Lo: 3}},
+		{Op: wire.OpLen},
+		{Op: 99}, // unknown opcode
+	}
+	resps, err = c.Do(mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resps[0].Status != wire.StatusOK || resps[0].Value != 6 {
+		t.Fatalf("get before delete = %+v", resps[0])
+	}
+	if resps[1].Status != wire.StatusOK {
+		t.Fatalf("delete = %+v", resps[1])
+	}
+	if resps[2].Status != wire.StatusNotFound {
+		t.Fatalf("get after delete = %+v", resps[2])
+	}
+	if resps[3].Status != wire.StatusOK || resps[3].Value != n-1 {
+		t.Fatalf("len = %+v", resps[3])
+	}
+	if resps[4].Status != wire.StatusBadRequest {
+		t.Fatalf("unknown op = %+v", resps[4])
+	}
+}
+
+func TestServerFull(t *testing.T) {
+	_, addr := startServer(t, grouphash.Options{Capacity: 64, GroupSize: 8}, Config{})
+	c := dial(t, addr)
+	var sawFull bool
+	for i := uint64(1); i <= 4096; i++ {
+		if err := c.Put(layout.Key{Lo: i}, i); err != nil {
+			if errors.Is(err, client.ErrFull) {
+				sawFull = true
+				break
+			}
+			t.Fatal(err)
+		}
+	}
+	if !sawFull {
+		t.Fatal("concurrent store (no online expansion) never reported ErrFull")
+	}
+}
+
+// TestDrainAndReload is the acceptance scenario: writers are mid-load
+// when Drain fires; every write acked before the drain must be present
+// in the final image when a new store reloads it.
+func TestDrainAndReload(t *testing.T) {
+	dir := t.TempDir()
+	img := filepath.Join(dir, "store.pmfs")
+	s, addr := startServer(t, grouphash.Options{Capacity: 1 << 16},
+		Config{SnapshotPath: img})
+
+	const workers = 4
+	acked := make([][]uint64, workers) // keys acked per worker, disjoint ranges
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := client.Dial(addr, time.Second)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			base := uint64(w) << 32
+			for i := uint64(1); ; i++ {
+				if err := c.Put(layout.Key{Lo: base + i}, i); err != nil {
+					return // drain closed the conn; everything before was acked
+				}
+				acked[w] = append(acked[w], base+i)
+			}
+		}(w)
+	}
+	time.Sleep(150 * time.Millisecond) // let real load build up
+	if err := s.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	wg.Wait()
+
+	var total int
+	for _, keys := range acked {
+		total += len(keys)
+	}
+	if total == 0 {
+		t.Fatal("no writes were acked before the drain; test proves nothing")
+	}
+	t.Logf("acked %d writes before drain", total)
+
+	re, err := grouphash.LoadSnapshot(img, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, keys := range acked {
+		for _, k := range keys {
+			if v, ok := re.Get(layout.Key{Lo: k}); !ok || v != k&0xffffffff {
+				t.Fatalf("worker %d: acked key %#x = (%d, %v) after reload", w, k, v, ok)
+			}
+		}
+	}
+	if bad := re.CheckConsistency(); len(bad) != 0 {
+		t.Fatalf("reloaded store inconsistent: %v", bad)
+	}
+}
+
+// TestSnapshotWhileServing drives churn while the periodic snapshot
+// loop runs at an aggressive interval: every snapshot must quiesce to
+// a consistent image, and the last one must reopen cleanly.
+func TestSnapshotWhileServing(t *testing.T) {
+	dir := t.TempDir()
+	img := filepath.Join(dir, "store.pmfs")
+	s, addr := startServer(t, grouphash.Options{Capacity: 1 << 14},
+		Config{SnapshotPath: img, SnapshotEvery: 10 * time.Millisecond})
+
+	const workers = 3
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := client.Dial(addr, time.Second)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			base := uint64(w+1) << 20
+			for i := uint64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := layout.Key{Lo: base + i%500 + 1}
+				switch i % 3 {
+				case 0, 1:
+					if err := c.Put(k, i); err != nil {
+						return
+					}
+				case 2:
+					if _, err := c.Delete(k); err != nil {
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if s.Stats().Snapshots < 3 {
+		t.Fatalf("only %d periodic snapshots in 200ms at a 10ms interval", s.Stats().Snapshots)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := grouphash.LoadSnapshot(img, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := re.CheckConsistency(); len(bad) != 0 {
+		t.Fatalf("image written under churn is inconsistent: %v", bad)
+	}
+}
+
+// TestDrainAcksBufferedPipeline checks the drain contract from the
+// protocol side: a pipelined batch the server has already buffered is
+// fully answered (and therefore fully in the final image) even when
+// the drain fires immediately after it is sent.
+func TestDrainAcksBufferedPipeline(t *testing.T) {
+	dir := t.TempDir()
+	img := filepath.Join(dir, "store.pmfs")
+	s, addr := startServer(t, grouphash.Options{Capacity: 1 << 14},
+		Config{SnapshotPath: img})
+	c := dial(t, addr)
+
+	const n = 200
+	reqs := make([]wire.Request, 0, n)
+	for i := uint64(1); i <= n; i++ {
+		reqs = append(reqs, wire.Request{Op: wire.OpInsert, Key: layout.Key{Lo: i}, Value: i})
+	}
+	done := make(chan error, 1)
+	go func() {
+		resps, err := c.Do(reqs)
+		if err == nil {
+			for _, r := range resps {
+				if r.Status != wire.StatusOK {
+					err = errors.New("non-OK status in batch")
+					break
+				}
+			}
+		}
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		// The batch raced the drain and lost: acceptable only if the
+		// connection died before ANY response, which Do reports as an
+		// error. The image then owes us nothing for this batch.
+		t.Logf("batch lost to drain: %v", err)
+		return
+	}
+	re, err := grouphash.LoadSnapshot(img, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= n; i++ {
+		if _, ok := re.Get(layout.Key{Lo: i}); !ok {
+			t.Fatalf("acked batch key %d missing after reload", i)
+		}
+	}
+}

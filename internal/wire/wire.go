@@ -1,0 +1,201 @@
+// Package wire defines the length-prefixed binary protocol the network
+// server (internal/server) and client (internal/client) speak over a
+// TCP stream.
+//
+// Framing: every message is a little-endian uint32 body length
+// followed by the body. Requests carry a fixed 25-byte body — opcode
+// (1), key low word (8), key high word (8), value (8) — so a request
+// never needs a second allocation or a variable-length parse on the
+// hot path. Responses carry a 9-byte fixed prefix — status (1), value
+// (8) — plus an optional free-form payload (used only by OpStats).
+//
+// Pipelining: a client may write any number of requests before reading
+// responses; the server processes each connection's requests strictly
+// in order and writes responses in the same order, so the k-th
+// response always answers the k-th request. No request ids are needed.
+//
+// The protocol is deliberately minimal — single-word values, fixed-key
+// sizes — because it serves exactly the store the paper defines:
+// fixed-size keys, one-word values (§4.1's item formats).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"grouphash/internal/layout"
+)
+
+// Opcodes. A request's opcode selects the store operation; fields the
+// operation does not use (e.g. Value on a Get) are ignored.
+const (
+	// OpPing checks liveness; the server answers StatusOK.
+	OpPing = byte(iota + 1)
+	// OpGet looks up Key; StatusOK carries the value, StatusNotFound
+	// reports absence.
+	OpGet
+	// OpPut upserts (Key, Value) atomically (no duplicate items under
+	// concurrent Puts of one key).
+	OpPut
+	// OpInsert inserts (Key, Value) with the paper's Algorithm-1
+	// semantics: no existing-key check, duplicates allowed.
+	OpInsert
+	// OpDelete removes Key; StatusNotFound reports it was absent.
+	OpDelete
+	// OpLen returns the store's item count in the response value.
+	OpLen
+	// OpStats returns the server's counters and latency quantiles as a
+	// human-readable text payload.
+	OpStats
+)
+
+// Status codes carried in the first response byte.
+const (
+	// StatusOK reports success.
+	StatusOK = byte(iota)
+	// StatusNotFound reports an absent key (Get, Delete).
+	StatusNotFound
+	// StatusFull maps hashtab.ErrTableFull: the store cannot place the
+	// item and the server does not expand online.
+	StatusFull
+	// StatusInvalidKey maps hashtab.ErrInvalidKey (the compact
+	// layout's reserved zero key).
+	StatusInvalidKey
+	// StatusBadRequest reports an opcode the server does not know.
+	StatusBadRequest
+	// StatusDraining reports the server is shutting down and no longer
+	// accepts writes.
+	StatusDraining
+)
+
+// ReqBodyLen is the fixed request body size: op + key.Lo + key.Hi +
+// value.
+const ReqBodyLen = 1 + 8 + 8 + 8
+
+// RespFixedLen is the fixed response prefix size: status + value.
+const RespFixedLen = 1 + 8
+
+// MaxFrame caps any frame body; larger prefixes are a protocol error
+// (a desynchronised or hostile peer), not an allocation request.
+const MaxFrame = 1 << 16
+
+// ErrFrame reports a malformed frame (bad length for the message
+// type). Connections that see it must be torn down: framing is lost.
+var ErrFrame = errors.New("wire: malformed frame")
+
+// Request is one client->server message.
+type Request struct {
+	// Op is the opcode (OpGet, OpPut, ...).
+	Op byte
+	// Key is the target key; ignored by OpPing/OpLen/OpStats.
+	Key layout.Key
+	// Value is the payload word for OpPut/OpInsert.
+	Value uint64
+}
+
+// Response is one server->client message. Extra is non-nil only for
+// payload-carrying responses (OpStats).
+type Response struct {
+	// Status is the result code (StatusOK, ...).
+	Status byte
+	// Value is the result word (Get value, Len count).
+	Value uint64
+	// Extra is the optional free-form payload.
+	Extra []byte
+}
+
+// AppendRequest appends r's frame to buf and returns the extended
+// slice — allocation-free when buf has capacity, the building block
+// for pipelined batches.
+func AppendRequest(buf []byte, r Request) []byte {
+	var b [4 + ReqBodyLen]byte
+	binary.LittleEndian.PutUint32(b[0:4], ReqBodyLen)
+	b[4] = r.Op
+	binary.LittleEndian.PutUint64(b[5:13], r.Key.Lo)
+	binary.LittleEndian.PutUint64(b[13:21], r.Key.Hi)
+	binary.LittleEndian.PutUint64(b[21:29], r.Value)
+	return append(buf, b[:]...)
+}
+
+// WriteRequest writes one request frame to w.
+func WriteRequest(w io.Writer, r Request) error {
+	_, err := w.Write(AppendRequest(nil, r))
+	return err
+}
+
+// ReadRequest reads one request frame from r. A clean EOF before the
+// first length byte returns io.EOF untouched, so callers can tell
+// "connection closed between requests" from a truncated frame
+// (io.ErrUnexpectedEOF).
+func ReadRequest(r io.Reader) (Request, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Request{}, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n != ReqBodyLen {
+		return Request{}, fmt.Errorf("%w: request body %d bytes, want %d", ErrFrame, n, ReqBodyLen)
+	}
+	var b [ReqBodyLen]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return Request{}, noEOF(err)
+	}
+	return Request{
+		Op:    b[0],
+		Key:   layout.Key{Lo: binary.LittleEndian.Uint64(b[1:9]), Hi: binary.LittleEndian.Uint64(b[9:17])},
+		Value: binary.LittleEndian.Uint64(b[17:25]),
+	}, nil
+}
+
+// WriteResponse writes one response frame to w.
+func WriteResponse(w io.Writer, resp Response) error {
+	if len(resp.Extra) > MaxFrame-RespFixedLen {
+		return fmt.Errorf("%w: %d-byte extra payload", ErrFrame, len(resp.Extra))
+	}
+	var b [4 + RespFixedLen]byte
+	binary.LittleEndian.PutUint32(b[0:4], uint32(RespFixedLen+len(resp.Extra)))
+	b[4] = resp.Status
+	binary.LittleEndian.PutUint64(b[5:13], resp.Value)
+	if _, err := w.Write(b[:]); err != nil {
+		return err
+	}
+	if len(resp.Extra) > 0 {
+		if _, err := w.Write(resp.Extra); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadResponse reads one response frame from r, with the same EOF
+// convention as ReadRequest.
+func ReadResponse(r io.Reader) (Response, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Response{}, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < RespFixedLen || n > MaxFrame {
+		return Response{}, fmt.Errorf("%w: response body %d bytes", ErrFrame, n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return Response{}, noEOF(err)
+	}
+	resp := Response{Status: b[0], Value: binary.LittleEndian.Uint64(b[1:9])}
+	if n > RespFixedLen {
+		resp.Extra = b[RespFixedLen:]
+	}
+	return resp, nil
+}
+
+// noEOF converts a mid-frame EOF to ErrUnexpectedEOF: the stream died
+// inside a frame, which is never a clean close.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

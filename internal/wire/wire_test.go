@@ -1,0 +1,80 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"grouphash/internal/layout"
+)
+
+func TestRequestRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := []Request{
+		{Op: OpPing},
+		{Op: OpGet, Key: layout.Key{Lo: 7, Hi: ^uint64(0)}},
+		{Op: OpPut, Key: layout.Key{Lo: 1}, Value: 42},
+		{Op: OpDelete, Key: layout.Key{Lo: 9}},
+	}
+	for _, r := range want {
+		if err := WriteRequest(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, w := range want {
+		got, err := ReadRequest(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != w {
+			t.Fatalf("request %d = %+v, want %+v", i, got, w)
+		}
+	}
+	if _, err := ReadRequest(&buf); err != io.EOF {
+		t.Fatalf("empty stream read = %v, want io.EOF", err)
+	}
+}
+
+func TestResponseRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := []Response{
+		{Status: StatusOK, Value: 99},
+		{Status: StatusNotFound},
+		{Status: StatusOK, Extra: []byte("stats text")},
+	}
+	for _, r := range want {
+		if err := WriteResponse(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, w := range want {
+		got, err := ReadResponse(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Status != w.Status || got.Value != w.Value || !bytes.Equal(got.Extra, w.Extra) {
+			t.Fatalf("response %d = %+v, want %+v", i, got, w)
+		}
+	}
+}
+
+func TestMalformedFrames(t *testing.T) {
+	// Wrong request length prefix.
+	if _, err := ReadRequest(bytes.NewReader([]byte{200, 0, 0, 0})); !errors.Is(err, ErrFrame) {
+		t.Fatalf("oversized request = %v, want ErrFrame", err)
+	}
+	// Oversized response length prefix.
+	if _, err := ReadResponse(bytes.NewReader([]byte{0, 0, 2, 0})); !errors.Is(err, ErrFrame) {
+		t.Fatalf("oversized response = %v, want ErrFrame", err)
+	}
+	// Truncated mid-frame: must NOT look like a clean close.
+	frame := AppendRequest(nil, Request{Op: OpGet, Key: layout.Key{Lo: 5}})
+	if _, err := ReadRequest(bytes.NewReader(frame[:10])); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated request = %v, want ErrUnexpectedEOF", err)
+	}
+	// Oversized outgoing extra payload is rejected before writing.
+	if err := WriteResponse(io.Discard, Response{Extra: make([]byte, MaxFrame)}); !errors.Is(err, ErrFrame) {
+		t.Fatalf("oversized extra = %v, want ErrFrame", err)
+	}
+}
