@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench race fuzz serve-smoke figures figures-paper examples clean
+.PHONY: all build test vet bench bench-json race fuzz serve-smoke figures figures-paper examples clean
 
 all: build vet test
 
@@ -14,24 +14,34 @@ vet:
 	$(GO) vet ./...
 
 # test is the tier-1 gate: vet, the full suite, and the race detector
-# over the concurrent table (whose seqlock read path only a -race run
-# can meaningfully exercise) plus the network layer built on top of it.
+# over the concurrent table (whose seqlock read path and online
+# expansion only a -race run can meaningfully exercise) plus the paged
+# native backend and the network layer built on top of it.
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/core ./internal/server ./internal/client
+	$(GO) test -race ./internal/core ./internal/server ./internal/client ./internal/native
 
 race:
-	$(GO) test -race ./internal/core ./internal/server ./internal/client ./internal/harness .
+	$(GO) test -race ./internal/core ./internal/server ./internal/client ./internal/native ./internal/harness .
+	$(GO) test -race -run 'OnlineExpansion' -count=4 -cpu 1,2,4 ./internal/core
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# bench-json regenerates the PR's expansion benchmark numbers: the
+# ghbench figure metrics plus the sequential-vs-parallel rehash and the
+# online-expansion write-stall distribution (p99 per-write latency),
+# all written to BENCH_PR3.json.
+bench-json:
+	$(GO) run ./cmd/ghbench -exp expand -scale default -json BENCH_PR3.json
 
 # Substrate microbenchmarks: dirty-word tracker (paged vs legacy map),
 # cache hit path, memsim stack, and the fixed trace replay.
 bench-substrate:
 	$(GO) test -run XXX -bench 'BenchmarkSubstrate' .
 	$(GO) test -run XXX -bench 'BenchmarkConcurrent.*Parallel' -cpu 1,2,4 ./internal/core
+	$(GO) test -run XXX -bench 'BenchmarkExpandRehash' -cpu 1,2,4 ./internal/core
 
 # serve-smoke exercises the ghserver/ghload pair end to end: start a
 # server, push a short YCSB-B burst through it, SIGTERM it mid-serve,

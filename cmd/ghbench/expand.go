@@ -1,0 +1,184 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"grouphash/internal/core"
+	"grouphash/internal/harness"
+	"grouphash/internal/layout"
+	"grouphash/internal/native"
+)
+
+// The expansion experiments run on the NATIVE backend (real wall-clock
+// time, not simulated ns): expansion throughput is dominated by the
+// memory bandwidth of the rehash and by lock handoffs, neither of which
+// the single-threaded simulator can exhibit.
+
+// expandRehashRow is one full-table rehash measurement: the same
+// expansion executed sequentially and with the parallel group-range
+// migration, on identical table contents.
+type expandRehashRow struct {
+	Mode    string  `json:"mode"`    // "sequential" or "parallel-<P>"
+	Cells   uint64  `json:"cells"`   // level-1 cells before expansion
+	Items   uint64  `json:"items"`   // live items migrated
+	WallMs  float64 `json:"wall_ms"` // best-of-3 wall time
+	Speedup float64 `json:"speedup"` // vs sequential (1.0 for the sequential row)
+}
+
+// expandStallRow summarises per-write latency while online expansions
+// run underneath a write-heavy workload — the "how long does a write
+// stall when it collides with a migration" question.
+type expandStallRow struct {
+	Writers    int     `json:"writers"`
+	Ops        int     `json:"ops"`
+	Expansions uint64  `json:"expansions"`
+	FullErrors uint64  `json:"full_errors"`
+	P50us      float64 `json:"p50_us"`
+	P90us      float64 `json:"p90_us"`
+	P99us      float64 `json:"p99_us"`
+	MaxUs      float64 `json:"max_us"`
+	WallMs     float64 `json:"wall_ms"`
+}
+
+// expandRehashBench builds a table at ~70% of the load-factor trigger
+// and times one full doubling, sequential vs parallel.
+func expandRehashBench(l1 uint64, seed uint64) (rows []expandRehashRow) {
+	items := l1 * 2 * 7 / 10 // ~70% of the two-level capacity
+	build := func() *core.Table {
+		mem := native.New(1 << 16)
+		tab, err := core.Create(mem, core.Options{Cells: l1, GroupSize: 256, Seed: seed})
+		if err != nil {
+			panic(err)
+		}
+		for i := uint64(1); i <= items; i++ {
+			if err := tab.InsertAutoExpand(layout.Key{Lo: i * 0x9e3779b97f4a7c15}, i); err != nil {
+				panic(err)
+			}
+		}
+		return tab
+	}
+	procs := runtime.GOMAXPROCS(0)
+	measure := func(p int) float64 {
+		old := runtime.GOMAXPROCS(p)
+		defer runtime.GOMAXPROCS(old)
+		best := 0.0
+		for rep := 0; rep < 3; rep++ {
+			tab := build()
+			start := time.Now()
+			if err := tab.Expand(); err != nil {
+				panic(err)
+			}
+			ms := float64(time.Since(start).Nanoseconds()) / 1e6
+			if rep == 0 || ms < best {
+				best = ms
+			}
+		}
+		return best
+	}
+	seq := measure(1) // GOMAXPROCS=1 forces the sequential path
+	rows = append(rows, expandRehashRow{Mode: "sequential", Cells: l1, Items: items, WallMs: seq, Speedup: 1})
+	par := measure(procs)
+	rows = append(rows, expandRehashRow{
+		Mode: fmt.Sprintf("parallel-%d", procs), Cells: l1, Items: items,
+		WallMs: par, Speedup: seq / par,
+	})
+	return rows
+}
+
+// expandStallBench drives a write-heavy load through the concurrent
+// store from a tiny initial table, so the workload crosses many online
+// expansions, and reports the per-write latency distribution.
+func expandStallBench(writers, ops int, seed uint64) expandStallRow {
+	mem := native.New(1 << 16)
+	tab, err := core.Create(mem, core.Options{Cells: 1 << 10, GroupSize: 64, Seed: seed})
+	if err != nil {
+		panic(err)
+	}
+	c := core.NewConcurrent(tab, 0)
+	c.EnableOnlineExpand()
+
+	perWorker := ops / writers
+	lats := make([][]float64, writers) // per-op microseconds
+	var fullErrs uint64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lat := make([]float64, 0, perWorker)
+			base := uint64(w+1) << 40
+			for i := uint64(1); i <= uint64(perWorker); i++ {
+				t0 := time.Now()
+				err := c.Insert(layout.Key{Lo: base + i}, i)
+				lat = append(lat, float64(time.Since(t0).Nanoseconds())/1e3)
+				if err != nil {
+					mu.Lock()
+					fullErrs++
+					mu.Unlock()
+				}
+			}
+			lats[w] = lat
+		}(w)
+	}
+	wg.Wait()
+	wall := float64(time.Since(start).Nanoseconds()) / 1e6
+	c.WaitExpansion()
+
+	var all []float64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	q := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+	return expandStallRow{
+		Writers: writers, Ops: writers * perWorker,
+		Expansions: c.Expansions(), FullErrors: fullErrs,
+		P50us: q(0.50), P90us: q(0.90), P99us: q(0.99), MaxUs: all[len(all)-1],
+		WallMs: wall,
+	}
+}
+
+// runExpandExperiment executes both expansion benchmarks, prints them,
+// and folds the rows into the JSON report.
+func runExpandExperiment(w io.Writer, scale harness.Scale, report *jsonReport) {
+	l1 := scale.RandomNumCells / 2
+	if l1 < 1<<12 {
+		l1 = 1 << 12
+	}
+	rehash := expandRehashBench(l1, uint64(scale.Seed))
+	fmt.Fprintf(w, "Expansion rehash (native backend, %d level-1 cells, %d items):\n", rehash[0].Cells, rehash[0].Items)
+	for _, r := range rehash {
+		fmt.Fprintf(w, "  %-12s %8.2f ms   speedup %.2fx\n", r.Mode, r.WallMs, r.Speedup)
+	}
+
+	ops := scale.Ops
+	if ops > 400_000 {
+		ops = 400_000
+	}
+	if ops < 40_000 {
+		ops = 40_000
+	}
+	stall := expandStallBench(4, ops, uint64(scale.Seed))
+	fmt.Fprintf(w, "\nOnline expansion write stalls (%d writers, %d inserts, 1K-cell start):\n",
+		stall.Writers, stall.Ops)
+	fmt.Fprintf(w, "  expansions=%d full_errors=%d wall=%.1f ms\n",
+		stall.Expansions, stall.FullErrors, stall.WallMs)
+	fmt.Fprintf(w, "  per-write latency: p50=%.1fus p90=%.1fus p99=%.1fus max=%.1fus\n",
+		stall.P50us, stall.P90us, stall.P99us, stall.MaxUs)
+
+	report.ExpandRehash = rehash
+	report.ExpandStall = append(report.ExpandStall, stall)
+}

@@ -42,6 +42,11 @@ type jsonReport struct {
 	OpsPhase  int              `json:"ops_per_phase"`
 	Latency   []jsonLatencyRow `json:"latency,omitempty"`
 	SpaceUtil []jsonUtilRow    `json:"space_util,omitempty"`
+	// Expansion benchmarks (native backend, real wall-clock): the
+	// sequential-vs-parallel rehash comparison and the per-write stall
+	// distribution under online expansion. See cmd/ghbench/expand.go.
+	ExpandRehash []expandRehashRow `json:"expand_rehash,omitempty"`
+	ExpandStall  []expandStallRow  `json:"expand_stall,omitempty"`
 }
 
 // addLatency flattens LatencyResult rows (insert/query/delete phases)

@@ -28,7 +28,7 @@ import (
 func traceRandomNum(seed int64) trace.Trace { return trace.NewRandomNum(seed) }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig2, fig5, fig6, fig7, fig8, table3, wear, ycsb, excluded, curve, repeat")
+	exp := flag.String("exp", "all", "experiment: all, fig2, fig5, fig6, fig7, fig8, table3, wear, ycsb, excluded, curve, repeat, expand")
 	scaleName := flag.String("scale", "default", "experiment scale: test, default, paper")
 	csvDir := flag.String("csv", "", "also write each experiment's data as CSV into this directory")
 	plotOut := flag.Bool("plot", false, "render figures additionally as terminal bar charts")
@@ -179,6 +179,22 @@ func main() {
 			r := harness.ExcludedComparison(scale)
 			harness.PrintExcluded(w, r)
 			writeCSV("excluded.csv", func(f *os.File) error { return harness.WriteExcludedCSV(f, r) })
+		})
+	}
+	if want("expand") {
+		timed("expand", func() {
+			runExpandExperiment(w, scale, &report)
+			writeCSV("expand.csv", func(f *os.File) error {
+				if _, err := fmt.Fprintln(f, "mode,cells,items,wall_ms,speedup"); err != nil {
+					return err
+				}
+				for _, r := range report.ExpandRehash {
+					if _, err := fmt.Fprintf(f, "%s,%d,%d,%.3f,%.3f\n", r.Mode, r.Cells, r.Items, r.WallMs, r.Speedup); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
 		})
 	}
 	if want("ycsb") {

@@ -29,7 +29,7 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", ":4777", "TCP listen address")
-		capacity = flag.Uint64("capacity", 1<<20, "target item capacity (fixed: the concurrent store does not expand online)")
+		capacity = flag.Uint64("capacity", 1<<20, "initial item capacity (the store expands online when it fills)")
 		group    = flag.Uint64("group-size", 0, "cells per group (0 = the paper's 256)")
 		image    = flag.String("image", "", "pmfs image path: loaded at start if present, snapshot target while serving")
 		every    = flag.Duration("snapshot-every", 30*time.Second, "background snapshot period (0 = only the final drain snapshot)")

@@ -79,8 +79,11 @@ type Options struct {
 	// open and after recovery, no extra persistence traffic.
 	GroupIndex bool
 	// Concurrent enables the striped-lock wrapper, making all Store
-	// methods safe for concurrent use. Expansion is disabled in this
-	// mode (the stripe map is fixed at creation).
+	// methods safe for concurrent use. On the native backend (the
+	// default) a full table no longer fails writes: expansion runs
+	// online — a background migration drains one stripe of groups at a
+	// time while the store keeps serving, and a writer blocks only
+	// until its own stripe has moved. Unless DisableExpand is set.
 	Concurrent bool
 	// Memory overrides the backing memory. Nil means a fresh native
 	// (process-memory) backend sized ~3× the cell footprint.
@@ -143,9 +146,25 @@ func New(opts Options) (*Store, error) {
 	s := &Store{tab: tab, mem: mem, expand: !opts.DisableExpand, keySize: opts.KeyBytes}
 	if opts.Concurrent {
 		s.conc = core.NewConcurrent(tab, 0)
-		s.expand = false
+		s.armOnlineExpand()
 	}
 	return s, nil
+}
+
+// armOnlineExpand enables stop-less expansion on the concurrent wrapper
+// when the store wants expansion and the backend can support it (word
+// accesses individually atomic — true of the native backend). On other
+// backends (the single-clock simulator) the concurrent store keeps the
+// old fixed-capacity behaviour.
+func (s *Store) armOnlineExpand() {
+	if !s.expand || s.conc == nil {
+		return
+	}
+	if _, ok := s.mem.(hashtab.ConcurrentReader); ok {
+		s.conc.EnableOnlineExpand()
+	} else {
+		s.expand = false
+	}
 }
 
 // Open reconstructs a store from a persistent memory image, given the
@@ -156,9 +175,10 @@ func Open(mem hashtab.Mem, header uint64, concurrent bool) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{tab: tab, mem: mem, expand: !concurrent, keySize: 8}
+	s := &Store{tab: tab, mem: mem, expand: true, keySize: 8}
 	if concurrent {
 		s.conc = core.NewConcurrent(tab, 0)
+		s.armOnlineExpand()
 	}
 	return s, nil
 }
@@ -171,7 +191,9 @@ func (s *Store) Header() uint64 { return s.tab.Header() }
 // expands automatically when full (unless disabled). On a concurrent
 // store the update-or-insert pair runs as one atomic operation under
 // the group lock, so racing Puts of the same key can never commit
-// duplicate items.
+// duplicate items; a full table triggers a stop-less online expansion
+// instead of failing — the write blocks only until the migration has
+// drained its own stripe, then retries against the doubled arrays.
 func (s *Store) Put(k Key, v uint64) error {
 	if s.conc != nil {
 		return s.conc.Upsert(k, v)
@@ -266,6 +288,20 @@ func (s *Store) CheckConsistency() []string { return s.tab.CheckConsistency() }
 // Concurrent reports whether the store was built with the striped-lock
 // wrapper and is safe for concurrent use.
 func (s *Store) Concurrent() bool { return s.conc != nil }
+
+// Expanding reports whether a stop-less online expansion is currently
+// in flight (always false on sequential stores, whose expansion
+// completes within the Put that triggered it).
+func (s *Store) Expanding() bool { return s.conc != nil && s.conc.Expanding() }
+
+// Expansions returns the number of completed online expansions on a
+// concurrent store (0 on sequential stores).
+func (s *Store) Expansions() uint64 {
+	if s.conc == nil {
+		return 0
+	}
+	return s.conc.Expansions()
+}
 
 // Quiesce runs fn while every writer is excluded. On a concurrent
 // store it locks all stripes (in a fixed order, so concurrent Quiesce

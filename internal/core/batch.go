@@ -29,6 +29,7 @@ type Item struct {
 // group) stops the batch and returns ErrTableFull with the count of
 // items placed before it; those items remain inserted.
 func (t *Table) InsertBatch(items []Item) (int, error) {
+	vw := t.cur()
 	placed := 0
 	var err error
 	for _, it := range items {
@@ -36,7 +37,7 @@ func (t *Table) InsertBatch(items []Item) (int, error) {
 			err = hashtab.ErrInvalidKey
 			break
 		}
-		if !t.placeWithoutCount(it.Key, it.Value) {
+		if !t.placeIn(vw, it.Key, it.Value) {
 			err = hashtab.ErrTableFull
 			break
 		}
@@ -48,32 +49,36 @@ func (t *Table) InsertBatch(items []Item) (int, error) {
 	return placed, err
 }
 
-// placeWithoutCount runs the cell commit protocol without the count
-// update, reporting whether the item was placed.
-func (t *Table) placeWithoutCount(k layout.Key, v uint64) bool {
-	i1, i2, n := t.homes(k)
-	if !t.tab1.Occupied(i1) {
-		t.tab1.InsertAt(i1, k, v)
+// placeIn runs the cell commit protocol against one view, without the
+// count update, reporting whether the item was placed. Every insert
+// path — sequential, batch, concurrent, and the migration of an online
+// expansion (which places into the new view before it is current) —
+// funnels through here, so the commit protocol cannot drift between
+// them.
+func (t *Table) placeIn(vw *view, k layout.Key, v uint64) bool {
+	i1, i2, n := t.homesIn(vw, k)
+	if !vw.tab1.Occupied(i1) {
+		vw.tab1.InsertAt(i1, k, v)
 		return true
 	}
-	if n == 2 && !t.tab1.Occupied(i2) {
-		t.tab1.InsertAt(i2, k, v)
+	if n == 2 && !vw.tab1.Occupied(i2) {
+		vw.tab1.InsertAt(i2, k, v)
 		return true
 	}
-	if t.placeInGroup(t.groupStart(i1), k, v) {
+	if t.placeInGroup(vw, t.groupStart(i1), k, v) {
 		return true
 	}
 	if n == 2 && t.groupStart(i2) != t.groupStart(i1) {
-		return t.placeInGroup(t.groupStart(i2), k, v)
+		return t.placeInGroup(vw, t.groupStart(i2), k, v)
 	}
 	return false
 }
 
-func (t *Table) placeInGroup(j uint64, k layout.Key, v uint64) bool {
+func (t *Table) placeInGroup(vw *view, j uint64, k layout.Key, v uint64) bool {
 	for i := uint64(0); i < t.gsz; i++ {
-		if !t.tab2.Occupied(j + i) {
-			t.tab2.InsertAt(j+i, k, v)
-			t.noteL2Insert(j)
+		if !vw.tab2.Occupied(j + i) {
+			vw.tab2.InsertAt(j+i, k, v)
+			vw.noteL2Insert(j, t.gsz)
 			return true
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -22,6 +23,17 @@ import (
 // retry if the version moved under it. On backends without atomic word
 // reads (the simulator), reads fall back to the shared stripe lock.
 //
+// A stripe covers a CONTIGUOUS run of groups: stripe s owns groups
+// [s·G/S, (s+1)·G/S) where G is the group count and S the stripe count
+// (both powers of two, S ≤ G). Equivalently the stripe index is the TOP
+// log2(S) bits of the group index — and because the hash function also
+// takes the top bits of the hash word, doubling the table appends bits
+// at the BOTTOM of every index and leaves the top bits untouched: a
+// key's stripe is invariant across expansions. That invariance is what
+// makes stop-less online expansion (see expand_online.go) race-free —
+// a writer can pick its stripe from a momentarily stale view and still
+// lock the same stripe the migration worker locks.
+//
 // The persistent count word is shared by all groups; it is protected by
 // its own mutex, taken after the group lock (a fixed order, so no
 // deadlock).
@@ -33,12 +45,28 @@ type Concurrent struct {
 	t       *Table
 	stripes []stripe
 	countMu sync.Mutex
-	mask    uint64
 	// optimistic enables the lock-free read path: the backend has
 	// atomic word reads (hashtab.ConcurrentReader) and the table has no
 	// volatile group-occupancy index (whose counters are written
 	// without atomics). Fixed at construction.
 	optimistic bool
+
+	// Online-expansion state; see expand_online.go.
+	expandOK   bool                     // EnableOnlineExpand was called
+	expandMu   sync.Mutex               // serialises expansion starts
+	exp        atomic.Pointer[expState] // non-nil while one is in flight
+	expansions atomic.Uint64            // completed expansions
+	fallbacks  atomic.Uint64            // expansions that needed the stop-the-world rebuild
+
+	// Test hooks. hookPreFlip runs inside finishExpansion with every
+	// stripe held, just before the header-slot flip; hookStripeDone
+	// runs after each stripe's migration completes; hookMigrateFail,
+	// when it returns true for a stripe, makes that stripe's migration
+	// report overflow (exercising the fallback rebuild). All must be
+	// set before any expansion can start.
+	hookPreFlip     func()
+	hookStripeDone  func(si int)
+	hookMigrateFail func(si int) bool
 }
 
 // stripe is one lock unit: an exclusive/shared mutex for writers and
@@ -57,16 +85,17 @@ type stripe struct {
 // fallback guarantees progress under write storms.
 const seqlockRetries = 4
 
-// NewConcurrent wraps t. stripes is rounded up to a power of two;
-// 0 means one stripe per 64 groups, capped at 1024.
+// NewConcurrent wraps t. stripes is rounded up to a power of two and
+// clamped to the group count; 0 means one stripe per 64 groups, capped
+// at 1024.
 func NewConcurrent(t *Table, stripes int) *Concurrent {
 	if t.two {
 		// A two-choice operation touches two groups; per-group striping
 		// would need ordered two-lock acquisition. Not supported.
 		panic("core: Concurrent does not support two-choice tables")
 	}
+	groups := int(t.Cells() / t.GroupSize())
 	if stripes <= 0 {
-		groups := int(t.Cells() / t.GroupSize())
 		stripes = groups / 64
 		if stripes < 1 {
 			stripes = 1
@@ -79,12 +108,14 @@ func NewConcurrent(t *Table, stripes int) *Concurrent {
 	for n < stripes {
 		n <<= 1
 	}
+	if n > groups {
+		n = groups // stripe coverage must be ≥ 1 group
+	}
 	_, atomicMem := t.mem.(hashtab.ConcurrentReader)
 	return &Concurrent{
 		t:          t,
 		stripes:    make([]stripe, n),
-		mask:       uint64(n - 1),
-		optimistic: atomicMem && t.occ == nil,
+		optimistic: atomicMem && t.cur().occ == nil,
 	}
 }
 
@@ -96,9 +127,30 @@ func (c *Concurrent) Table() *Table { return c.t }
 // path (true on atomic-word backends) or the shared stripe lock.
 func (c *Concurrent) OptimisticReads() bool { return c.optimistic }
 
-func (c *Concurrent) stripeFor(k layout.Key) *stripe {
-	g := c.t.h.Index(k.Lo, k.Hi) / c.t.gsz
-	return &c.stripes[g&c.mask]
+// stripeFor maps k to its stripe. The index is the top log2(S) bits of
+// the group index, which the doubling expansion never changes (see the
+// type comment), so the answer is correct even if the view flips
+// between this call and the lock acquisition.
+func (c *Concurrent) stripeFor(k layout.Key) (*stripe, int) {
+	vw := c.t.cur()
+	g := vw.h.Index(k.Lo, k.Hi) / c.t.gsz
+	groups := vw.tab1.N / c.t.gsz
+	si := int(g >> uint(bits.TrailingZeros64(groups/uint64(len(c.stripes)))))
+	return &c.stripes[si], si
+}
+
+// routeView picks the view an operation on stripe si must address.
+// Must be called with the stripe lock (or read lock) held: migration
+// state for a stripe only changes under its lock, so the answer is
+// stable for the critical section. Once a stripe has been migrated,
+// its operations go EXCLUSIVELY to the new arrays — migration copied
+// every live item, so the new arrays are authoritative and the old
+// ones are dead weight awaiting the flip.
+func (c *Concurrent) routeView(si int) *view {
+	if e := c.exp.Load(); e != nil && e.migrated[si].Load() {
+		return e.nvw
+	}
+	return c.t.cur()
 }
 
 // lock takes s exclusively and marks a write in progress (version goes
@@ -117,25 +169,39 @@ func (s *stripe) unlock() {
 func (c *Concurrent) Name() string { return "group-concurrent" }
 
 // Insert stores (k, v) under the group lock. Placement delegates to
-// the same placeWithoutCount helper the sequential Insert uses, so the
-// two paths cannot drift; the key is validated first, exactly as in
-// Table.Insert (the compact layout's reserved zero key would corrupt
-// the key-word-as-bitmap occupancy invariant if committed). Count
+// the same placeIn helper the sequential Insert uses, so the two paths
+// cannot drift; the key is validated first, exactly as in Table.Insert
+// (the compact layout's reserved zero key would corrupt the
+// key-word-as-bitmap occupancy invariant if committed). Count
 // maintenance happens under the count mutex; the commit order (cell
 // first, count second) matches the sequential protocol, so crash
 // consistency is unchanged.
+//
+// When online expansion is enabled, a full group no longer fails the
+// insert: the writer kicks off (or joins) an expansion, blocks until
+// the migration has drained its stripe — a per-stripe wait, typically
+// far shorter than a full rehash — and retries against the doubled
+// arrays. ErrTableFull then only escapes if expansion itself fails.
 func (c *Concurrent) Insert(k layout.Key, v uint64) error {
 	if !c.t.l.ValidKey(k) {
 		return hashtab.ErrInvalidKey
 	}
-	s := c.stripeFor(k)
-	s.lock()
-	defer s.unlock()
-	if !c.t.placeWithoutCount(k, v) {
-		return hashtab.ErrTableFull
+	for {
+		s, si := c.stripeFor(k)
+		s.lock()
+		ok := c.t.placeIn(c.routeView(si), k, v)
+		if ok {
+			c.bumpCount(1)
+		}
+		s.unlock()
+		if ok {
+			c.maybeTriggerExpand()
+			return nil
+		}
+		if err := c.awaitRoom(si); err != nil {
+			return err
+		}
 	}
-	c.bumpCount(1)
-	return nil
 }
 
 // Upsert stores (k, v), overwriting any existing value for k, as one
@@ -143,22 +209,33 @@ func (c *Concurrent) Insert(k layout.Key, v uint64) error {
 // sequence composed by the caller (two separate lock acquisitions,
 // between which another goroutine can insert the same key), Upsert
 // cannot create duplicate items under concurrency — the property a
-// networked front-end's PUT needs.
+// networked front-end's PUT needs. Full groups expand-and-retry
+// exactly as in Insert.
 func (c *Concurrent) Upsert(k layout.Key, v uint64) error {
 	if !c.t.l.ValidKey(k) {
 		return hashtab.ErrInvalidKey
 	}
-	s := c.stripeFor(k)
-	s.lock()
-	defer s.unlock()
-	if c.t.Update(k, v) {
-		return nil
+	for {
+		s, si := c.stripeFor(k)
+		s.lock()
+		vw := c.routeView(si)
+		if c.t.updateIn(vw, k, v) {
+			s.unlock()
+			return nil
+		}
+		ok := c.t.placeIn(vw, k, v)
+		if ok {
+			c.bumpCount(1)
+		}
+		s.unlock()
+		if ok {
+			c.maybeTriggerExpand()
+			return nil
+		}
+		if err := c.awaitRoom(si); err != nil {
+			return err
+		}
 	}
-	if !c.t.placeWithoutCount(k, v) {
-		return hashtab.ErrTableFull
-	}
-	c.bumpCount(1)
-	return nil
 }
 
 // Lookup returns the value under k. On backends with atomic word reads
@@ -170,8 +247,14 @@ func (c *Concurrent) Upsert(k layout.Key, v uint64) error {
 // starve. Word reads are individually atomic, so the probe itself never
 // sees a torn word; the version check is what makes the multi-word
 // (commit word + payload) read consistent.
+//
+// During an online expansion the expansion state and the stripe's
+// migrated flag are read INSIDE the seqlock window: migration drains a
+// stripe under its lock and the root flip happens with every stripe
+// held, so any probe that raced either one fails version validation
+// and retries.
 func (c *Concurrent) Lookup(k layout.Key) (uint64, bool) {
-	s := c.stripeFor(k)
+	s, si := c.stripeFor(k)
 	if c.optimistic {
 		for try := 0; try < seqlockRetries; try++ {
 			v1 := s.seq.Load()
@@ -180,7 +263,7 @@ func (c *Concurrent) Lookup(k layout.Key) (uint64, bool) {
 				runtime.Gosched()
 				continue
 			}
-			v, ok := c.t.Lookup(k)
+			v, ok := c.t.lookupIn(c.routeView(si), k)
 			if s.seq.Load() == v1 {
 				return v, ok
 			}
@@ -188,16 +271,16 @@ func (c *Concurrent) Lookup(k layout.Key) (uint64, bool) {
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return c.t.Lookup(k)
+	return c.t.lookupIn(c.routeView(si), k)
 }
 
 // Delete removes k under the group lock, delegating to the same
-// removeWithoutCount helper as the sequential Delete.
+// removeIn helper as the sequential Delete.
 func (c *Concurrent) Delete(k layout.Key) bool {
-	s := c.stripeFor(k)
+	s, si := c.stripeFor(k)
 	s.lock()
 	defer s.unlock()
-	if !c.t.removeWithoutCount(k) {
+	if !c.t.removeIn(c.routeView(si), k) {
 		return false
 	}
 	c.bumpCount(-1)
@@ -206,10 +289,10 @@ func (c *Concurrent) Delete(k layout.Key) bool {
 
 // Update overwrites an existing key's value under the group lock.
 func (c *Concurrent) Update(k layout.Key, v uint64) bool {
-	s := c.stripeFor(k)
+	s, si := c.stripeFor(k)
 	s.lock()
 	defer s.unlock()
-	return c.t.Update(k, v)
+	return c.t.updateIn(c.routeView(si), k, v)
 }
 
 func (c *Concurrent) bumpCount(delta int64) {
@@ -243,9 +326,26 @@ func (c *Concurrent) LoadFactor() float64 {
 // cannot deadlock each other; fn must not call other methods of c
 // (they would self-deadlock on the held stripes) but may use the
 // wrapped Table directly.
+//
+// Quiesce also waits out any in-flight online expansion first — a
+// snapshot taken mid-migration would capture new arrays that no header
+// slot points to yet. The wait/lock sequence loops because a writer can
+// trigger a fresh expansion between the wait and the last lock
+// acquisition.
 func (c *Concurrent) Quiesce(fn func()) {
-	for i := range c.stripes {
-		c.stripes[i].lock()
+	for {
+		c.WaitExpansion()
+		for i := range c.stripes {
+			c.stripes[i].lock()
+		}
+		if c.exp.Load() == nil {
+			break
+		}
+		// An expansion started while we were acquiring locks; let it
+		// run to completion and retry.
+		for i := range c.stripes {
+			c.stripes[i].unlock()
+		}
 	}
 	fn()
 	for i := range c.stripes {

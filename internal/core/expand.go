@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"grouphash/internal/hashtab"
 	"grouphash/internal/layout"
-	"grouphash/internal/xhash"
 )
 
 // Expand grows the table when Insert returns ErrTableFull. The paper
@@ -26,61 +28,128 @@ import (
 // crash after step 4 leaves the fully-built new table current. The
 // count is unchanged by expansion, so the count word needs no update.
 //
-// Expansion needs free region space for the new arrays; with a bump
-// allocator the old arrays are not reclaimed, which mirrors how a PMFS
-// file would be grown in practice (allocate-new, switch, free-old).
+// On backends exposing hashtab.Reclaimer the arrays of a failed rehash
+// attempt are returned to the allocator before the next doubling is
+// tried, so a retried expansion's footprint is bounded by its final
+// (successful) attempt rather than the sum of all attempts. Backends
+// without reclaim (memsim's fixed region) keep the abandoned arrays,
+// which mirrors how a PMFS file would be grown in practice
+// (allocate-new, switch, free-old).
+//
+// The rehash itself is parallelised on concurrent-read-safe backends;
+// see rehashInto.
 func (t *Table) Expand() error {
-	newCells := t.tab1.N * 2
+	vw := t.cur()
+	seed := t.mem.Read8(t.hdr + hdrSeed*layout.WordSize)
+	rec, canReclaim := t.mem.(hashtab.Reclaimer)
+	newCells := vw.tab1.N * 2
 	for attempt := 0; attempt < 3; attempt, newCells = attempt+1, newCells*2 {
-		nt1 := hashtab.NewCells(t.mem, t.l, newCells)
-		nt2 := hashtab.NewCells(t.mem, t.l, newCells)
-		seed := t.mem.Read8(t.hdr + hdrSeed*layout.WordSize)
-		nh := xhash.NewFunc(seed, newCells, t.l.KeyWords() == 2)
-		nh2 := xhash.NewFunc(secondSeed(seed), newCells, t.l.KeyWords() == 2)
-		if t.rehashInto(nt1, nt2, nh, nh2) {
-			t.commitRoots(nt1, nt2, nh, nh2)
+		var mark uint64
+		if canReclaim {
+			mark = rec.Mark()
+		}
+		nvw := t.newView(newCells, seed)
+		if t.expandFailures > 0 {
+			t.expandFailures--
+		} else if t.rehashInto(vw, nvw) {
+			t.commitRoots(nvw)
 			return nil
 		}
 		// Placement failed even in the bigger table (pathological
-		// skew): retry with the next doubling.
+		// skew): reclaim the attempt's arrays if the allocator can,
+		// then retry with the next doubling.
+		if canReclaim {
+			rec.Release(mark)
+		}
 	}
 	return fmt.Errorf("core: expansion failed after tripling attempts: %w", hashtab.ErrTableFull)
 }
 
-// rehashInto re-inserts every live item into the new arrays, reporting
-// whether all items could be placed.
-func (t *Table) rehashInto(nt1, nt2 hashtab.Cells, nh, nh2 xhash.Func) bool {
-	ok := true
-	place := func(k layout.Key, v uint64, idx uint64) bool {
-		if !nt1.Occupied(idx) {
-			nt1.InsertAt(idx, k, v)
-			return true
+// rehashInto re-inserts every live item of vw into the new view,
+// reporting whether all items could be placed.
+//
+// The hash function takes the HIGH bits of the 64-bit hash, so growing
+// from N to M·N level-1 cells appends bits at the BOTTOM of every
+// index: an item whose level-1 home was cell i moves to a cell in
+// [M·i, M·(i+1)). Old group g therefore maps exactly onto new groups
+// [M·g, M·(g+1)) — and since every item stored in old level-2 group g
+// has its level-1 home inside old group g, the destination windows of
+// distinct old groups are disjoint. That makes the migration
+// embarrassingly parallel at group granularity: workers claim
+// contiguous ranges of old groups and write non-overlapping regions of
+// the new arrays, with no locks and no cross-worker conflicts. The
+// parallel path is gated on backends whose word accesses are
+// individually atomic (hashtab.ConcurrentReader) and on single-choice
+// tables (a two-choice item's second candidate lands in an unrelated
+// group, breaking disjointness); everything else takes the sequential
+// path. Per-item durability is unchanged either way — each item runs
+// the same cell commit protocol (payload → persist → meta → persist)
+// through placeIn, and the single 8-byte header-slot flip in
+// commitRoots remains the expansion's only commit point.
+func (t *Table) rehashInto(vw, nvw *view) bool {
+	groups := vw.tab1.N / t.gsz
+	workers := 1
+	if _, ok := t.mem.(hashtab.ConcurrentReader); ok && !t.two {
+		workers = runtime.GOMAXPROCS(0)
+		if uint64(workers) > groups {
+			workers = int(groups)
 		}
-		j := idx &^ (t.gsz - 1)
-		for i := uint64(0); i < t.gsz; i++ {
-			if !nt2.Occupied(j + i) {
-				nt2.InsertAt(j+i, k, v)
-				return true
-			}
-		}
-		return false
 	}
-	t.Range(func(k layout.Key, v uint64) bool {
-		if place(k, v, nh.Index(k.Lo, k.Hi)) {
-			return true
-		}
-		if t.two && place(k, v, nh2.Index(k.Lo, k.Hi)) {
-			return true
-		}
-		ok = false
-		return false
-	})
-	return ok
+	if workers <= 1 {
+		return t.rehashGroups(vw, nvw, 0, groups)
+	}
+	// Dynamic chunked claiming: workers grab batches of old groups off
+	// a shared counter, so a skewed region cannot leave one worker with
+	// all the work.
+	const chunk = 8
+	var next atomic.Uint64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				lo := next.Add(chunk) - chunk
+				if lo >= groups {
+					return
+				}
+				hi := lo + chunk
+				if hi > groups {
+					hi = groups
+				}
+				if !t.rehashGroups(vw, nvw, lo, hi) {
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return !failed.Load()
 }
 
-// commitRoots publishes the new arrays via the inactive header slot and
-// the atomic slot flip.
-func (t *Table) commitRoots(nt1, nt2 hashtab.Cells, nh, nh2 xhash.Func) {
+// rehashGroups migrates the live items of old groups [gLo, gHi) from vw
+// into nvw, reporting whether every item was placed.
+func (t *Table) rehashGroups(vw, nvw *view, gLo, gHi uint64) bool {
+	lo, hi := gLo*t.gsz, gHi*t.gsz
+	for _, cells := range [2]hashtab.Cells{vw.tab1, vw.tab2} {
+		for i := lo; i < hi; i++ {
+			if cells.Occupied(i) {
+				if !t.placeIn(nvw, cells.Key(i), cells.Value(i)) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// commitRoots publishes the new view: its roots go to the inactive
+// header slot (persisted), then the 8-byte slot word flips atomically —
+// the durable commit point — and finally the in-DRAM view pointer is
+// swapped so subsequent operations address the new arrays.
+func (t *Table) commitRoots(nvw *view) {
 	slotAddr := t.hdr + hdrSlot*layout.WordSize
 	cur := t.mem.Read8(slotAddr)
 	next := 1 - cur
@@ -89,16 +158,16 @@ func (t *Table) commitRoots(nt1, nt2 hashtab.Cells, nh, nh2 xhash.Func) {
 		base = hdrSlot1
 	}
 	w := func(i uint64, v uint64) { t.mem.Write8(t.hdr+(base+i)*layout.WordSize, v) }
-	w(0, nt1.Base)
-	w(1, nt2.Base)
-	w(2, nt1.N)
+	w(0, nvw.tab1.Base)
+	w(1, nvw.tab2.Base)
+	w(2, nvw.tab1.N)
 	t.mem.Persist(t.hdr+base*layout.WordSize, 3*layout.WordSize)
 	t.mem.AtomicWrite8(slotAddr, next)
 	t.mem.Persist(slotAddr, layout.WordSize)
-	t.tab1, t.tab2, t.h, t.h2 = nt1, nt2, nh, nh2
-	if t.occ != nil {
-		t.EnableGroupIndex() // rebuild for the new arrays
+	if t.cur().occ != nil {
+		nvw.buildOcc(t.gsz) // rebuild the volatile index for the new arrays
 	}
+	t.vp.Store(nvw)
 }
 
 // InsertAutoExpand inserts (k, v), expanding the table as needed. It is

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+
+	"grouphash/internal/layout"
+	"grouphash/internal/native"
+)
+
+// BenchmarkExpandRehash times one full-table rehash into doubled
+// arrays on the native backend. The parallel migration path keys off
+// GOMAXPROCS, so running with -cpu 1,2,4 compares the sequential path
+// (cpu=1) against the group-range worker pool:
+//
+//	go test -run XXX -bench ExpandRehash -cpu 1,2,4 ./internal/core
+func BenchmarkExpandRehash(b *testing.B) {
+	const l1 = 1 << 15
+	mem := native.New(1 << 16)
+	tab, err := Create(mem, Options{Cells: l1, GroupSize: 256, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	items := uint64(l1 * 2 * 7 / 10)
+	for i := uint64(1); i <= items; i++ {
+		if err := tab.Insert(layout.Key{Lo: i * 0x9e3779b97f4a7c15}, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		b.StopTimer()
+		mark := mem.Mark()
+		nvw := tab.newView(l1*2, 11)
+		b.StartTimer()
+		if !tab.rehashInto(tab.cur(), nvw) {
+			b.Fatal("rehash failed")
+		}
+		b.StopTimer()
+		mem.Release(mark)
+		b.StartTimer()
+	}
+	b.SetBytes(int64(items * tab.l.CellSize()))
+}

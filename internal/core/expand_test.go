@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"grouphash/internal/cache"
-	"grouphash/internal/hashtab"
 	"grouphash/internal/layout"
 	"grouphash/internal/memsim"
 	"grouphash/internal/native"
@@ -82,10 +81,9 @@ func TestExpandCrashBeforeFlipKeepsOldTable(t *testing.T) {
 	mem.CleanShutdown()
 
 	// Run the expansion work but crash before the slot flip: build the
-	// new arrays and write the inactive slot, skipping the atomic flip.
-	nt1 := hashtab.NewCells(mem, tab.l, tab.tab1.N*2)
-	nt2 := hashtab.NewCells(mem, tab.l, tab.tab2.N*2)
-	tab.rehashInto(nt1, nt2, tab.h, tab.h2) // note: wrong-size hash, but irrelevant — we crash
+	// new view and populate it, skipping the atomic flip.
+	nvw := tab.newView(tab.cur().tab1.N*2, 4)
+	tab.rehashInto(tab.cur(), nvw)
 	mem.Crash(0.3)
 
 	re, err := Open(mem, hdr)

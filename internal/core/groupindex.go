@@ -11,48 +11,59 @@ package core
 // recovery — the same volatile/persistent split NV-Tree and FPTree use
 // for their inner nodes.
 //
+// The counters belong to a view: each generation of cell arrays gets
+// its own, and expansion rebuilds them for the new arrays at the root
+// flip (pure derived state, so the rebuild is a DRAM scan).
+//
 // The index chiefly accelerates lookups and deletes of ABSENT keys
 // (which otherwise always scan the full group) and all operations on
 // lightly-filled groups.
 
 // EnableGroupIndex builds the volatile per-group occupancy counters
 // and turns on bounded group scans. Costs 4 bytes of DRAM per group
-// and one O(level-2 cells) scan now.
+// and one O(level-2 cells) scan now. Must not run concurrently with
+// table operations.
 func (t *Table) EnableGroupIndex() {
-	occ := make([]uint32, t.tab1.N/t.gsz)
-	for i := uint64(0); i < t.tab2.N; i++ {
-		if t.tab2.Occupied(i) {
-			occ[i/t.gsz]++
+	vw := t.cur()
+	vw.buildOcc(t.gsz)
+}
+
+// buildOcc (re)derives the occupancy counters of vw from its bitmaps.
+func (vw *view) buildOcc(gsz uint64) {
+	occ := make([]uint32, vw.tab1.N/gsz)
+	for i := uint64(0); i < vw.tab2.N; i++ {
+		if vw.tab2.Occupied(i) {
+			occ[i/gsz]++
 		}
 	}
-	t.occ = occ
+	vw.occ = occ
 }
 
 // DisableGroupIndex drops the counters and reverts to the paper's
 // full-group scans.
-func (t *Table) DisableGroupIndex() { t.occ = nil }
+func (t *Table) DisableGroupIndex() { t.cur().occ = nil }
 
 // GroupIndexEnabled reports whether bounded scans are active.
-func (t *Table) GroupIndexEnabled() bool { return t.occ != nil }
+func (t *Table) GroupIndexEnabled() bool { return t.cur().occ != nil }
 
 // occupancy returns the number of occupied cells in the level-2 group
 // starting at cell j, or ^uint32(0) when the index is off.
-func (t *Table) occupancy(j uint64) uint32 {
-	if t.occ == nil {
+func (vw *view) occupancy(j, gsz uint64) uint32 {
+	if vw.occ == nil {
 		return ^uint32(0)
 	}
-	return t.occ[j/t.gsz]
+	return vw.occ[j/gsz]
 }
 
 // noteL2Insert / noteL2Delete keep the counters current.
-func (t *Table) noteL2Insert(j uint64) {
-	if t.occ != nil {
-		t.occ[j/t.gsz]++
+func (vw *view) noteL2Insert(j, gsz uint64) {
+	if vw.occ != nil {
+		vw.occ[j/gsz]++
 	}
 }
 
-func (t *Table) noteL2Delete(j uint64) {
-	if t.occ != nil {
-		t.occ[j/t.gsz]--
+func (vw *view) noteL2Delete(j, gsz uint64) {
+	if vw.occ != nil {
+		vw.occ[j/gsz]--
 	}
 }

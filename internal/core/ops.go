@@ -26,7 +26,7 @@ func (t *Table) Insert(k layout.Key, v uint64) error {
 	if !t.l.ValidKey(k) {
 		return hashtab.ErrInvalidKey
 	}
-	if !t.placeWithoutCount(k, v) {
+	if !t.placeIn(t.cur(), k, v) {
 		return hashtab.ErrTableFull
 	}
 	t.setCount(t.Len() + 1)
@@ -39,28 +39,35 @@ func (t *Table) Insert(k layout.Key, v uint64) error {
 // item placed in level 2 stays there if its level-1 home is later
 // deleted. Two-choice mode checks both candidate cells and groups.
 func (t *Table) Lookup(k layout.Key) (uint64, bool) {
-	i1, i2, n := t.homes(k)
-	if t.tab1.Matches(i1, k) {
-		return t.tab1.Value(i1), true
+	return t.lookupIn(t.cur(), k)
+}
+
+// lookupIn runs Algorithm 2 against one view. The concurrent wrapper
+// uses it directly to probe the NEW arrays of an in-flight expansion
+// for stripes whose migration has completed.
+func (t *Table) lookupIn(vw *view, k layout.Key) (uint64, bool) {
+	i1, i2, n := t.homesIn(vw, k)
+	if vw.tab1.Matches(i1, k) {
+		return vw.tab1.Value(i1), true
 	}
-	if n == 2 && t.tab1.Matches(i2, k) {
-		return t.tab1.Value(i2), true
+	if n == 2 && vw.tab1.Matches(i2, k) {
+		return vw.tab1.Value(i2), true
 	}
-	if v, ok := t.lookupInGroup(t.groupStart(i1), k); ok {
+	if v, ok := t.lookupInGroup(vw, t.groupStart(i1), k); ok {
 		return v, true
 	}
 	if n == 2 && t.groupStart(i2) != t.groupStart(i1) {
-		return t.lookupInGroup(t.groupStart(i2), k)
+		return t.lookupInGroup(vw, t.groupStart(i2), k)
 	}
 	return 0, false
 }
 
-func (t *Table) lookupInGroup(j uint64, k layout.Key) (uint64, bool) {
-	remaining := t.occupancy(j)
+func (t *Table) lookupInGroup(vw *view, j uint64, k layout.Key) (uint64, bool) {
+	remaining := vw.occupancy(j, t.gsz)
 	for i := uint64(0); i < t.gsz && remaining > 0; i++ {
-		match, occupied := t.tab2.Probe(j+i, k)
+		match, occupied := vw.tab2.Probe(j+i, k)
 		if match {
-			return t.tab2.Value(j + i), true
+			return vw.tab2.Value(j + i), true
 		}
 		if occupied {
 			remaining--
@@ -75,44 +82,44 @@ func (t *Table) lookupInGroup(j uint64, k layout.Key) (uint64, bool) {
 // and a crash between the two steps leaves only a stale payload behind
 // a zero bitmap for Recover to scrub (§3.4's ordering argument).
 func (t *Table) Delete(k layout.Key) bool {
-	if !t.removeWithoutCount(k) {
+	if !t.removeIn(t.cur(), k) {
 		return false
 	}
 	t.setCount(t.Len() - 1)
 	return true
 }
 
-// removeWithoutCount runs the cell retire protocol (clear commit word,
-// scrub payload) without the count update, reporting whether the key
-// was found. It is the deletion twin of placeWithoutCount and the
+// removeIn runs the cell retire protocol (clear commit word, scrub
+// payload) against one view, without the count update, reporting
+// whether the key was found. It is the deletion twin of placeIn and the
 // single implementation both Table.Delete and Concurrent.Delete build
 // on, so the sequential and concurrent paths cannot drift.
-func (t *Table) removeWithoutCount(k layout.Key) bool {
-	i1, i2, n := t.homes(k)
-	if t.tab1.Matches(i1, k) {
-		t.tab1.DeleteAt(i1)
+func (t *Table) removeIn(vw *view, k layout.Key) bool {
+	i1, i2, n := t.homesIn(vw, k)
+	if vw.tab1.Matches(i1, k) {
+		vw.tab1.DeleteAt(i1)
 		return true
 	}
-	if n == 2 && t.tab1.Matches(i2, k) {
-		t.tab1.DeleteAt(i2)
+	if n == 2 && vw.tab1.Matches(i2, k) {
+		vw.tab1.DeleteAt(i2)
 		return true
 	}
-	if t.removeInGroup(t.groupStart(i1), k) {
+	if t.removeInGroup(vw, t.groupStart(i1), k) {
 		return true
 	}
 	if n == 2 && t.groupStart(i2) != t.groupStart(i1) {
-		return t.removeInGroup(t.groupStart(i2), k)
+		return t.removeInGroup(vw, t.groupStart(i2), k)
 	}
 	return false
 }
 
-func (t *Table) removeInGroup(j uint64, k layout.Key) bool {
-	remaining := t.occupancy(j)
+func (t *Table) removeInGroup(vw *view, j uint64, k layout.Key) bool {
+	remaining := vw.occupancy(j, t.gsz)
 	for i := uint64(0); i < t.gsz && remaining > 0; i++ {
-		match, occupied := t.tab2.Probe(j+i, k)
+		match, occupied := vw.tab2.Probe(j+i, k)
 		if match {
-			t.tab2.DeleteAt(j + i)
-			t.noteL2Delete(j)
+			vw.tab2.DeleteAt(j + i)
+			vw.noteL2Delete(j, t.gsz)
 			return true
 		}
 		if occupied {
@@ -128,7 +135,12 @@ func (t *Table) removeInGroup(j uint64, k layout.Key) bool {
 // consistent. Returns false if the key is absent. (Extension beyond the
 // paper, which only defines insert/query/delete.)
 func (t *Table) Update(k layout.Key, v uint64) bool {
-	if cells, idx, ok := t.locate(k); ok {
+	return t.updateIn(t.cur(), k, v)
+}
+
+// updateIn is Update against one view.
+func (t *Table) updateIn(vw *view, k layout.Key, v uint64) bool {
+	if cells, idx, ok := t.locateIn(vw, k); ok {
 		addr := t.l.ValOff(cells.Addr(idx))
 		t.mem.AtomicWrite8(addr, v)
 		t.mem.Persist(addr, layout.WordSize)
@@ -137,19 +149,19 @@ func (t *Table) Update(k layout.Key, v uint64) bool {
 	return false
 }
 
-// locate finds the cell currently holding k.
-func (t *Table) locate(k layout.Key) (hashtab.Cells, uint64, bool) {
-	i1, i2, n := t.homes(k)
-	if t.tab1.Matches(i1, k) {
-		return t.tab1, i1, true
+// locateIn finds the cell currently holding k under vw.
+func (t *Table) locateIn(vw *view, k layout.Key) (hashtab.Cells, uint64, bool) {
+	i1, i2, n := t.homesIn(vw, k)
+	if vw.tab1.Matches(i1, k) {
+		return vw.tab1, i1, true
 	}
-	if n == 2 && t.tab1.Matches(i2, k) {
-		return t.tab1, i2, true
+	if n == 2 && vw.tab1.Matches(i2, k) {
+		return vw.tab1, i2, true
 	}
 	for _, j := range [2]uint64{t.groupStart(i1), t.groupStart(i2)} {
 		for i := uint64(0); i < t.gsz; i++ {
-			if t.tab2.Matches(j+i, k) {
-				return t.tab2, j + i, true
+			if vw.tab2.Matches(j+i, k) {
+				return vw.tab2, j + i, true
 			}
 		}
 		if n != 2 || t.groupStart(i2) == t.groupStart(i1) {
@@ -163,7 +175,8 @@ func (t *Table) locate(k layout.Key) (hashtab.Cells, uint64, bool) {
 // unspecified. (Extension beyond the paper; used by expansion and the
 // verification tooling.)
 func (t *Table) Range(fn func(k layout.Key, v uint64) bool) {
-	for _, cells := range [2]hashtab.Cells{t.tab1, t.tab2} {
+	vw := t.cur()
+	for _, cells := range [2]hashtab.Cells{vw.tab1, vw.tab2} {
 		for i := uint64(0); i < cells.N; i++ {
 			if cells.Occupied(i) {
 				if !fn(cells.Key(i), cells.Value(i)) {

@@ -20,8 +20,9 @@ import "grouphash/internal/hashtab"
 // 4's post-state exactly while keeping recovery read-mostly.
 func (t *Table) Recover() (hashtab.RecoveryReport, error) {
 	var rep hashtab.RecoveryReport
+	vw := t.cur()
 	count := uint64(0)
-	for _, cells := range [2]hashtab.Cells{t.tab1, t.tab2} {
+	for _, cells := range [2]hashtab.Cells{vw.tab1, vw.tab2} {
 		for i := uint64(0); i < cells.N; i++ {
 			rep.CellsScanned++
 			if cells.Occupied(i) {
@@ -40,10 +41,10 @@ func (t *Table) Recover() (hashtab.RecoveryReport, error) {
 	// Always rewrite the count, like Algorithm 4 (line 19): the scan
 	// result is authoritative.
 	t.setCount(count)
-	if t.occ != nil {
+	if vw.occ != nil {
 		// The crash may have changed which cells are durably occupied;
 		// derived state is rebuilt from the authoritative bitmaps.
-		t.EnableGroupIndex()
+		vw.buildOcc(t.gsz)
 	}
 	return rep, nil
 }
@@ -62,27 +63,28 @@ func (t *Table) Recover() (hashtab.RecoveryReport, error) {
 // is consistent.
 func (t *Table) CheckConsistency() []string {
 	var bad []string
+	vw := t.cur()
 	count := uint64(0)
-	for i := uint64(0); i < t.tab1.N; i++ {
-		commit, k, _ := t.tab1.Snapshot(i)
+	for i := uint64(0); i < vw.tab1.N; i++ {
+		commit, k, _ := vw.tab1.Snapshot(i)
 		if t.l.Occupied(commit) {
 			count++
-			i1, i2, n := t.homes(k)
+			i1, i2, n := t.homesIn(vw, k)
 			if i1 != i && (n != 2 || i2 != i) {
 				bad = append(bad, "level-1 cell holds a key that does not hash to it")
 			}
 			if !t.l.CommitMatches(commit, k) {
 				bad = append(bad, "level-1 commit word does not match stored key")
 			}
-		} else if !t.tab1.PayloadZero(i) {
+		} else if !vw.tab1.PayloadZero(i) {
 			bad = append(bad, "empty level-1 cell has a non-zero payload")
 		}
 	}
-	for i := uint64(0); i < t.tab2.N; i++ {
-		commit, k, _ := t.tab2.Snapshot(i)
+	for i := uint64(0); i < vw.tab2.N; i++ {
+		commit, k, _ := vw.tab2.Snapshot(i)
 		if t.l.Occupied(commit) {
 			count++
-			i1, i2, n := t.homes(k)
+			i1, i2, n := t.homesIn(vw, k)
 			inG1 := t.groupStart(i1) == t.groupStart(i)
 			inG2 := n == 2 && t.groupStart(i2) == t.groupStart(i)
 			if !inG1 && !inG2 {
@@ -91,7 +93,7 @@ func (t *Table) CheckConsistency() []string {
 			if !t.l.CommitMatches(commit, k) {
 				bad = append(bad, "level-2 commit word does not match stored key")
 			}
-		} else if !t.tab2.PayloadZero(i) {
+		} else if !vw.tab2.PayloadZero(i) {
 			bad = append(bad, "empty level-2 cell has a non-zero payload")
 		}
 	}

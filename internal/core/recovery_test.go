@@ -44,10 +44,10 @@ func TestRecoverAfterInsertTornBeforeCommit(t *testing.T) {
 
 	// Partially write a new item: payload only, no meta flip.
 	k := layout.Key{Lo: 999, Hi: 999}
-	idx := tab.h.Index(k.Lo, k.Hi)
-	cells := tab.tab1
+	idx := tab.cur().h.Index(k.Lo, k.Hi)
+	cells := tab.cur().tab1
 	if cells.Occupied(idx) {
-		cells = tab.tab2
+		cells = tab.cur().tab2
 		idx = tab.groupStart(idx)
 		for cells.Occupied(idx) {
 			idx++
@@ -89,10 +89,10 @@ func TestRecoverAfterCrashBetweenMetaAndCount(t *testing.T) {
 	mem.CleanShutdown()
 
 	k := layout.Key{Lo: 555}
-	idx := tab.h.Index(k.Lo, 0)
-	cells := tab.tab1
+	idx := tab.cur().h.Index(k.Lo, 0)
+	cells := tab.cur().tab1
 	if cells.Occupied(idx) {
-		cells = tab.tab2
+		cells = tab.cur().tab2
 		idx = tab.groupStart(idx)
 		for cells.Occupied(idx) {
 			idx++
@@ -130,8 +130,8 @@ func TestRecoverAfterDeleteCrashBeforeScrub(t *testing.T) {
 	tab.Insert(layout.Key{Lo: 88}, 8)
 	mem.CleanShutdown()
 
-	idx := tab.h.Index(k.Lo, 0)
-	tab.tab1.CommitEmpty(idx) // commit the delete, then "crash"
+	idx := tab.cur().h.Index(k.Lo, 0)
+	tab.cur().tab1.CommitEmpty(idx) // commit the delete, then "crash"
 	mem.Crash(0.5)
 
 	rep, err := tab.Recover()
@@ -144,7 +144,7 @@ func TestRecoverAfterDeleteCrashBeforeScrub(t *testing.T) {
 	if tab.Len() != 1 {
 		t.Fatalf("count = %d, want 1 (report %+v)", tab.Len(), rep)
 	}
-	if !tab.tab1.PayloadZero(idx) {
+	if !tab.cur().tab1.PayloadZero(idx) {
 		t.Fatal("recovery did not scrub the deleted payload")
 	}
 	if v, ok := tab.Lookup(layout.Key{Lo: 88}); !ok || v != 8 {
@@ -213,17 +213,17 @@ func TestCrashMidOperationInvariants(t *testing.T) {
 		run  step
 	}{
 		{"payload-written-unpersisted", func(tab *Table, k layout.Key) {
-			idx := tab.h.Index(k.Lo, k.Hi)
-			tab.tab1.WritePayload(idx, k, 1)
+			idx := tab.cur().h.Index(k.Lo, k.Hi)
+			tab.cur().tab1.WritePayload(idx, k, 1)
 		}},
 		{"payload-persisted", func(tab *Table, k layout.Key) {
-			idx := tab.h.Index(k.Lo, k.Hi)
-			tab.tab1.WritePayload(idx, k, 1)
-			tab.tab1.PersistPayload(idx)
+			idx := tab.cur().h.Index(k.Lo, k.Hi)
+			tab.cur().tab1.WritePayload(idx, k, 1)
+			tab.cur().tab1.PersistPayload(idx)
 		}},
 		{"meta-committed-count-stale", func(tab *Table, k layout.Key) {
-			idx := tab.h.Index(k.Lo, k.Hi)
-			tab.tab1.InsertAt(idx, k, 1)
+			idx := tab.cur().h.Index(k.Lo, k.Hi)
+			tab.cur().tab1.InsertAt(idx, k, 1)
 		}},
 	}
 	for _, st := range insertSteps {
@@ -233,7 +233,7 @@ func TestCrashMidOperationInvariants(t *testing.T) {
 			tab.Insert(layout.Key{Lo: 1000}, 5)
 			mem.CleanShutdown()
 			k := layout.Key{Lo: 2000}
-			if tab.h.Index(k.Lo, 0) == tab.h.Index(1000, 0) {
+			if tab.cur().h.Index(k.Lo, 0) == tab.cur().h.Index(1000, 0) {
 				t.Skip("collision with pre-inserted key; scenario needs a free home cell")
 			}
 			st.run(tab, k)
@@ -257,7 +257,7 @@ func TestRecoveryIdempotent(t *testing.T) {
 	for i := uint64(1); i <= 30; i++ {
 		tab.Insert(layout.Key{Lo: i}, i)
 	}
-	tab.tab1.WritePayload(60, layout.Key{Lo: 9999}, 1) // torn garbage
+	tab.cur().tab1.WritePayload(60, layout.Key{Lo: 9999}, 1) // torn garbage
 	mem.Crash(0.5)
 	if _, err := tab.Recover(); err != nil {
 		t.Fatal(err)
@@ -282,13 +282,13 @@ func TestCheckConsistencyDetectsCorruption(t *testing.T) {
 	tab.Insert(layout.Key{Lo: 1}, 1)
 	// Corrupt: flip an empty cell's payload without meta.
 	var victim uint64
-	for i := uint64(0); i < tab.tab1.N; i++ {
-		if !tab.tab1.Occupied(i) {
+	for i := uint64(0); i < tab.cur().tab1.N; i++ {
+		if !tab.cur().tab1.Occupied(i) {
 			victim = i
 			break
 		}
 	}
-	tab.tab1.WritePayload(victim, layout.Key{Lo: 42}, 42)
+	tab.cur().tab1.WritePayload(victim, layout.Key{Lo: 42}, 42)
 	if bad := tab.CheckConsistency(); len(bad) == 0 {
 		t.Fatal("CheckConsistency missed a dirty empty cell")
 	}

@@ -18,13 +18,15 @@
 // is ever needed.
 //
 // Beyond the paper, the package provides persistent-handle reopening
-// (Open), online expansion with an atomic root switch (Expand), and a
-// concurrency wrapper with per-group striped locking (Concurrent).
+// (Open), online expansion with an atomic root switch (Expand, and its
+// stop-less concurrent form in Concurrent), and a concurrency wrapper
+// with per-group striped locking (Concurrent).
 package core
 
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"grouphash/internal/hashtab"
 	"grouphash/internal/layout"
@@ -105,25 +107,54 @@ const flagTwoChoice = 1
 // HeaderBytes is the persistent footprint of the table header.
 const HeaderBytes = hdrWords * layout.WordSize
 
+// view bundles one generation of the table's roots: the cell arrays
+// and the hash functions addressing them, plus the volatile per-group
+// occupancy index derived from them (nil = off; see groupindex.go).
+// Expansion builds a complete new view and publishes it with a single
+// atomic pointer swap (mirroring the persistent header-slot flip), so
+// readers always see a matched (hash, arrays) pair — never a new hash
+// over old arrays or vice versa.
+type view struct {
+	h, h2      xhash.Func
+	tab1, tab2 hashtab.Cells
+	occ        []uint32
+}
+
 // Table is a group-hash table over persistent memory. Not safe for
 // concurrent use; see Concurrent.
 type Table struct {
-	mem  hashtab.Mem
-	l    layout.Layout
-	hdr  uint64 // header base address
-	h    xhash.Func
-	h2   xhash.Func // second hash function (two-choice mode only)
-	two  bool
-	gsz  uint64
-	tab1 hashtab.Cells
-	tab2 hashtab.Cells
-	// occ is the volatile per-group occupancy index (nil = off); see
-	// groupindex.go.
-	occ []uint32
+	mem hashtab.Mem
+	l   layout.Layout
+	hdr uint64 // header base address
+	two bool
+	gsz uint64
+	// vp is the current view. Sequential callers could use a plain
+	// field, but the concurrent wrapper's optimistic readers load the
+	// view with no lock held while an online expansion commits a new
+	// one, so the publication itself must be atomic.
+	vp atomic.Pointer[view]
+	// expandFailures forces the first n rehash attempts of Expand to
+	// report failure (test hook for the tripling-retry/reclaim path).
+	expandFailures int
 }
+
+// cur returns the current view. Callers load it once per operation so
+// every probe of that operation sees one coherent generation.
+func (t *Table) cur() *view { return t.vp.Load() }
 
 // secondSeed derives the second hash function's seed from the first.
 func secondSeed(seed uint64) uint64 { return seed ^ 0x6a09e667f3bcc909 }
+
+// newView allocates fresh cell arrays for the given level-1 cell count
+// and builds the matching hash functions.
+func (t *Table) newView(cells uint64, seed uint64) *view {
+	return &view{
+		h:    xhash.NewFunc(seed, cells, t.l.KeyWords() == 2),
+		h2:   xhash.NewFunc(secondSeed(seed), cells, t.l.KeyWords() == 2),
+		tab1: hashtab.NewCells(t.mem, t.l, cells),
+		tab2: hashtab.NewCells(t.mem, t.l, cells),
+	}
+}
 
 // Create allocates and initialises a new table in mem and returns its
 // handle. The header address (Header) is the table's persistent root:
@@ -135,8 +166,13 @@ func Create(mem hashtab.Mem, opts Options) (*Table, error) {
 	}
 	l := layout.ForKeySize(opts.KeyBytes)
 	hdr := mem.Alloc(HeaderBytes, 64)
-	tab1 := hashtab.NewCells(mem, l, opts.Cells)
-	tab2 := hashtab.NewCells(mem, l, opts.Cells)
+	t := &Table{
+		mem: mem, l: l, hdr: hdr,
+		two: opts.TwoChoice,
+		gsz: opts.GroupSize,
+	}
+	vw := t.newView(opts.Cells, opts.Seed)
+	t.vp.Store(vw)
 
 	w := func(i int, v uint64) { mem.Write8(hdr+uint64(i)*layout.WordSize, v) }
 	w(hdrKeyBytes, uint64(opts.KeyBytes))
@@ -144,8 +180,8 @@ func Create(mem hashtab.Mem, opts Options) (*Table, error) {
 	w(hdrSeed, opts.Seed)
 	w(hdrCount, 0)
 	w(hdrSlot, 0)
-	w(hdrSlot0+0, tab1.Base)
-	w(hdrSlot0+1, tab2.Base)
+	w(hdrSlot0+0, vw.tab1.Base)
+	w(hdrSlot0+1, vw.tab2.Base)
 	w(hdrSlot0+2, opts.Cells)
 	var flags uint64
 	if opts.TwoChoice {
@@ -157,14 +193,7 @@ func Create(mem hashtab.Mem, opts Options) (*Table, error) {
 	mem.AtomicWrite8(hdr+hdrMagic*layout.WordSize, Magic)
 	mem.Persist(hdr+hdrMagic*layout.WordSize, layout.WordSize)
 
-	return &Table{
-		mem: mem, l: l, hdr: hdr,
-		h:    xhash.NewFunc(opts.Seed, opts.Cells, l.KeyWords() == 2),
-		h2:   xhash.NewFunc(secondSeed(opts.Seed), opts.Cells, l.KeyWords() == 2),
-		two:  opts.TwoChoice,
-		gsz:  opts.GroupSize,
-		tab1: tab1, tab2: tab2,
-	}, nil
+	return t, nil
 }
 
 // ErrNoTable is returned by Open when the header does not carry a valid
@@ -198,13 +227,15 @@ func Open(mem hashtab.Mem, hdr uint64) (*Table, error) {
 	}
 	t := &Table{
 		mem: mem, l: l, hdr: hdr,
+		two: rd(hdrFlags)&flagTwoChoice != 0,
+		gsz: rd(hdrGroupSize),
+	}
+	t.vp.Store(&view{
 		h:    xhash.NewFunc(rd(hdrSeed), cells, l.KeyWords() == 2),
 		h2:   xhash.NewFunc(secondSeed(rd(hdrSeed)), cells, l.KeyWords() == 2),
-		two:  rd(hdrFlags)&flagTwoChoice != 0,
-		gsz:  rd(hdrGroupSize),
 		tab1: hashtab.Cells{Mem: mem, L: l, Base: rd(base + 0), N: cells},
 		tab2: hashtab.Cells{Mem: mem, L: l, Base: rd(base + 1), N: cells},
-	}
+	})
 	if t.gsz == 0 || t.gsz&(t.gsz-1) != 0 || t.gsz > cells {
 		return nil, fmt.Errorf("core: corrupt header: group size %d", t.gsz)
 	}
@@ -225,14 +256,14 @@ func (t *Table) Name() string {
 // TwoChoice reports whether the second hash function is active.
 func (t *Table) TwoChoice() bool { return t.two }
 
-// homes returns the candidate level-1 cells of k: one under the
-// paper's default, two in two-choice mode (§4.4).
-func (t *Table) homes(k layout.Key) (i1, i2 uint64, n int) {
-	i1 = t.h.Index(k.Lo, k.Hi)
+// homesIn returns the candidate level-1 cells of k under vw: one under
+// the paper's default, two in two-choice mode (§4.4).
+func (t *Table) homesIn(vw *view, k layout.Key) (i1, i2 uint64, n int) {
+	i1 = vw.h.Index(k.Lo, k.Hi)
 	if !t.two {
 		return i1, 0, 1
 	}
-	i2 = t.h2.Index(k.Lo, k.Hi)
+	i2 = vw.h2.Index(k.Lo, k.Hi)
 	if i2 == i1 {
 		return i1, 0, 1
 	}
@@ -243,10 +274,13 @@ func (t *Table) homes(k layout.Key) (i1, i2 uint64, n int) {
 func (t *Table) GroupSize() uint64 { return t.gsz }
 
 // Cells returns the number of level-1 cells (half the capacity).
-func (t *Table) Cells() uint64 { return t.tab1.N }
+func (t *Table) Cells() uint64 { return t.cur().tab1.N }
 
 // Capacity returns the total number of cells across both levels.
-func (t *Table) Capacity() uint64 { return t.tab1.N + t.tab2.N }
+func (t *Table) Capacity() uint64 {
+	vw := t.cur()
+	return vw.tab1.N + vw.tab2.N
+}
 
 // Len returns the persistent count of occupied cells.
 func (t *Table) Len() uint64 { return t.mem.Read8(t.countAddr()) }

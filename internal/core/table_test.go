@@ -116,10 +116,10 @@ func TestCollisionSpillsToMatchedGroup(t *testing.T) {
 	tab := mustCreate(t, mem, Options{Cells: 64, GroupSize: 8, Seed: 3})
 	// Find two keys hashing to the same level-1 cell.
 	base := layout.Key{Lo: 1}
-	idx := tab.h.Index(base.Lo, base.Hi)
+	idx := tab.cur().h.Index(base.Lo, base.Hi)
 	var other layout.Key
 	for i := uint64(2); ; i++ {
-		if tab.h.Index(i, 0) == idx {
+		if tab.cur().h.Index(i, 0) == idx {
 			other = layout.Key{Lo: i}
 			break
 		}
@@ -133,7 +133,7 @@ func TestCollisionSpillsToMatchedGroup(t *testing.T) {
 	j := tab.groupStart(idx)
 	found := false
 	for i := uint64(0); i < tab.gsz; i++ {
-		if tab.tab2.Matches(j+i, other) {
+		if tab.cur().tab2.Matches(j+i, other) {
 			found = true
 		}
 	}
@@ -148,10 +148,10 @@ func TestLookupFindsSpilledItemAfterHomeDeleted(t *testing.T) {
 	mem := native.New(1 << 20)
 	tab := mustCreate(t, mem, Options{Cells: 64, GroupSize: 8, Seed: 3})
 	a := layout.Key{Lo: 1}
-	idx := tab.h.Index(a.Lo, a.Hi)
+	idx := tab.cur().h.Index(a.Lo, a.Hi)
 	var b layout.Key
 	for i := uint64(2); ; i++ {
-		if tab.h.Index(i, 0) == idx {
+		if tab.cur().h.Index(i, 0) == idx {
 			b = layout.Key{Lo: i}
 			break
 		}
@@ -172,12 +172,12 @@ func TestGroupOverflowReturnsErrTableFull(t *testing.T) {
 	// Saturate one group: find group of key 0's level-1 index and
 	// insert colliding keys until full.
 	k0 := layout.Key{Lo: 1}
-	g := tab.groupStart(tab.h.Index(k0.Lo, 0))
+	g := tab.groupStart(tab.cur().h.Index(k0.Lo, 0))
 	inserted := 0
 	var err error
 	for i := uint64(1); inserted < 100; i++ {
 		k := layout.Key{Lo: i}
-		if tab.groupStart(tab.h.Index(k.Lo, 0)) != g {
+		if tab.groupStart(tab.cur().h.Index(k.Lo, 0)) != g {
 			continue
 		}
 		err = tab.Insert(k, i)

@@ -61,6 +61,23 @@ type ConcurrentReader interface {
 	ConcurrentReadSafe()
 }
 
+// Reclaimer is the optional allocator surface for backends whose bump
+// allocator can rewind: Mark captures the watermark, Release returns to
+// it, zeroing and reclaiming everything allocated since. Table
+// expansion uses it to take back the freshly allocated cell arrays of a
+// failed rehash attempt instead of abandoning them (a native backend
+// grows without bound otherwise). Backends with a fixed region and
+// simulated persistence (memsim) deliberately do not implement it —
+// zeroing megabytes through the simulated cache would distort every
+// counter the experiments measure.
+type Reclaimer interface {
+	// Mark returns the current allocation watermark.
+	Mark() uint64
+	// Release rewinds the allocator to a previous Mark, zeroing the
+	// released range so future allocations see fresh memory.
+	Release(mark uint64)
+}
+
 // Table is the common key-value interface. Keys are fixed-size
 // (layout.Key); values are single words, the small-item regime the
 // paper's motivating key-value stores (memcached, MemC3) are dominated

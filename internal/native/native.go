@@ -11,12 +11,28 @@
 //     single-clock simulator.
 //
 // Every word access is an atomic load or store (the Mem interface is
-// word-granular, so the backing array is []uint64 and atomics cost the
-// same as plain moves on mainstream hardware). That makes this backend
-// safe for the seqlock-style optimistic read protocol of core.Concurrent:
-// readers may call Read8 with no lock held while writers store
-// concurrently, with no torn words and no race-detector reports. The
-// marker method ConcurrentReadSafe advertises the property.
+// word-granular, so the backing store is word arrays and atomics cost
+// the same as plain moves on mainstream hardware). That makes this
+// backend safe for the seqlock-style optimistic read protocol of
+// core.Concurrent: readers may call Read8 with no lock held while
+// writers store concurrently, with no torn words and no race-detector
+// reports. The marker method ConcurrentReadSafe advertises the
+// property.
+//
+// Storage is PAGED: the buffer is a table of fixed-size pages, and
+// growth appends pages without ever moving existing ones. Addresses are
+// therefore stable for the lifetime of the memory, which is what lets
+// Alloc run concurrently with lock-free readers and locked writers —
+// the property online table expansion depends on (the expansion
+// coordinator allocates the new cell arrays while other goroutines keep
+// probing the old ones). The page table itself is swapped atomically on
+// growth (copy-on-write of the page POINTERS only), so a reader holding
+// the old table still reaches every address that existed when it loaded
+// it.
+//
+// Alloc/Release themselves must still be serialized by the caller (one
+// allocating goroutine at a time); in practice allocation only happens
+// at table creation and inside a single expansion coordinator.
 //
 // On a machine with real persistent memory, this backend is also the
 // template for an mmap-backed region: the algorithms above it already
@@ -30,28 +46,66 @@ import (
 	"sync/atomic"
 )
 
+// Page geometry: 1 MiB pages keep the page table tiny (one pointer per
+// MiB) while bounding the over-allocation of small memories.
+const (
+	pageShift = 20
+	pageBytes = 1 << pageShift
+	pageWords = pageBytes / 8
+)
+
+// page is one fixed-size block of words. Pages never move once
+// allocated.
+type page [pageWords]uint64
+
 // Memory is a volatile hashtab.Mem backend. Word reads and writes are
-// individually atomic and may run concurrently with each other; compound
-// operations (and Alloc, which may move the buffer) still require the
-// callers' locking, which the concurrent table wrapper provides.
+// individually atomic and may run concurrently with each other and with
+// Alloc; compound multi-word operations still require the callers'
+// locking, which the concurrent table wrapper provides.
 type Memory struct {
-	words []uint64
-	next  uint64
+	pages atomic.Pointer[[]*page]
+	next  atomic.Uint64 // bump-allocator watermark
+	size  atomic.Uint64 // reported Size (requested, word-rounded; grows with Alloc)
 }
 
 // New creates a native memory of the given size in bytes.
 func New(size uint64) *Memory {
 	size = (size + 7) &^ 7
-	return &Memory{words: make([]uint64, size/8)}
+	m := &Memory{}
+	pt := makePages(nil, (size+pageBytes-1)/pageBytes)
+	m.pages.Store(&pt)
+	m.size.Store(size)
+	return m
+}
+
+// makePages returns a page table of n pages that shares old's pages and
+// appends fresh zeroed ones.
+func makePages(old []*page, n uint64) []*page {
+	pt := make([]*page, n)
+	copy(pt, old)
+	for i := len(old); i < len(pt); i++ {
+		pt[i] = new(page)
+	}
+	return pt
 }
 
 // Size returns the buffer size in bytes.
-func (m *Memory) Size() uint64 { return uint64(len(m.words)) * 8 }
+func (m *Memory) Size() uint64 { return m.size.Load() }
 
-func (m *Memory) check(addr, n uint64) {
-	if addr+n > m.Size() || addr+n < addr {
-		panic(fmt.Sprintf("native: access [%d,%d) out of range of %d-byte memory", addr, addr+n, m.Size()))
+// word returns a pointer to the word holding addr, panicking on
+// misaligned or out-of-range addresses. Bounds are page-granular: the
+// slack of the last page of a small memory is addressable, like the
+// tail of a real mmap region.
+func (m *Memory) word(addr uint64) *uint64 {
+	if addr%8 != 0 {
+		panic(fmt.Sprintf("native: misaligned access at %d", addr))
 	}
+	pt := *m.pages.Load()
+	pi := addr >> pageShift
+	if pi >= uint64(len(pt)) {
+		panic(fmt.Sprintf("native: access at %d out of range of %d-byte memory", addr, uint64(len(pt))*pageBytes))
+	}
+	return &pt[pi][(addr&(pageBytes-1))>>3]
 }
 
 // ConcurrentReadSafe marks this backend as supporting lock-free
@@ -62,20 +116,12 @@ func (m *Memory) ConcurrentReadSafe() {}
 
 // Read8 loads an aligned 8-byte word.
 func (m *Memory) Read8(addr uint64) uint64 {
-	m.check(addr, 8)
-	if addr%8 != 0 {
-		panic(fmt.Sprintf("native: misaligned load at %d", addr))
-	}
-	return atomic.LoadUint64(&m.words[addr/8])
+	return atomic.LoadUint64(m.word(addr))
 }
 
 // Write8 stores an aligned 8-byte word.
 func (m *Memory) Write8(addr, val uint64) {
-	m.check(addr, 8)
-	if addr%8 != 0 {
-		panic(fmt.Sprintf("native: misaligned store at %d", addr))
-	}
-	atomic.StoreUint64(&m.words[addr/8], val)
+	atomic.StoreUint64(m.word(addr), val)
 }
 
 // AtomicWrite8 stores an aligned 8-byte word; on this backend every
@@ -88,11 +134,31 @@ func (m *Memory) Persist(addr, n uint64) {}
 // Allocated returns the allocator watermark: every address handed out
 // by Alloc lies below it, so the bytes under it are the memory's entire
 // live content.
-func (m *Memory) Allocated() uint64 { return m.next }
+func (m *Memory) Allocated() uint64 { return m.next.Load() }
 
 // SetAllocated restores the allocator watermark, e.g. after SetImage
 // rebuilt the contents from a saved image.
-func (m *Memory) SetAllocated(n uint64) { m.next = n }
+func (m *Memory) SetAllocated(n uint64) { m.next.Store(n) }
+
+// Mark returns the current allocation watermark, a point Release can
+// later rewind to. Part of the hashtab.Reclaimer contract.
+func (m *Memory) Mark() uint64 { return m.next.Load() }
+
+// Release rewinds the allocator to a watermark previously returned by
+// Mark, reclaiming every allocation made since. The released range is
+// zeroed, so a future Alloc over it sees fresh memory (the invariant
+// NewCells relies on). The caller must guarantee nothing reachable
+// still points into the released range. Part of hashtab.Reclaimer.
+func (m *Memory) Release(mark uint64) {
+	next := m.next.Load()
+	if mark > next {
+		panic(fmt.Sprintf("native: Release(%d) above the watermark %d", mark, next))
+	}
+	for a := mark &^ 7; a < next; a += 8 {
+		atomic.StoreUint64(m.word(a), 0)
+	}
+	m.next.Store(mark)
+}
 
 // Image returns a copy of the allocated prefix of the memory as bytes
 // (little-endian words, the byte order the pmfs image format and the
@@ -101,52 +167,66 @@ func (m *Memory) SetAllocated(n uint64) { m.next = n }
 // caller must still exclude WRITERS (e.g. via Concurrent.Quiesce) for
 // the image to be a consistent cut.
 func (m *Memory) Image() []byte {
-	words := (m.next + 7) / 8
+	next := m.next.Load()
+	words := (next + 7) / 8
 	img := make([]byte, words*8)
 	for i := uint64(0); i < words; i++ {
-		binary.LittleEndian.PutUint64(img[i*8:], atomic.LoadUint64(&m.words[i]))
+		binary.LittleEndian.PutUint64(img[i*8:], atomic.LoadUint64(m.word(i*8)))
 	}
-	return img[:min(m.next, uint64(len(img)))]
+	return img[:min(next, uint64(len(img)))]
 }
 
 // SetImage overwrites the front of the memory with a saved image,
 // growing the buffer if needed. Not safe to run concurrently with any
 // other access; intended for rebuilding a memory at load time.
 func (m *Memory) SetImage(img []byte) {
-	if need := (uint64(len(img)) + 7) / 8; need > uint64(len(m.words)) {
-		grown := make([]uint64, need)
-		copy(grown, m.words)
-		m.words = grown
-	}
+	m.grow(uint64(len(img)))
 	for i := 0; i+8 <= len(img); i += 8 {
-		m.words[i/8] = binary.LittleEndian.Uint64(img[i:])
+		atomic.StoreUint64(m.word(uint64(i)), binary.LittleEndian.Uint64(img[i:]))
 	}
 	if tail := len(img) % 8; tail != 0 {
 		var b [8]byte
 		copy(b[:], img[len(img)-tail:])
-		m.words[len(img)/8] = binary.LittleEndian.Uint64(b[:])
+		atomic.StoreUint64(m.word(uint64(len(img)-tail)), binary.LittleEndian.Uint64(b[:]))
+	}
+}
+
+// grow ensures the page table covers [0, limit), appending fresh pages
+// (and publishing the new table atomically) when it does not. Existing
+// pages never move, so concurrent readers of existing addresses stay
+// valid throughout.
+func (m *Memory) grow(limit uint64) {
+	pt := *m.pages.Load()
+	need := (limit + pageBytes - 1) / pageBytes
+	if need <= uint64(len(pt)) {
+		return
+	}
+	grown := makePages(pt, need)
+	m.pages.Store(&grown)
+	if bytes := need * pageBytes; bytes > m.size.Load() {
+		m.size.Store(bytes)
 	}
 }
 
 // Alloc reserves size bytes at the given power-of-two alignment. Unlike
 // the fixed-size simulated NVM region, native memory models ordinary
-// process memory: the buffer grows on demand (doubling), so repeated
-// table expansions never exhaust it. Growth moves the buffer, so Alloc
-// must not race with concurrent table operations; in practice it is
-// called only while a table is being created or expanded.
+// process memory: pages are appended on demand, so repeated table
+// expansions never exhaust it. Growth never moves existing pages, so
+// reads and writes of already-allocated addresses may proceed
+// concurrently with Alloc; only Alloc/Release calls themselves must be
+// serialized by the caller.
 func (m *Memory) Alloc(size, align uint64) uint64 {
 	if align == 0 || align&(align-1) != 0 {
 		panic(fmt.Sprintf("native: alignment %d is not a power of two", align))
 	}
-	addr := (m.next + align - 1) &^ (align - 1)
+	next := m.next.Load()
+	addr := (next + align - 1) &^ (align - 1)
 	if addr+size < addr {
 		panic(fmt.Sprintf("native: allocation of %d bytes overflows the address space", size))
 	}
-	for addr+size > m.Size() {
-		grown := make([]uint64, max(uint64(len(m.words))*2, (addr+size+7)/8))
-		copy(grown, m.words)
-		m.words = grown
-	}
-	m.next = addr + size
+	m.grow(addr + size)
+	// Publish the watermark only after the pages exist: a concurrent
+	// Image() sizing itself by the watermark must find every page.
+	m.next.Store(addr + size)
 	return addr
 }

@@ -125,3 +125,75 @@ func TestImageRoundtrip(t *testing.T) {
 		t.Fatal("watermark not restored")
 	}
 }
+
+// TestMarkReleaseRewindsAndZeroes pins the Reclaimer contract: Release
+// rewinds the watermark to the Mark and zeroes everything allocated
+// since, so the next Alloc reuses the same (fresh) range.
+func TestMarkReleaseRewindsAndZeroes(t *testing.T) {
+	m := New(1 << 12)
+	keep := m.Alloc(64, 8)
+	m.Write8(keep, 7)
+	mark := m.Mark()
+	a := m.Alloc(256, 64)
+	for i := uint64(0); i < 32; i++ {
+		m.Write8(a+i*8, 0xdead)
+	}
+	m.Release(mark)
+	if m.Allocated() != mark {
+		t.Fatalf("watermark %d after Release, want %d", m.Allocated(), mark)
+	}
+	b := m.Alloc(256, 64)
+	if b != a {
+		t.Fatalf("post-release Alloc at %d, want the reclaimed %d", b, a)
+	}
+	for i := uint64(0); i < 32; i++ {
+		if m.Read8(b+i*8) != 0 {
+			t.Fatalf("reclaimed word %d not zeroed", i)
+		}
+	}
+	if m.Read8(keep) != 7 {
+		t.Fatal("Release damaged memory below the mark")
+	}
+}
+
+// TestReleaseAboveWatermarkPanics pins the misuse guard.
+func TestReleaseAboveWatermarkPanics(t *testing.T) {
+	m := New(1 << 12)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Release(m.Mark() + 64)
+}
+
+// TestAllocDuringConcurrentAccess exercises the property online
+// expansion depends on: growth appends pages without moving existing
+// ones, so readers and writers of already-allocated addresses may run
+// concurrently with Alloc. Run under -race to make the check meaningful.
+func TestAllocDuringConcurrentAccess(t *testing.T) {
+	m := New(1 << 10)
+	a := m.Alloc(1<<10, 8)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := uint64(0); ; i = (i + 1) % 128 {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m.Write8(a+i*8, i)
+			if got := m.Read8(a + i*8); got != i {
+				t.Errorf("word %d = %d mid-growth", i, got)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 8; i++ {
+		m.Alloc(3<<20, 64) // each call appends pages
+	}
+	close(stop)
+	<-done
+}

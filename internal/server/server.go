@@ -61,6 +61,8 @@ type Metrics struct {
 	Full, InvalidKey, BadRequest uint64
 	// Snapshots counts completed snapshot saves (periodic + final).
 	Snapshots uint64
+	// Expansions counts completed online table expansions.
+	Expansions uint64
 }
 
 // Server serves one Store over TCP. Create with New, start with Serve
@@ -336,6 +338,7 @@ func (s *Server) Stats() Metrics {
 		InvalidKey:    s.invalid.Load(),
 		BadRequest:    s.badreq.Load(),
 		Snapshots:     s.snapshots.Load(),
+		Expansions:    s.cfg.Store.Expansions(),
 	}
 }
 
@@ -347,11 +350,12 @@ func (s *Server) StatsText() string {
 	us := func(q float64) float64 { return sample.Quantile(q) / 1e3 }
 	return fmt.Sprintf(
 		"items=%d load=%.3f conns=%d/%d reads=%d writes=%d deletes=%d others=%d "+
-			"full=%d invalid=%d bad=%d snapshots=%d draining=%v "+
+			"full=%d invalid=%d bad=%d snapshots=%d expansions=%d expanding=%v draining=%v "+
 			"latency_us{p50=%.1f p90=%.1f p99=%.1f max=%.1f n=%d}",
 		s.cfg.Store.Len(), s.cfg.Store.LoadFactor(),
 		m.ConnsActive, m.ConnsAccepted,
 		m.Reads, m.Writes, m.Deletes, m.Others,
-		m.Full, m.InvalidKey, m.BadRequest, m.Snapshots, s.draining.Load(),
+		m.Full, m.InvalidKey, m.BadRequest, m.Snapshots,
+		m.Expansions, s.cfg.Store.Expanding(), s.draining.Load(),
 		us(0.5), us(0.9), us(0.99), us(1), sample.N())
 }

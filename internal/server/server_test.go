@@ -161,7 +161,8 @@ func TestServePipelined(t *testing.T) {
 }
 
 func TestServerFull(t *testing.T) {
-	_, addr := startServer(t, grouphash.Options{Capacity: 64, GroupSize: 8}, Config{})
+	_, addr := startServer(t,
+		grouphash.Options{Capacity: 64, GroupSize: 8, DisableExpand: true}, Config{})
 	c := dial(t, addr)
 	var sawFull bool
 	for i := uint64(1); i <= 4096; i++ {
@@ -174,7 +175,62 @@ func TestServerFull(t *testing.T) {
 		}
 	}
 	if !sawFull {
-		t.Fatal("concurrent store (no online expansion) never reported ErrFull")
+		t.Fatal("concurrent store with expansion disabled never reported ErrFull")
+	}
+}
+
+// TestServerOnlineExpansion is the acceptance scenario for stop-less
+// growth: a write-heavy workload many times the store's initial
+// capacity, from several connections at once, must complete with ZERO
+// StatusFull responses — the table expands online underneath the
+// writers — and every acked key must be readable afterwards.
+func TestServerOnlineExpansion(t *testing.T) {
+	s, addr := startServer(t, grouphash.Options{Capacity: 64, GroupSize: 8}, Config{})
+
+	const workers = 4
+	const perWorker = 1024 // 4096 keys through a 64-capacity store
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := client.Dial(addr, 5*time.Second)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer c.Close()
+			base := uint64(w) << 32
+			for i := uint64(1); i <= perWorker; i++ {
+				if err := c.Put(layout.Key{Lo: base + i}, base+i); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	if full := s.Stats().Full; full != 0 {
+		t.Fatalf("saw %d StatusFull responses, want 0", full)
+	}
+	if exp := s.cfg.Store.Expansions(); exp == 0 {
+		t.Fatal("store never expanded despite 64x overload")
+	}
+	c := dial(t, addr)
+	for w := 0; w < workers; w++ {
+		base := uint64(w) << 32
+		for i := uint64(1); i <= perWorker; i++ {
+			v, ok, err := c.Get(layout.Key{Lo: base + i})
+			if err != nil || !ok || v != base+i {
+				t.Fatalf("key %d/%d: v=%d ok=%v err=%v", w, i, v, ok, err)
+			}
+		}
 	}
 }
 
