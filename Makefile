@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-json race fuzz serve-smoke figures figures-paper examples clean
+.PHONY: all build test vet bench bench-json race torture fuzz serve-smoke figures figures-paper examples clean
 
 all: build vet test
 
@@ -22,19 +22,28 @@ test:
 	$(GO) test ./...
 	$(GO) test -race ./internal/core ./internal/server ./internal/client ./internal/native
 
-race:
-	$(GO) test -race ./internal/core ./internal/server ./internal/client ./internal/native ./internal/harness .
+race: torture
+	$(GO) test -race ./internal/core ./internal/server ./internal/client ./internal/native ./internal/oplog ./internal/harness .
 	$(GO) test -race -run 'OnlineExpansion' -count=4 -cpu 1,2,4 ./internal/core
+
+# torture is the durability gate: the in-process crash-torture test
+# (deterministic kill points: mid-group-commit, mid-rotation,
+# mid-snapshot, mid-replay; torn log tails) under the race detector,
+# plus ghtorture SIGKILLing a real serving process 20 times and
+# auditing every acked write for exactly-once survival.
+torture:
+	$(GO) test -race -run 'CrashTorture' -count=1 ./internal/server
+	$(GO) run -race ./cmd/ghtorture -cycles 20
 
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# bench-json regenerates the PR's expansion benchmark numbers: the
-# ghbench figure metrics plus the sequential-vs-parallel rehash and the
-# online-expansion write-stall distribution (p99 per-write latency),
-# all written to BENCH_PR3.json.
+# bench-json regenerates the PR's benchmark numbers: acked-write
+# throughput through the network server with and without the operation
+# log (the cost of "acked means durable"), written to BENCH_PR4.json.
+# Earlier PRs' files regenerate the same way (expand -> BENCH_PR3.json).
 bench-json:
-	$(GO) run ./cmd/ghbench -exp expand -scale default -json BENCH_PR3.json
+	$(GO) run ./cmd/ghbench -exp oplog -scale default -json BENCH_PR4.json
 
 # Substrate microbenchmarks: dirty-word tracker (paged vs legacy map),
 # cache hit path, memsim stack, and the fixed trace replay.

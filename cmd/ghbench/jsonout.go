@@ -47,6 +47,9 @@ type jsonReport struct {
 	// distribution under online expansion. See cmd/ghbench/expand.go.
 	ExpandRehash []expandRehashRow `json:"expand_rehash,omitempty"`
 	ExpandStall  []expandStallRow  `json:"expand_stall,omitempty"`
+	// Operation-log cost: acked-write throughput through the network
+	// server with and without the oplog. See cmd/ghbench/oplog.go.
+	OplogThroughput []oplogThroughputRow `json:"oplog_throughput,omitempty"`
 }
 
 // addLatency flattens LatencyResult rows (insert/query/delete phases)

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"grouphash"
+	"grouphash/internal/client"
+	"grouphash/internal/harness"
+	"grouphash/internal/layout"
+	"grouphash/internal/oplog"
+	"grouphash/internal/server"
+	"grouphash/internal/wire"
+)
+
+// The oplog experiment measures what the durability contract costs:
+// acked-write throughput through a real server over loopback TCP, with
+// and without the operation log. Pipelining is the whole story — a
+// batch of writes shares one group-committed fsync, so the log's cost
+// per op shrinks with batch size.
+
+// oplogThroughputRow is one (mode, batch) throughput measurement of
+// pipelined acked writes through the network server.
+type oplogThroughputRow struct {
+	Mode     string  `json:"mode"`  // "no-oplog" or "oplog"
+	Conns    int     `json:"conns"` // concurrent client connections
+	Batch    int     `json:"batch"` // requests per pipelined Do
+	Ops      int     `json:"ops"`   // total acked writes
+	WallMs   float64 `json:"wall_ms"`
+	KopsSec  float64 `json:"kops_per_sec"`
+	Slowdown float64 `json:"slowdown_vs_baseline"` // 1.0 for the baseline row
+}
+
+// oplogThroughputBench acks `ops` pipelined writes through a freshly
+// started server and returns the wall time. With withLog, every ack is
+// covered by a group-committed fsync of the operation log.
+func oplogThroughputBench(conns, batch, ops int, withLog bool) oplogThroughputRow {
+	dir, err := os.MkdirTemp("", "ghbench-oplog-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := grouphash.New(grouphash.Options{Capacity: 1 << 18, Concurrent: true})
+	if err != nil {
+		panic(err)
+	}
+	var lg *oplog.Log
+	mode := "no-oplog"
+	if withLog {
+		if lg, err = oplog.Open(filepath.Join(dir, "oplog"), 1); err != nil {
+			panic(err)
+		}
+		mode = "oplog"
+	}
+	srv, err := server.New(server.Config{Store: st, Oplog: lg})
+	if err != nil {
+		panic(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	perConn := ops / conns
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := client.Dial(ln.Addr().String(), 2*time.Second)
+			if err != nil {
+				panic(err)
+			}
+			defer cl.Close()
+			base := uint64(c+1) << 40
+			reqs := make([]wire.Request, batch)
+			for done := 0; done < perConn; done += batch {
+				for j := range reqs {
+					k := base + uint64(done+j) + 1
+					reqs[j] = wire.Request{Op: wire.OpPut, Key: layout.Key{Lo: k}, Value: k}
+				}
+				resps, err := cl.Do(reqs)
+				if err != nil {
+					panic(err)
+				}
+				for _, r := range resps {
+					if r.Status != wire.StatusOK {
+						panic(fmt.Sprintf("put status %d", r.Status))
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := float64(time.Since(start).Nanoseconds()) / 1e6
+	if err := srv.Drain(); err != nil {
+		panic(err)
+	}
+	<-serveDone
+	total := conns * perConn
+	return oplogThroughputRow{
+		Mode: mode, Conns: conns, Batch: batch, Ops: total,
+		WallMs: wall, KopsSec: float64(total) / wall,
+	}
+}
+
+// runOplogExperiment measures acked-write throughput without and with
+// the operation log and folds both rows into the JSON report; the
+// acceptance bar is the logged run staying within 2x of the baseline.
+func runOplogExperiment(w io.Writer, scale harness.Scale, report *jsonReport) {
+	ops := scale.Ops
+	if ops > 200_000 {
+		ops = 200_000
+	}
+	if ops < 20_000 {
+		ops = 20_000
+	}
+	const conns, batch = 4, 64
+	base := oplogThroughputBench(conns, batch, ops, false)
+	base.Slowdown = 1
+	logged := oplogThroughputBench(conns, batch, ops, true)
+	logged.Slowdown = base.KopsSec / logged.KopsSec
+
+	fmt.Fprintf(w, "Acked-write throughput (loopback TCP, %d conns, %d-op pipelined batches):\n", conns, batch)
+	for _, r := range []oplogThroughputRow{base, logged} {
+		fmt.Fprintf(w, "  %-9s %8d ops  %8.1f ms  %8.1f kops/s  slowdown %.2fx\n",
+			r.Mode, r.Ops, r.WallMs, r.KopsSec, r.Slowdown)
+	}
+	report.OplogThroughput = append(report.OplogThroughput, base, logged)
+}

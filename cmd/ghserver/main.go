@@ -1,16 +1,21 @@
 // Command ghserver serves a grouphash store over TCP: the concurrent
 // native-backend table behind the length-prefixed wire protocol, with
-// periodic background snapshots and a graceful drain on SIGINT/SIGTERM
-// that quiesces writers and saves a final image — restart with the
-// same -image and every write acked before the drain is back.
+// group-committed operation logging, periodic background snapshots and
+// a graceful drain on SIGINT/SIGTERM that refuses late writes, saves a
+// final image and seals the log.
 //
 // Usage:
 //
-//	ghserver -addr :4777 -capacity 1048576 -image /var/lib/gh/store.pmfs
+//	ghserver -addr :4777 -capacity 1048576 \
+//	    -image /var/lib/gh/store.pmfs -oplog /var/lib/gh/oplog
 //
-// Durability: acked writes are durable up to the last snapshot (plus
-// the final drain snapshot on clean shutdown); a power failure loses
-// acked writes since the last snapshot — there is no WAL yet. See
+// Durability: with -oplog, acked means durable — every mutating
+// request is appended to the operation log and fsynced (one group
+// commit per pipelined batch) before its response is sent, snapshots
+// bound the log's length, and start-up recovery is image + replay:
+// after any crash, power failure included, every acked write is back,
+// exactly once. Without -oplog the server degrades to snapshots only,
+// where a crash loses acked writes since the last image. See
 // DESIGN.md §6.
 package main
 
@@ -23,6 +28,7 @@ import (
 	"time"
 
 	"grouphash"
+	"grouphash/internal/oplog"
 	"grouphash/internal/server"
 )
 
@@ -32,6 +38,7 @@ func main() {
 		capacity = flag.Uint64("capacity", 1<<20, "initial item capacity (the store expands online when it fills)")
 		group    = flag.Uint64("group-size", 0, "cells per group (0 = the paper's 256)")
 		image    = flag.String("image", "", "pmfs image path: loaded at start if present, snapshot target while serving")
+		logBase  = flag.String("oplog", "", "operation log base path: acked writes are fsynced here before the ack and replayed over the image at start (\"\" = snapshots only; a crash then loses acked writes since the last image)")
 		every    = flag.Duration("snapshot-every", 30*time.Second, "background snapshot period (0 = only the final drain snapshot)")
 		statsDur = flag.Duration("stats-every", 0, "log server stats at this period (0 = off)")
 	)
@@ -40,13 +47,14 @@ func main() {
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
 
 	var st *grouphash.Store
+	var mark uint64
 	var err error
 	if *image != "" {
 		if _, statErr := os.Stat(*image); statErr == nil {
-			if st, err = grouphash.LoadSnapshot(*image, true); err != nil {
+			if st, mark, err = grouphash.LoadSnapshotMark(*image, true); err != nil {
 				log.Fatalf("loading image %s: %v", *image, err)
 			}
-			log.Printf("loaded %d items from %s", st.Len(), *image)
+			log.Printf("loaded %d items from %s (oplog mark %d)", st.Len(), *image, mark)
 		}
 	}
 	if st == nil {
@@ -60,22 +68,55 @@ func main() {
 		}
 	}
 
+	var lg *oplog.Log
+	if *logBase != "" {
+		applied, next, err := st.ReplayOplog(*logBase, mark)
+		if err != nil {
+			log.Fatalf("oplog replay from %s: %v", *logBase, err)
+		}
+		if applied > 0 {
+			log.Printf("replayed %d acked writes from %s (through LSN %d); %d items now", applied, *logBase, next-1, st.Len())
+		} else {
+			log.Printf("oplog %s: nothing to replay past mark %d", *logBase, mark)
+		}
+		if lg, err = oplog.Open(*logBase, next); err != nil {
+			log.Fatalf("opening oplog %s: %v", *logBase, err)
+		}
+	} else if mark != 0 {
+		log.Printf("WARNING: image was written with an oplog (mark %d) but -oplog is unset; acked writes past the image are being ignored", mark)
+	}
+
 	srv, err := server.New(server.Config{
 		Store:         st,
 		SnapshotPath:  *image,
 		SnapshotEvery: *every,
+		Oplog:         lg,
 		Logf:          log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	// The stats logger is tied to shutdown: a bare time.Tick would keep
+	// this goroutine printing stale counters after the drain.
+	statsStop := make(chan struct{})
+	statsDone := make(chan struct{})
 	if *statsDur > 0 {
 		go func() {
-			for range time.Tick(*statsDur) {
-				log.Print(srv.StatsText())
+			defer close(statsDone)
+			t := time.NewTicker(*statsDur)
+			defer t.Stop()
+			for {
+				select {
+				case <-statsStop:
+					return
+				case <-t.C:
+					log.Print(srv.StatsText())
+				}
 			}
 		}()
+	} else {
+		close(statsDone)
 	}
 
 	serveErr := make(chan error, 1)
@@ -88,6 +129,8 @@ func main() {
 		log.Fatalf("serve: %v", err)
 	case got := <-sig:
 		log.Printf("%s: draining", got)
+		close(statsStop)
+		<-statsDone
 		if err := srv.Drain(); err != nil {
 			log.Fatalf("drain: %v", err)
 		}

@@ -1,0 +1,306 @@
+// Command ghtorture kills a real serving process over and over and
+// checks that no acked write is ever lost or duplicated.
+//
+// It is the process-level companion to the in-process crash-torture
+// test (internal/server): the supervisor re-executes its own binary in
+// a child mode that recovers and serves exactly the way ghserver does
+// (image + oplog replay, group-committed acks, aggressive background
+// snapshots), hammers it with pipelined inserts over real TCP, then
+// SIGKILLs it at a random moment — sometimes mid-snapshot, mid-
+// rotation or mid-group-commit, the scheduler decides. At the next
+// cycle's recovery the supervisor audits the child: every acked key
+// present with its value, every key whose batch died unacked present
+// at most once, and the store's Len equal to the distinct present keys
+// — so a double-applied replay cannot hide.
+//
+// Usage:
+//
+//	ghtorture -cycles 20 -dir /tmp/ghtorture
+//
+// Exits non-zero at the first contract violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"grouphash"
+	"grouphash/internal/client"
+	"grouphash/internal/layout"
+	"grouphash/internal/oplog"
+	"grouphash/internal/server"
+	"grouphash/internal/wire"
+)
+
+func main() {
+	var (
+		cycles   = flag.Int("cycles", 20, "kill/restart cycles to run")
+		dir      = flag.String("dir", "", "state directory (default: a fresh temp dir, removed on success)")
+		serve    = flag.Bool("serve", false, "internal: run as the server child process")
+		addrFile = flag.String("addr-file", "", "internal: file the child publishes its address to")
+		seed     = flag.Int64("seed", 1, "kill-timing random seed")
+	)
+	flag.Parse()
+	if *serve {
+		child(*dir, *addrFile)
+		return
+	}
+	log.SetPrefix("ghtorture: ")
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+
+	cleanup := false
+	if *dir == "" {
+		d, err := os.MkdirTemp("", "ghtorture-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		*dir = d
+		cleanup = true
+	}
+	supervise(*dir, *cycles, *seed)
+	if cleanup {
+		os.RemoveAll(*dir)
+	}
+}
+
+// child is the process that gets killed: ghserver's recovery and
+// serving loop, plus an address file so the supervisor can find the
+// kernel-assigned port.
+func child(dir, addrFile string) {
+	log.SetPrefix(fmt.Sprintf("child[%d]: ", os.Getpid()))
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+	img := filepath.Join(dir, "store.pmfs")
+	base := filepath.Join(dir, "oplog")
+
+	var st *grouphash.Store
+	var mark uint64
+	var err error
+	if _, statErr := os.Stat(img); statErr == nil {
+		if st, mark, err = grouphash.LoadSnapshotMark(img, true); err != nil {
+			log.Fatalf("loading image: %v", err)
+		}
+	} else {
+		if st, err = grouphash.New(grouphash.Options{Capacity: 1 << 12, Concurrent: true}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	applied, next, err := st.ReplayOplog(base, mark)
+	if err != nil {
+		log.Fatalf("replay: %v", err)
+	}
+	lg, err := oplog.Open(base, next)
+	if err != nil {
+		log.Fatalf("opening oplog: %v", err)
+	}
+	log.Printf("recovered: mark=%d replayed=%d items=%d", mark, applied, st.Len())
+
+	srv, err := server.New(server.Config{
+		Store:         st,
+		SnapshotPath:  img,
+		SnapshotEvery: 25 * time.Millisecond, // aggressive: kills land mid-snapshot
+		Oplog:         lg,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Publish the address atomically so the supervisor never reads a
+	// half-written file.
+	tmp := addrFile + ".tmp"
+	if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	if err := os.Rename(tmp, addrFile); err != nil {
+		log.Fatal(err)
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	select {
+	case err := <-serveErr:
+		log.Fatalf("serve: %v", err)
+	case <-sig:
+		if err := srv.Drain(); err != nil {
+			log.Fatalf("drain: %v", err)
+		}
+		<-serveErr
+	}
+}
+
+// kstate is a key's supervisor-side model state.
+type kstate int
+
+const (
+	acked   kstate = iota // server acked the insert: present, exactly once
+	tainted               // batch died unacked: absent, or present exactly once
+)
+
+func supervise(dir string, cycles int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make(map[uint64]kstate)
+	nextKey := uint64(1)
+	start := time.Now()
+
+	for cycle := 0; cycle < cycles; cycle++ {
+		proc, addr := startChild(dir)
+		verify(addr, keys, cycle)
+
+		// Hammer pipelined insert batches until the kill; a batch's
+		// keys are acked as a unit or tainted as a unit (the client
+		// returns no partial responses).
+		const batch = 64
+		c, err := client.Dial(addr, 2*time.Second)
+		if err != nil {
+			log.Fatalf("cycle %d: dial: %v", cycle, err)
+		}
+		loadDone := make(chan struct{})
+		go func() {
+			defer close(loadDone)
+			for {
+				reqs := make([]wire.Request, batch)
+				base := nextKey
+				for j := range reqs {
+					k := base + uint64(j)
+					reqs[j] = wire.Request{Op: wire.OpInsert, Key: layout.Key{Lo: k}, Value: k * 3}
+				}
+				nextKey += batch
+				resps, err := c.Do(reqs)
+				if err != nil {
+					for j := range reqs {
+						keys[base+uint64(j)] = tainted
+					}
+					return
+				}
+				for j, r := range resps {
+					if r.Status != wire.StatusOK {
+						log.Fatalf("cycle %d: insert status %d", cycle, r.Status)
+					}
+					keys[base+uint64(j)] = acked
+				}
+			}
+		}()
+		time.Sleep(time.Duration(30+rng.Intn(120)) * time.Millisecond)
+		if err := proc.Kill(); err != nil { // SIGKILL: no drain, no goodbye
+			log.Fatalf("cycle %d: kill: %v", cycle, err)
+		}
+		proc.Wait()
+		<-loadDone
+		c.Close()
+	}
+
+	// One last recovery audits the final kill, then a clean drain and
+	// one more audit prove the graceful path preserves everything too.
+	proc, addr := startChild(dir)
+	verify(addr, keys, cycles)
+	proc.Signal(syscall.SIGTERM)
+	proc.Wait()
+	proc, addr = startChild(dir)
+	verify(addr, keys, cycles+1)
+	proc.Signal(syscall.SIGTERM)
+	proc.Wait()
+
+	n := 0
+	for _, st := range keys {
+		if st == acked {
+			n++
+		}
+	}
+	log.Printf("PASS: %d cycles, %d acked writes verified exactly-once, in %s",
+		cycles, n, time.Since(start).Round(time.Millisecond))
+}
+
+// startChild launches the serve-mode child and waits for its address.
+func startChild(dir string) (*os.Process, string) {
+	addrFile := filepath.Join(dir, "addr")
+	os.Remove(addrFile)
+	cmd := exec.Command(os.Args[0], "-serve", "-dir", dir, "-addr-file", addrFile)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		log.Fatalf("starting child: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			return cmd.Process, string(b)
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			log.Fatal("child never published its address")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// verify audits a freshly recovered child against the model: acked
+// keys present with their value, tainted keys present at most once or
+// gone (their fate is then pinned for the rest of the run), and Len
+// equal to the distinct present keys — the exactly-once check.
+func verify(addr string, keys map[uint64]kstate, cycle int) {
+	c, err := client.Dial(addr, 2*time.Second)
+	if err != nil {
+		log.Fatalf("verify %d: dial: %v", cycle, err)
+	}
+	defer c.Close()
+	const batch = 512
+	all := make([]uint64, 0, len(keys))
+	for k := range keys {
+		all = append(all, k)
+	}
+	present := uint64(0)
+	for off := 0; off < len(all); off += batch {
+		end := off + batch
+		if end > len(all) {
+			end = len(all)
+		}
+		reqs := make([]wire.Request, 0, end-off)
+		for _, k := range all[off:end] {
+			reqs = append(reqs, wire.Request{Op: wire.OpGet, Key: layout.Key{Lo: k}})
+		}
+		resps, err := c.Do(reqs)
+		if err != nil {
+			log.Fatalf("verify %d: %v", cycle, err)
+		}
+		for i, r := range resps {
+			k := all[off+i]
+			switch r.Status {
+			case wire.StatusOK:
+				if r.Value != k*3 {
+					log.Fatalf("verify %d: key %d has value %d, want %d", cycle, k, r.Value, k*3)
+				}
+				present++
+				keys[k] = acked // durable now, whatever its batch's fate was
+			case wire.StatusNotFound:
+				if keys[k] == acked {
+					log.Fatalf("verify %d: ACKED WRITE LOST: key %d", cycle, k)
+				}
+				delete(keys, k) // unacked and gone: out of the model
+			default:
+				log.Fatalf("verify %d: get status %d", cycle, r.Status)
+			}
+		}
+	}
+	n, err := c.Len()
+	if err != nil {
+		log.Fatalf("verify %d: len: %v", cycle, err)
+	}
+	if n != present {
+		log.Fatalf("verify %d: server Len=%d but %d distinct keys are present — a replayed write was applied twice", cycle, n, present)
+	}
+	log.Printf("cycle %d verified: %d keys present, len matches", cycle, present)
+}

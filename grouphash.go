@@ -38,6 +38,7 @@ import (
 	"grouphash/internal/layout"
 	"grouphash/internal/memsim"
 	"grouphash/internal/native"
+	"grouphash/internal/oplog"
 	"grouphash/internal/pmfs"
 )
 
@@ -336,19 +337,38 @@ type imager interface {
 // The pause is O(allocated bytes) for the in-memory copy only — file
 // I/O happens after the writers resume.
 func (s *Store) Snapshot(path string) error {
+	write, err := s.SnapshotWriter(0)
+	if err != nil {
+		return err
+	}
+	return write(path)
+}
+
+// SnapshotWriter captures a consistent image of the store NOW (under
+// an internal quiesce) and returns a function that later writes it to
+// an image file, crash-safely, recording oplogMark as the image's
+// oplog mark. The split lets the network server take the capture
+// inside its own writer-exclusion window — where the mark and the
+// image are guaranteed to agree — and do the slow file I/O after
+// writers have resumed.
+func (s *Store) SnapshotWriter(oplogMark uint64) (func(path string) error, error) {
+	var img []byte
+	var allocated uint64
 	switch m := s.mem.(type) {
 	case *memsim.Memory:
-		var err error
-		s.Quiesce(func() { err = pmfs.Save(path, m, s.Header()) })
-		return err
+		s.Quiesce(func() {
+			m.CleanShutdown()
+			img, allocated = m.Region().Image(), m.Allocated()
+		})
 	case imager:
-		var img []byte
-		var allocated uint64
 		s.Quiesce(func() { img, allocated = m.Image(), m.Allocated() })
-		return pmfs.SaveImage(path, img, allocated, s.Header())
 	default:
-		return fmt.Errorf("grouphash: memory backend %T cannot be snapshotted", s.mem)
+		return nil, fmt.Errorf("grouphash: memory backend %T cannot be snapshotted", s.mem)
 	}
+	root := s.Header()
+	return func(path string) error {
+		return pmfs.SaveImage(path, img, allocated, root, oplogMark)
+	}, nil
 }
 
 // LoadSnapshot rebuilds a store from an image file written by
@@ -356,14 +376,58 @@ func (s *Store) Snapshot(path string) error {
 // from a quiesced table, so no recovery pass is needed; the store is
 // immediately serviceable.
 func LoadSnapshot(path string, concurrent bool) (*Store, error) {
-	img, allocated, root, err := pmfs.LoadImage(path)
+	s, _, err := LoadSnapshotMark(path, concurrent)
+	return s, err
+}
+
+// LoadSnapshotMark is LoadSnapshot plus the image's oplog mark: the
+// LSN of the last operation-log record the image covers. Recovery
+// replays the oplog from just past the mark (Store.ReplayOplog) to
+// reconstruct every acked write the image itself missed.
+func LoadSnapshotMark(path string, concurrent bool) (*Store, uint64, error) {
+	img, allocated, root, mark, err := pmfs.LoadImage(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	mem := native.New(uint64(len(img)))
 	mem.SetImage(img)
 	mem.SetAllocated(allocated)
-	return Open(mem, root, concurrent)
+	s, err := Open(mem, root, concurrent)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s, mark, nil
+}
+
+// ReplayOplog replays the operation log based at base onto the store:
+// every record with an LSN past `after` (typically the oplog mark of
+// the image the store was loaded from) is re-applied in log order.
+// Replay only reads the log files, so a crash during replay is
+// recovered by replaying again from the same image — the store's
+// in-memory state is rebuilt from scratch either way, which is what
+// makes replay idempotent. It returns the number of operations applied
+// and the LSN the log should continue from (pass it to oplog.Open).
+func (s *Store) ReplayOplog(base string, after uint64) (applied int, next uint64, err error) {
+	next, applied, err = oplog.Scan(base, after, func(r oplog.Record) error {
+		switch r.Op {
+		case oplog.OpPut:
+			return s.Put(r.Key, r.Value)
+		case oplog.OpInsert:
+			return s.Insert(r.Key, r.Value)
+		case oplog.OpDelete:
+			s.Delete(r.Key)
+			return nil
+		default:
+			return fmt.Errorf("grouphash: oplog record %d has unknown op %d", r.LSN, r.Op)
+		}
+	})
+	if err != nil {
+		return applied, next, fmt.Errorf("grouphash: oplog replay: %w", err)
+	}
+	if next <= after {
+		next = after + 1
+	}
+	return applied, next, nil
 }
 
 // String describes the store.

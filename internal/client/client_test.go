@@ -2,6 +2,7 @@ package client
 
 import (
 	"errors"
+	"net"
 	"testing"
 	"time"
 
@@ -30,14 +31,55 @@ func TestStatusErrMapping(t *testing.T) {
 	}
 }
 
-func TestDialFailsFast(t *testing.T) {
-	// A port from the TEST-NET range nothing listens on: Dial with a
-	// zero timeout must make exactly one attempt and fail.
-	start := time.Now()
-	if _, err := Dial("127.0.0.1:1", 0); err == nil {
-		t.Fatal("Dial to a dead port succeeded")
+// TestDialZeroTimeoutSingleAttempt pins the documented contract:
+// timeout 0 means exactly one connection attempt, no retry loop.
+// Connection-refused on loopback is effectively instant while the
+// retry loop sleeps 20ms between attempts, so the fastest of five
+// tries finishing under one retry sleep proves no retry happened (a
+// single measurement can be inflated by scheduler noise; the minimum
+// of five cannot be, by all five at once).
+func TestDialZeroTimeoutSingleAttempt(t *testing.T) {
+	best := time.Hour
+	for i := 0; i < 5; i++ {
+		start := time.Now()
+		if _, err := Dial("127.0.0.1:1", 0); err == nil {
+			t.Fatal("Dial to a dead port succeeded")
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
 	}
-	if time.Since(start) > 2*time.Second {
-		t.Fatal("zero-timeout Dial retried")
+	if best >= 20*time.Millisecond {
+		t.Fatalf("zero-timeout Dial took %v at best; the single-attempt contract is broken", best)
 	}
+}
+
+// TestDialRetriesUntilListener is the other half of the contract: with
+// a timeout, Dial keeps retrying and wins when the server shows up
+// late — load generators racing server start-up depend on it.
+func TestDialRetriesUntilListener(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // free the port; nothing listens now
+	go func() {
+		time.Sleep(60 * time.Millisecond)
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			t.Errorf("relisten: %v", err)
+			return
+		}
+		conn, err := ln.Accept()
+		if err == nil {
+			conn.Close()
+		}
+		ln.Close()
+	}()
+	c, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatalf("Dial with retry window lost to a late listener: %v", err)
+	}
+	c.Close()
 }

@@ -1,0 +1,563 @@
+// Package oplog is the file-backed operation log that closes the
+// serving layer's durability hole: every mutating request the server
+// acks is first made durable here, so "acked" finally means "survives
+// a power failure", not "survives until the next snapshot".
+//
+// # Role next to snapshots
+//
+// The network server persists through pmfs snapshot images. An image
+// alone only covers acked writes up to the moment it was captured; the
+// oplog covers the tail. Each image records the log sequence number
+// (LSN) of the last operation it contains (its "oplog mark"), and
+// recovery is: load the newest image, then replay every log record
+// with a higher LSN, in LSN order. Snapshot + log tail = complete
+// state; the log is rotated at every snapshot and the fully-covered
+// segments are deleted once the image is durable.
+//
+// # Group commit
+//
+// Appends go to an in-memory buffer and are durable only after Sync.
+// The server calls Sync once per pipelined response flush — the ack
+// point — so one fsync covers a whole batch of operations, amortising
+// the dominant cost the same way the paper's batched persists amortise
+// clflush traffic. Sync is a group commit: while one caller's fsync is
+// in flight, later appenders pile into the buffer and the next Sync
+// covers them all; a caller whose records were covered by somebody
+// else's fsync returns without touching the disk.
+//
+// # Crash safety
+//
+// Records carry a CRC and strictly sequential LSNs. A torn tail (the
+// crash hit mid-write) fails the CRC or the sequence check and replay
+// stops there — safe, because a record is only ever acked after an
+// fsync that covers it and everything before it, so no acked record
+// can follow a torn one. Segment files are created with their header
+// fsynced (file and directory) before any record lands in them, and
+// replay (Scan) never writes, so a crash during recovery just replays
+// again from the same files: replay is idempotent by construction.
+package oplog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"grouphash/internal/layout"
+)
+
+// Op identifies the logged store mutation.
+type Op byte
+
+// The logged operation kinds, mirroring the store's mutating API.
+const (
+	// OpPut is an upsert (grouphash.Store.Put).
+	OpPut Op = iota + 1
+	// OpInsert is an Algorithm-1 insert, duplicates allowed.
+	OpInsert
+	// OpDelete removes a key.
+	OpDelete
+)
+
+// Record is one durable log entry: an acked (or at least
+// fsync-covered) store mutation.
+type Record struct {
+	// LSN is the record's log sequence number; strictly sequential.
+	LSN uint64
+	// Op is the mutation kind.
+	Op Op
+	// Key is the target key.
+	Key layout.Key
+	// Value is the payload word (unused by OpDelete).
+	Value uint64
+}
+
+// segMagic identifies an oplog segment file, last byte = format
+// version.
+const segMagic = 0x47484f504c4f4701 // "GHOPLOG" + 1
+
+// segHeaderLen is the segment header size: magic, seq, startLSN, crc
+// (padded to a word).
+const segHeaderLen = 32
+
+// recordLen is the fixed record size: lsn, key.Lo, key.Hi, value, op +
+// 3 pad bytes, crc32.
+const recordLen = 8 + 8 + 8 + 8 + 4 + 4
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed reports use of a closed log.
+var ErrClosed = errors.New("oplog: log is closed")
+
+// segment is one on-disk log file. Segment i holds LSNs
+// [start_i, start_{i+1}-1]; the last segment is the active one.
+type segment struct {
+	path  string
+	seq   uint64
+	start uint64 // first LSN this segment may contain
+	dead  bool   // header unreadable (crash mid-creation): no records
+}
+
+// Log is an append-only, group-committed operation log. Append and
+// Sync are safe for concurrent use; Rotate/TruncateThrough/Close are
+// the snapshot path's and must not race each other.
+type Log struct {
+	base string
+	dir  string
+
+	mu      sync.Mutex // buf, lastLSN, active file identity
+	buf     []byte
+	lastLSN uint64
+
+	flushMu sync.Mutex // file writes + fsync + segment swap
+	f       *os.File   // active segment
+	written int64      // bytes written to the active segment
+	synced  int64      // bytes fsynced (crash-survivable prefix)
+	err     error      // sticky I/O failure: nothing acks after it
+
+	segs    []segment // all live segments, seq order, active last
+	durable atomic.Uint64
+	closed  atomic.Bool
+}
+
+// segPath names segment seq of a log based at base.
+func segPath(base string, seq uint64) string {
+	return fmt.Sprintf("%s.%08d", base, seq)
+}
+
+// listSegments finds the existing segment files of base, sorted by
+// sequence number, reading each header for its start LSN.
+func listSegments(base string) ([]segment, error) {
+	matches, err := filepath.Glob(base + ".*")
+	if err != nil {
+		return nil, fmt.Errorf("oplog: listing segments: %w", err)
+	}
+	var segs []segment
+	for _, path := range matches {
+		var seq uint64
+		suffix := path[len(base)+1:]
+		if len(suffix) != 8 {
+			continue
+		}
+		if _, err := fmt.Sscanf(suffix, "%d", &seq); err != nil {
+			continue
+		}
+		s := segment{path: path, seq: seq}
+		if start, err := readSegHeader(path); err != nil {
+			s.dead = true // crash mid-creation; provably holds no acked record
+		} else {
+			s.start = start
+		}
+		segs = append(segs, s)
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	return segs, nil
+}
+
+// readSegHeader validates a segment file's header and returns its
+// start LSN.
+func readSegHeader(path string) (start uint64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var hdr [segHeaderLen]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return 0, fmt.Errorf("oplog: segment header: %w", err)
+	}
+	return parseSegHeader(hdr[:])
+}
+
+func parseSegHeader(hdr []byte) (start uint64, err error) {
+	if got := binary.LittleEndian.Uint64(hdr[0:8]); got != segMagic {
+		return 0, fmt.Errorf("oplog: bad segment magic %#x", got)
+	}
+	if got, want := binary.LittleEndian.Uint32(hdr[24:28]), crc32.Checksum(hdr[:24], crcTable); got != want {
+		return 0, fmt.Errorf("oplog: segment header crc %#x, want %#x", got, want)
+	}
+	return binary.LittleEndian.Uint64(hdr[16:24]), nil
+}
+
+// writeSegHeader creates a new segment file and makes its existence
+// durable (header fsync + directory fsync) before returning it.
+func writeSegHeader(path string, seq, start uint64) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("oplog: creating segment: %w", err)
+	}
+	var hdr [segHeaderLen]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], segMagic)
+	binary.LittleEndian.PutUint64(hdr[8:16], seq)
+	binary.LittleEndian.PutUint64(hdr[16:24], start)
+	binary.LittleEndian.PutUint32(hdr[24:28], crc32.Checksum(hdr[:24], crcTable))
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("oplog: writing segment header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("oplog: syncing segment header: %w", err)
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// syncDir fsyncs a directory so file creations and deletions inside it
+// are durable, not merely visible.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("oplog: opening directory for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("oplog: syncing directory: %w", err)
+	}
+	return nil
+}
+
+// Open opens the log based at base for appending, starting a fresh
+// segment whose first LSN is nextLSN (callers derive it from Scan and
+// the snapshot's oplog mark: one past the highest LSN known). A fresh
+// segment — never appending to an existing file — means a torn tail
+// left by a crash can never precede new records.
+func Open(base string, nextLSN uint64) (*Log, error) {
+	if nextLSN == 0 {
+		nextLSN = 1
+	}
+	segs, err := listSegments(base)
+	if err != nil {
+		return nil, err
+	}
+	seq := uint64(1)
+	if n := len(segs); n > 0 {
+		seq = segs[n-1].seq + 1
+	}
+	path := segPath(base, seq)
+	f, err := writeSegHeader(path, seq, nextLSN)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{
+		base:    base,
+		dir:     filepath.Dir(base),
+		f:       f,
+		written: segHeaderLen,
+		synced:  segHeaderLen,
+		lastLSN: nextLSN - 1,
+		segs:    append(segs, segment{path: path, seq: seq, start: nextLSN}),
+	}
+	l.durable.Store(nextLSN - 1)
+	return l, nil
+}
+
+// Append stages one mutation record and returns its LSN. The record is
+// NOT durable until a Sync covering the LSN returns nil — callers must
+// not ack before that.
+func (l *Log) Append(op Op, k layout.Key, v uint64) uint64 {
+	l.mu.Lock()
+	l.lastLSN++
+	lsn := l.lastLSN
+	l.buf = appendRecord(l.buf, Record{LSN: lsn, Op: op, Key: k, Value: v})
+	l.mu.Unlock()
+	return lsn
+}
+
+// appendRecord encodes r onto buf.
+func appendRecord(buf []byte, r Record) []byte {
+	var b [recordLen]byte
+	binary.LittleEndian.PutUint64(b[0:8], r.LSN)
+	binary.LittleEndian.PutUint64(b[8:16], r.Key.Lo)
+	binary.LittleEndian.PutUint64(b[16:24], r.Key.Hi)
+	binary.LittleEndian.PutUint64(b[24:32], r.Value)
+	b[32] = byte(r.Op)
+	binary.LittleEndian.PutUint32(b[36:40], crc32.Checksum(b[:36], crcTable))
+	return append(buf, b[:]...)
+}
+
+// parseRecord decodes and validates one record.
+func parseRecord(b []byte) (Record, bool) {
+	if len(b) < recordLen {
+		return Record{}, false
+	}
+	if binary.LittleEndian.Uint32(b[36:40]) != crc32.Checksum(b[:36], crcTable) {
+		return Record{}, false
+	}
+	r := Record{
+		LSN:   binary.LittleEndian.Uint64(b[0:8]),
+		Key:   layout.Key{Lo: binary.LittleEndian.Uint64(b[8:16]), Hi: binary.LittleEndian.Uint64(b[16:24])},
+		Value: binary.LittleEndian.Uint64(b[24:32]),
+		Op:    Op(b[32]),
+	}
+	if r.Op < OpPut || r.Op > OpDelete {
+		return Record{}, false
+	}
+	return r, true
+}
+
+// Sync makes every record with LSN ≤ upTo durable, group-committing
+// whatever else has been appended meanwhile. Returns immediately when
+// a concurrent Sync already covered upTo. After an I/O failure the
+// error is sticky: the durable prefix is unknown, so nothing may be
+// acked on this log again.
+func (l *Log) Sync(upTo uint64) error {
+	if l.durable.Load() >= upTo {
+		return nil
+	}
+	if l.closed.Load() {
+		return ErrClosed
+	}
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	if l.durable.Load() >= upTo { // a group leader covered us while we waited
+		return nil
+	}
+	return l.flushLocked(true)
+}
+
+// flushLocked writes the staged buffer to the active segment and, when
+// fsync is set, makes it durable. Caller holds flushMu.
+func (l *Log) flushLocked(fsync bool) error {
+	if l.err != nil {
+		return l.err
+	}
+	l.mu.Lock()
+	buf := l.buf
+	l.buf = nil
+	hw := l.lastLSN
+	l.mu.Unlock()
+	if len(buf) > 0 {
+		if _, err := l.f.Write(buf); err != nil {
+			l.err = fmt.Errorf("oplog: appending: %w", err)
+			return l.err
+		}
+		l.written += int64(len(buf))
+	}
+	if fsync {
+		if err := l.f.Sync(); err != nil {
+			l.err = fmt.Errorf("oplog: fsync: %w", err)
+			return l.err
+		}
+		l.synced = l.written
+		l.durable.Store(hw)
+	}
+	l.mu.Lock()
+	if l.buf == nil { // recycle the flushed buffer if nobody appended meanwhile
+		l.buf = buf[:0]
+	}
+	l.mu.Unlock()
+	return nil
+}
+
+// LastLSN returns the highest LSN assigned so far (not necessarily
+// durable). Only stable while the caller excludes appenders.
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastLSN
+}
+
+// DurableLSN returns the highest LSN known durable.
+func (l *Log) DurableLSN() uint64 { return l.durable.Load() }
+
+// Rotate seals the active segment (flushing and fsyncing any staged
+// records) and starts a fresh one. The snapshot path calls it inside
+// the server's writer-exclusion window, so the sealed segments hold
+// exactly the operations the about-to-be-written image covers.
+func (l *Log) Rotate() error {
+	if l.closed.Load() {
+		return ErrClosed
+	}
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	if err := l.flushLocked(true); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	start := l.lastLSN + 1
+	l.mu.Unlock()
+	seq := l.segs[len(l.segs)-1].seq + 1
+	path := segPath(l.base, seq)
+	f, err := writeSegHeader(path, seq, start)
+	if err != nil {
+		l.err = err
+		return err
+	}
+	old := l.f
+	l.f = f
+	l.written, l.synced = segHeaderLen, segHeaderLen
+	l.segs = append(l.segs, segment{path: path, seq: seq, start: start})
+	if err := old.Close(); err != nil {
+		l.err = fmt.Errorf("oplog: closing sealed segment: %w", err)
+		return l.err
+	}
+	return nil
+}
+
+// TruncateThrough deletes every sealed segment whose records are all
+// covered by a durable snapshot with oplog mark lsn. The active
+// segment always survives. Call only after the covering image has been
+// durably published — a crash in between merely leaves covered
+// segments behind, which replay skips by LSN.
+func (l *Log) TruncateThrough(lsn uint64) error {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	kept := l.segs[:0]
+	removed := false
+	for i, s := range l.segs {
+		last := i == len(l.segs)-1
+		// Sealed segment i's records end at start_{i+1}-1; dead
+		// segments (unreadable header) hold nothing acked.
+		covered := !last && (s.dead || l.segs[i+1].start-1 <= lsn)
+		if !covered {
+			kept = append(kept, s)
+			continue
+		}
+		if err := os.Remove(s.path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("oplog: truncating: %w", err)
+		}
+		removed = true
+	}
+	l.segs = kept
+	if removed {
+		return syncDir(l.dir)
+	}
+	return nil
+}
+
+// ActivePath returns the active segment's file path. Crash-simulation
+// harnesses use it to tear the log's unsynced tail.
+func (l *Log) ActivePath() string {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	return l.segs[len(l.segs)-1].path
+}
+
+// SyncedSize returns the fsynced byte length of the active segment —
+// the prefix a power failure is guaranteed to preserve. Bytes beyond
+// it (written but unsynced) may survive, vanish, or tear arbitrarily.
+func (l *Log) SyncedSize() int64 {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	return l.synced
+}
+
+// WrittenSize returns the byte length the active segment would have if
+// every write reached the file (synced or not).
+func (l *Log) WrittenSize() int64 {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	_ = l.flushLocked(false) // push staged records out; written stays best-known on error
+	return l.written
+}
+
+// Close flushes and fsyncs staged records and closes the active
+// segment. The log cannot be used afterwards.
+func (l *Log) Close() error {
+	if l.closed.Swap(true) {
+		return nil
+	}
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	err := l.flushLocked(true)
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Abort closes the active segment's file descriptor without flushing
+// or fsyncing anything — the log's on-disk state is left exactly as a
+// power failure would find it. Crash-torture harnesses use it to
+// abandon a log after a simulated crash (optionally tearing the
+// unsynced tail first); everything else wants Close.
+func (l *Log) Abort() {
+	if l.closed.Swap(true) {
+		return
+	}
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	l.f.Close()
+}
+
+// Scan replays the log based at base: every valid record with LSN >
+// after is passed to fn, in LSN order. It stops at the first torn or
+// out-of-sequence record of a segment (records past it were never
+// acked — see the package comment) and continues with the next
+// segment. Scan never writes, so a crash during replay is recovered by
+// simply scanning again. It returns the LSN one past the highest
+// observed (the nextLSN a subsequent Open should use) and the number
+// of records passed to fn.
+func Scan(base string, after uint64, fn func(Record) error) (next uint64, replayed int, err error) {
+	segs, err := listSegments(base)
+	if err != nil {
+		return 1, 0, err
+	}
+	next = 1
+	first := true
+	for _, s := range segs {
+		if s.dead {
+			continue
+		}
+		switch {
+		case first:
+			next = s.start
+			first = false
+		case s.start < next:
+			// Overlapping LSNs cannot come out of the rotation protocol;
+			// refuse to replay rather than double-apply.
+			return next, replayed, fmt.Errorf("oplog: segment %s starts at LSN %d, already past %d", s.path, s.start, next)
+		case s.start > next:
+			// Gap: the previous segment lost an unsynced (thus unacked)
+			// tail. Continue from this segment's start.
+			next = s.start
+		}
+		n, cnt, err := scanSegment(s.path, next, after, fn)
+		replayed += cnt
+		if err != nil {
+			return n, replayed, err
+		}
+		next = n
+	}
+	return next, replayed, nil
+}
+
+// scanSegment replays one segment's records, expecting the first LSN
+// to be expected; returns the next expected LSN after the segment.
+func scanSegment(path string, expected, after uint64, fn func(Record) error) (uint64, int, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return expected, 0, fmt.Errorf("oplog: reading segment: %w", err)
+	}
+	if len(buf) < segHeaderLen {
+		return expected, 0, nil // torn header: no records
+	}
+	body := buf[segHeaderLen:]
+	count := 0
+	for off := 0; off+recordLen <= len(body); off += recordLen {
+		rec, ok := parseRecord(body[off : off+recordLen])
+		if !ok || rec.LSN != expected {
+			// Torn or out-of-sequence tail: everything from here on was
+			// never covered by an acked fsync.
+			return expected, count, nil
+		}
+		expected++
+		if rec.LSN > after {
+			if err := fn(rec); err != nil {
+				return expected, count, err
+			}
+			count++
+		}
+	}
+	return expected, count, nil
+}

@@ -1,0 +1,329 @@
+package oplog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"grouphash/internal/layout"
+)
+
+func base(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "oplog")
+}
+
+// collect replays base after the given LSN into a slice.
+func collect(t *testing.T, b string, after uint64) (recs []Record, next uint64) {
+	t.Helper()
+	next, _, err := Scan(b, after, func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	return recs, next
+}
+
+func TestAppendSyncScanRoundtrip(t *testing.T) {
+	b := base(t)
+	l, err := Open(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	for i := uint64(1); i <= 100; i++ {
+		op := OpPut
+		switch i % 3 {
+		case 1:
+			op = OpInsert
+		case 2:
+			op = OpDelete
+		}
+		last = l.Append(op, layout.Key{Lo: i, Hi: i * 7}, i*11)
+		if last != i {
+			t.Fatalf("Append %d assigned LSN %d", i, last)
+		}
+	}
+	if l.DurableLSN() != 0 {
+		t.Fatalf("durable %d before any Sync", l.DurableLSN())
+	}
+	if err := l.Sync(last); err != nil {
+		t.Fatal(err)
+	}
+	if l.DurableLSN() != last {
+		t.Fatalf("durable %d after Sync(%d)", l.DurableLSN(), last)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, next := collect(t, b, 0)
+	if len(recs) != 100 || next != 101 {
+		t.Fatalf("replayed %d records, next=%d", len(recs), next)
+	}
+	for i, r := range recs {
+		want := uint64(i + 1)
+		if r.LSN != want || r.Key.Lo != want || r.Key.Hi != want*7 || r.Value != want*11 {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+	// Replay with a cut: only LSNs > 60.
+	recs, _ = collect(t, b, 60)
+	if len(recs) != 40 || recs[0].LSN != 61 {
+		t.Fatalf("after=60 replayed %d starting at %d", len(recs), recs[0].LSN)
+	}
+}
+
+func TestScanIsIdempotentAndReadOnly(t *testing.T) {
+	b := base(t)
+	l, err := Open(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 32; i++ {
+		l.Append(OpInsert, layout.Key{Lo: i}, i)
+	}
+	if err := l.Sync(32); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// A crash during replay restarts replay from scratch; three scans
+	// (one abandoned half-way) must see identical records.
+	half := 0
+	stop := fmt.Errorf("simulated crash mid-replay")
+	if _, _, err := Scan(b, 0, func(r Record) error {
+		half++
+		if half == 16 {
+			return stop
+		}
+		return nil
+	}); err != stop {
+		t.Fatalf("aborted scan returned %v", err)
+	}
+	a, _ := collect(t, b, 0)
+	c, _ := collect(t, b, 0)
+	if len(a) != 32 || len(c) != 32 {
+		t.Fatalf("scans after aborted scan saw %d and %d records", len(a), len(c))
+	}
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("scan divergence at %d: %+v vs %+v", i, a[i], c[i])
+		}
+	}
+}
+
+func TestTornTailStopsReplay(t *testing.T) {
+	b := base(t)
+	l, err := Open(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 10; i++ {
+		l.Append(OpPut, layout.Key{Lo: i}, i)
+	}
+	if err := l.Sync(10); err != nil {
+		t.Fatal(err)
+	}
+	path := l.ActivePath()
+	synced := l.SyncedSize()
+	l.Close()
+
+	// Simulate a torn write: keep the fsynced prefix plus half a
+	// record of garbage.
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(append([]byte{}, buf[:synced]...), 0xde, 0xad, 0xbe, 0xef, 0x01, 0x02)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, next := collect(t, b, 0)
+	if len(recs) != 10 || next != 11 {
+		t.Fatalf("torn tail: replayed %d, next=%d", len(recs), next)
+	}
+
+	// Corrupt a byte inside the last durable record: replay must stop
+	// before it, never deliver garbage.
+	buf[synced-10] ^= 0xff
+	if err := os.WriteFile(path, buf[:synced], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ = collect(t, b, 0)
+	if len(recs) != 9 {
+		t.Fatalf("corrupt record: replayed %d, want 9", len(recs))
+	}
+}
+
+func TestRotateAndTruncate(t *testing.T) {
+	b := base(t)
+	l, err := Open(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 5; i++ {
+		l.Append(OpInsert, layout.Key{Lo: i}, i)
+	}
+	if err := l.Rotate(); err != nil { // snapshot at LSN 5
+		t.Fatal(err)
+	}
+	for i := uint64(6); i <= 8; i++ {
+		l.Append(OpInsert, layout.Key{Lo: i}, i)
+	}
+	if err := l.Sync(8); err != nil {
+		t.Fatal(err)
+	}
+	// Both segments present: full replay sees 8, replay past the
+	// snapshot mark sees 3.
+	recs, next := collect(t, b, 0)
+	if len(recs) != 8 || next != 9 {
+		t.Fatalf("pre-truncate replay %d, next=%d", len(recs), next)
+	}
+	recs, _ = collect(t, b, 5)
+	if len(recs) != 3 || recs[0].LSN != 6 {
+		t.Fatalf("post-mark replay %d records from %d", len(recs), recs[0].LSN)
+	}
+	// Truncation deletes the sealed segment, keeps the active one.
+	if err := l.TruncateThrough(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(segPath(b, 1)); !os.IsNotExist(err) {
+		t.Fatalf("sealed covered segment survived truncation: %v", err)
+	}
+	if _, err := os.Stat(segPath(b, 2)); err != nil {
+		t.Fatalf("active segment deleted: %v", err)
+	}
+	l.Close()
+	recs, next = collect(t, b, 5)
+	if len(recs) != 3 || next != 9 {
+		t.Fatalf("post-truncate replay %d, next=%d", len(recs), next)
+	}
+}
+
+func TestReopenAfterCrashStartsFreshSegment(t *testing.T) {
+	b := base(t)
+	l, err := Open(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 4; i++ {
+		l.Append(OpPut, layout.Key{Lo: i}, i)
+	}
+	if err := l.Sync(4); err != nil {
+		t.Fatal(err)
+	}
+	// "Crash": no Close. Reopen at next = Scan's answer.
+	_, next := collect(t, b, 0)
+	l2, err := Open(b, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l2.Append(OpPut, layout.Key{Lo: 99}, 99); got != 5 {
+		t.Fatalf("post-crash LSN %d, want 5", got)
+	}
+	if err := l2.Sync(5); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	recs, _ := collect(t, b, 0)
+	if len(recs) != 5 || recs[4].Key.Lo != 99 {
+		t.Fatalf("replay after reopen: %d records, last %+v", len(recs), recs[len(recs)-1])
+	}
+}
+
+func TestDeadSegmentTolerated(t *testing.T) {
+	b := base(t)
+	l, err := Open(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(OpPut, layout.Key{Lo: 1}, 1)
+	if err := l.Sync(1); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// Crash mid-segment-creation: a file with a truncated header.
+	if err := os.WriteFile(segPath(b, 2), []byte{1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, next := collect(t, b, 0)
+	if len(recs) != 1 || next != 2 {
+		t.Fatalf("dead segment: replayed %d, next=%d", len(recs), next)
+	}
+	// Reopen must skip past the dead file's sequence number and a later
+	// truncation must clean it up.
+	l2, err := Open(b, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.Append(OpPut, layout.Key{Lo: 2}, 2)
+	if err := l2.Sync(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.TruncateThrough(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(segPath(b, 2)); !os.IsNotExist(err) {
+		t.Fatalf("dead segment not cleaned up: %v", err)
+	}
+	l2.Close()
+	recs, _ = collect(t, b, 0)
+	if len(recs) != 2 {
+		t.Fatalf("after cleanup replayed %d", len(recs))
+	}
+}
+
+// TestGroupCommitConcurrent hammers Append+Sync from many goroutines:
+// every Sync that returns nil must really cover the caller's LSN, and
+// the final file must replay every record exactly once in LSN order.
+func TestGroupCommitConcurrent(t *testing.T) {
+	b := base(t)
+	l, err := Open(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const per = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				lsn := l.Append(OpInsert, layout.Key{Lo: uint64(w)<<32 | uint64(i+1)}, uint64(i))
+				if i%7 == 0 {
+					if err := l.Sync(lsn); err != nil {
+						t.Errorf("Sync: %v", err)
+						return
+					}
+					if l.DurableLSN() < lsn {
+						t.Errorf("Sync(%d) returned with durable=%d", lsn, l.DurableLSN())
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, next := collect(t, b, 0)
+	if len(recs) != workers*per || next != workers*per+1 {
+		t.Fatalf("replayed %d records, next=%d", len(recs), next)
+	}
+	seen := make(map[uint64]bool, len(recs))
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("record %d has LSN %d", i, r.LSN)
+		}
+		if seen[r.Key.Lo] {
+			t.Fatalf("key %#x appears twice", r.Key.Lo)
+		}
+		seen[r.Key.Lo] = true
+	}
+}

@@ -36,11 +36,22 @@ import (
 	"grouphash/internal/memsim"
 )
 
-// Magic identifies a pmfs image file.
-const Magic = 0x504d46535f474801 // "PMFS_GH" + format version 1
+// Magic identifies a pmfs image file. Format version 2 appends a meta
+// word to the header: the oplog mark — the LSN of the last operation-
+// log record the image covers (0 when no oplog is in play), so
+// recovery knows exactly where snapshot state ends and log replay
+// begins. Version-1 images (no meta word) still load, with meta 0.
+const Magic = 0x504d46535f474802 // "PMFS_GH" + format version 2
 
-// header layout (words): magic, region size, allocator watermark, root.
-const headerWords = 4
+// magicV1 is the previous format's magic; accepted by LoadImage.
+const magicV1 = 0x504d46535f474801
+
+// header layout (words): magic, region size, allocator watermark,
+// root, meta (v1 images stop after root).
+const (
+	headerWords   = 5
+	headerWordsV1 = 4
+)
 
 // Save writes mem's durable image to path, recording root (the
 // application's persistent root address, e.g. the table header) in the
@@ -49,7 +60,7 @@ const headerWords = 4
 // state.
 func Save(path string, mem *memsim.Memory, root uint64) error {
 	mem.CleanShutdown()
-	return SaveImage(path, mem.Region().Image(), mem.Allocated(), root)
+	return SaveImage(path, mem.Region().Image(), mem.Allocated(), root, 0)
 }
 
 // SaveImage crash-safely writes a raw memory image to path: temp file
@@ -57,13 +68,15 @@ func Save(path string, mem *memsim.Memory, root uint64) error {
 // package comment for why each step is needed). The image must be a
 // consistent cut of the region — for the simulated machine that means
 // after CleanShutdown (Save does this), for a concurrently served
-// native memory it means inside a quiesce window.
-func SaveImage(path string, img []byte, allocated, root uint64) error {
+// native memory it means inside a quiesce window. meta is the image's
+// oplog mark (0 when snapshots are the only durability mechanism).
+func SaveImage(path string, img []byte, allocated, root, meta uint64) error {
 	buf := make([]byte, headerWords*8+len(img))
 	binary.LittleEndian.PutUint64(buf[0:8], Magic)
 	binary.LittleEndian.PutUint64(buf[8:16], uint64(len(img)))
 	binary.LittleEndian.PutUint64(buf[16:24], allocated)
 	binary.LittleEndian.PutUint64(buf[24:32], root)
+	binary.LittleEndian.PutUint64(buf[32:40], meta)
 	copy(buf[headerWords*8:], img)
 
 	dir := filepath.Dir(path)
@@ -109,7 +122,7 @@ func syncDir(dir string) error {
 // supplied config's Size is overridden by the image's region size; the
 // other knobs (seed, latency, geometry) apply to the new machine.
 func Load(path string, cfg memsim.Config) (*memsim.Memory, uint64, error) {
-	img, next, root, err := LoadImage(path)
+	img, next, root, _, err := LoadImage(path)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -121,29 +134,41 @@ func Load(path string, cfg memsim.Config) (*memsim.Memory, uint64, error) {
 }
 
 // LoadImage reads and validates an image file, returning the raw image
-// bytes, the allocator watermark and the root address. Backend-neutral:
-// Load feeds the result to a fresh simulated machine, the network
-// server feeds it to a native memory.
-func LoadImage(path string) (img []byte, allocated, root uint64, err error) {
+// bytes, the allocator watermark, the root address and the oplog mark
+// (0 for version-1 images, which predate it). Backend-neutral: Load
+// feeds the result to a fresh simulated machine, the network server
+// feeds it to a native memory.
+func LoadImage(path string) (img []byte, allocated, root, meta uint64, err error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
-		return nil, 0, 0, fmt.Errorf("pmfs: reading image: %w", err)
+		return nil, 0, 0, 0, fmt.Errorf("pmfs: reading image: %w", err)
 	}
-	if len(buf) < headerWords*8 {
-		return nil, 0, 0, fmt.Errorf("pmfs: image truncated (%d bytes)", len(buf))
+	if len(buf) < headerWordsV1*8 {
+		return nil, 0, 0, 0, fmt.Errorf("pmfs: image truncated (%d bytes)", len(buf))
 	}
-	if got := binary.LittleEndian.Uint64(buf[0:8]); got != Magic {
-		return nil, 0, 0, fmt.Errorf("pmfs: bad magic %#x", got)
+	words := headerWords
+	switch got := binary.LittleEndian.Uint64(buf[0:8]); got {
+	case Magic:
+	case magicV1:
+		words = headerWordsV1
+	default:
+		return nil, 0, 0, 0, fmt.Errorf("pmfs: bad magic %#x", got)
+	}
+	if len(buf) < words*8 {
+		return nil, 0, 0, 0, fmt.Errorf("pmfs: image truncated (%d bytes)", len(buf))
 	}
 	size := binary.LittleEndian.Uint64(buf[8:16])
 	allocated = binary.LittleEndian.Uint64(buf[16:24])
 	root = binary.LittleEndian.Uint64(buf[24:32])
-	img = buf[headerWords*8:]
+	if words == headerWords {
+		meta = binary.LittleEndian.Uint64(buf[32:40])
+	}
+	img = buf[words*8:]
 	if uint64(len(img)) != size {
-		return nil, 0, 0, fmt.Errorf("pmfs: image body is %d bytes, header says %d", len(img), size)
+		return nil, 0, 0, 0, fmt.Errorf("pmfs: image body is %d bytes, header says %d", len(img), size)
 	}
 	if allocated > size {
-		return nil, 0, 0, fmt.Errorf("pmfs: corrupt watermark %d for %d-byte region", allocated, size)
+		return nil, 0, 0, 0, fmt.Errorf("pmfs: corrupt watermark %d for %d-byte region", allocated, size)
 	}
-	return img, allocated, root, nil
+	return img, allocated, root, meta, nil
 }

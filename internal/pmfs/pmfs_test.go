@@ -85,13 +85,13 @@ func TestLoadRejectsCorruptImages(t *testing.T) {
 		"badmagic":  make([]byte, 64),
 	}
 	// Bad watermark: valid magic, size 8, watermark 4096.
-	bw := make([]byte, 32+8)
+	bw := make([]byte, 40+8)
 	binary.LittleEndian.PutUint64(bw[0:8], Magic)
 	binary.LittleEndian.PutUint64(bw[8:16], 8)
 	binary.LittleEndian.PutUint64(bw[16:24], 4096)
 	cases["badwatermark"] = bw
 	// Size mismatch: header says 16, body has 8.
-	sm := make([]byte, 32+8)
+	sm := make([]byte, 40+8)
 	binary.LittleEndian.PutUint64(sm[0:8], Magic)
 	binary.LittleEndian.PutUint64(sm[8:16], 16)
 	cases["sizemismatch"] = sm
@@ -141,25 +141,50 @@ func TestSaveIsAtomic(t *testing.T) {
 }
 
 // TestSaveImageLoadImageRoundtrip checks the backend-neutral raw-image
-// path the network server snapshots through.
+// path the network server snapshots through, including the v2 oplog
+// mark.
 func TestSaveImageLoadImageRoundtrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "raw.img")
 	want := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
-	if err := SaveImage(path, want, 11, 42); err != nil {
+	if err := SaveImage(path, want, 11, 42, 777); err != nil {
 		t.Fatal(err)
 	}
-	img, allocated, root, err := LoadImage(path)
+	img, allocated, root, meta, err := LoadImage(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(img) != string(want) || allocated != 11 || root != 42 {
-		t.Fatalf("roundtrip = (%v, %d, %d)", img, allocated, root)
+	if string(img) != string(want) || allocated != 11 || root != 42 || meta != 777 {
+		t.Fatalf("roundtrip = (%v, %d, %d, %d)", img, allocated, root, meta)
 	}
 	// Overwrite in place: the rename path must replace, not append.
-	if err := SaveImage(path, want[:8], 8, 7); err != nil {
+	if err := SaveImage(path, want[:8], 8, 7, 0); err != nil {
 		t.Fatal(err)
 	}
-	if img, _, root, err = LoadImage(path); err != nil || len(img) != 8 || root != 7 {
+	if img, _, root, _, err = LoadImage(path); err != nil || len(img) != 8 || root != 7 {
 		t.Fatalf("second roundtrip = (%d bytes, root %d, %v)", len(img), root, err)
+	}
+}
+
+// TestLoadImageV1Compat pins the compatibility contract: version-1
+// images (written before the oplog existed, no meta word) load with an
+// oplog mark of 0.
+func TestLoadImageV1Compat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v1.img")
+	body := []byte{9, 8, 7, 6, 5, 4, 3, 2}
+	buf := make([]byte, 32+len(body))
+	binary.LittleEndian.PutUint64(buf[0:8], magicV1)
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(len(body)))
+	binary.LittleEndian.PutUint64(buf[16:24], uint64(len(body)))
+	binary.LittleEndian.PutUint64(buf[24:32], 3)
+	copy(buf[32:], body)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	img, allocated, root, meta, err := LoadImage(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(img) != string(body) || allocated != 8 || root != 3 || meta != 0 {
+		t.Fatalf("v1 load = (%v, %d, %d, %d)", img, allocated, root, meta)
 	}
 }

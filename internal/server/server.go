@@ -1,8 +1,8 @@
 // Package server puts a grouphash store behind a TCP socket: the
 // first layer of this repository that exercises the table the way a
 // production service would — many connections, pipelined requests,
-// background snapshots, and a graceful drain that turns a SIGTERM into
-// a durable image.
+// group-committed durability, background snapshots, and a graceful
+// drain that turns a SIGTERM into a durable image.
 //
 // Architecture: one goroutine per connection over the wire protocol
 // (internal/wire), buffered framing with a flush-before-blocking-read
@@ -11,12 +11,23 @@
 // reads), and the façade's Quiesce/Snapshot hooks for consistent
 // images while serving.
 //
-// Durability contract: the server is a cache-with-snapshots, not a
-// database. Acked writes are guaranteed durable only up to the most
-// recent completed snapshot; on a clean drain (Drain, typically wired
-// to SIGINT/SIGTERM) a final snapshot makes EVERY acked write durable.
-// On a power failure, acked writes since the last snapshot are lost —
-// there is no write-ahead log yet. See DESIGN.md §6.
+// Durability contract: snapshot + oplog — acked ⇒ durable. Every
+// mutating request is appended to the operation log (internal/oplog)
+// and the log is fsynced before the response leaves the server, one
+// group-committed fsync per pipelined batch. Periodic snapshots bound
+// the log: each image records the LSN it covers, the log rotates at
+// the capture point, and fully-covered segments are deleted once the
+// image is durable. Recovery is LoadSnapshotMark + Store.ReplayOplog:
+// after any crash — power failure included — every acked write is
+// present exactly once. Without a Config.Oplog the server degrades to
+// the old cache-with-snapshots mode, where a power failure loses acked
+// writes since the last completed image. See DESIGN.md §6.
+//
+// Drain contract: once Drain begins, already-buffered write requests
+// are answered with StatusDraining instead of being applied — the
+// final snapshot's contents are decided the moment the drain starts,
+// and no write acked OK is ever left out of it. Reads keep being
+// served until each connection's buffer runs dry.
 package server
 
 import (
@@ -30,6 +41,7 @@ import (
 
 	"grouphash"
 	"grouphash/internal/hashtab"
+	"grouphash/internal/oplog"
 	"grouphash/internal/stats"
 	"grouphash/internal/wire"
 )
@@ -45,6 +57,11 @@ type Config struct {
 	// SnapshotEvery is the background snapshot period; 0 disables
 	// periodic snapshots (the final drain snapshot still happens).
 	SnapshotEvery time.Duration
+	// Oplog, when non-nil, is the operation log every mutating request
+	// is made durable on before it is acked. The caller opens it
+	// (after replaying it into Store) and the server takes ownership:
+	// Drain closes it. See cmd/ghserver for the recovery sequence.
+	Oplog *oplog.Log
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -52,21 +69,29 @@ type Config struct {
 // Metrics is a point-in-time copy of the server's counters.
 type Metrics struct {
 	// ConnsAccepted counts connections ever accepted; ConnsActive is
-	// the current count.
+	// the current count (a single gauge, so it can never underflow
+	// when a connection closes mid-read).
 	ConnsAccepted, ConnsActive uint64
 	// Reads, Writes, Deletes, Others count requests by class (Get;
 	// Put+Insert; Delete; Ping+Len+Stats).
 	Reads, Writes, Deletes, Others uint64
 	// Full, InvalidKey, BadRequest count non-OK outcomes.
 	Full, InvalidKey, BadRequest uint64
+	// DrainRejects counts write requests answered StatusDraining
+	// after a drain began.
+	DrainRejects uint64
 	// Snapshots counts completed snapshot saves (periodic + final).
 	Snapshots uint64
 	// Expansions counts completed online table expansions.
 	Expansions uint64
+	// OplogLastLSN and OplogDurableLSN are the operation log's
+	// assigned and fsynced high-water marks (0 without an oplog).
+	OplogLastLSN, OplogDurableLSN uint64
 }
 
 // Server serves one Store over TCP. Create with New, start with Serve
-// or ListenAndServe, stop with Drain.
+// or ListenAndServe, stop with Drain (graceful) or Abort (simulated
+// crash).
 type Server struct {
 	cfg  Config
 	ln   net.Listener
@@ -75,18 +100,29 @@ type Server struct {
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
 
+	// wmu pairs each store mutation with its oplog append: writers
+	// hold it shared around the (apply, append) pair, and the snapshot
+	// path holds it exclusively while it reads the log's high-water
+	// mark and captures the image — so an image with oplog mark M
+	// contains exactly the operations of records 1..M, the invariant
+	// replay-past-the-mark depends on.
+	wmu sync.RWMutex
+
 	handlers   sync.WaitGroup // per-connection goroutines
 	loops      sync.WaitGroup // snapshot ticker goroutine
-	stop       chan struct{}  // closed by Drain
+	stop       chan struct{}  // closed by Drain/Abort
 	acceptDone chan struct{}  // closed when the accept loop exits
 	serving    atomic.Bool    // Serve was entered
 	draining   atomic.Bool
+	aborted    atomic.Bool
 	drainErr   error
 	drained    sync.Once
 
-	accepted, closedConns            stats.Counter
+	accepted                         stats.Counter
+	connsActive                      stats.Gauge
 	reads, writes, deletes, others   stats.Counter
 	full, invalid, badreq, snapshots stats.Counter
+	drainRejects                     stats.Counter
 	lat                              *stats.Reservoir
 }
 
@@ -144,6 +180,7 @@ func (s *Server) Serve(ln net.Listener) error {
 			return err
 		}
 		s.accepted.Inc()
+		s.connsActive.Inc()
 		s.mu.Lock()
 		s.conns[conn] = struct{}{}
 		if s.draining.Load() {
@@ -167,12 +204,13 @@ func (s *Server) Addr() net.Addr {
 	return s.ln.Addr()
 }
 
-// Drain gracefully shuts the server down: stop accepting, let every
-// connection finish the requests the server has already buffered
-// (responses are flushed, so they are acked), close the connections,
-// and — when snapshots are configured — save a final image containing
-// every acked write. Safe to call more than once; later calls return
-// the first call's result after it completes.
+// Drain gracefully shuts the server down: stop accepting, answer the
+// writes each connection has already buffered with StatusDraining
+// (reads are still served), flush the responses, close the
+// connections, and — when snapshots are configured — save a final
+// image containing every acked write. The oplog, if any, is truncated
+// to the final image and closed. Safe to call more than once; later
+// calls return the first call's result after it completes.
 func (s *Server) Drain() error {
 	s.drained.Do(func() {
 		s.draining.Store(true)
@@ -182,7 +220,8 @@ func (s *Server) Drain() error {
 			s.ln.Close()
 		}
 		// Kick handlers out of blocking reads; requests already in
-		// their userspace buffers are still served before they exit.
+		// their userspace buffers are still answered (reads served,
+		// writes refused) before they exit.
 		now := time.Now()
 		for conn := range s.conns {
 			conn.SetReadDeadline(now)
@@ -199,10 +238,45 @@ func (s *Server) Drain() error {
 		if s.cfg.SnapshotPath != "" {
 			s.drainErr = s.snapshot("final")
 		}
-		s.logf("server: drained (%d conns served, %d writes, %d reads)",
-			s.accepted.Load(), s.writes.Load(), s.reads.Load())
+		if s.cfg.Oplog != nil {
+			if err := s.cfg.Oplog.Close(); err != nil && s.drainErr == nil {
+				s.drainErr = err
+			}
+		}
+		s.logf("server: drained (%d conns served, %d writes, %d reads, %d writes refused)",
+			s.accepted.Load(), s.writes.Load(), s.reads.Load(), s.drainRejects.Load())
 	})
 	return s.drainErr
+}
+
+// Abort hard-stops the server with none of the drain protocol: the
+// listener and every connection are closed immediately, nothing else
+// is flushed or acked, no final snapshot is taken, and the oplog is
+// left exactly as the crash would find it. It is the in-process
+// analogue of kill -9, built for crash-torture tests; production
+// shutdown wants Drain. Unlike a real crash it does wait for the
+// per-connection goroutines to finish dying, so the caller can inspect
+// the on-disk state race-free.
+func (s *Server) Abort() {
+	s.aborted.Store(true)
+	s.drained.Do(func() {
+		s.draining.Store(true)
+		close(s.stop)
+		s.mu.Lock()
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		if s.serving.Load() {
+			<-s.acceptDone
+		}
+		s.handlers.Wait()
+		s.loops.Wait()
+		s.logf("server: aborted (simulated crash)")
+	})
 }
 
 // snapshotLoop saves periodic background images until drain.
@@ -222,34 +296,94 @@ func (s *Server) snapshotLoop() {
 	}
 }
 
-// snapshot quiesces writers and saves one image.
+// errAborted reports a snapshot cut short by Abort — the simulated
+// crash landed between the snapshot's durable steps.
+var errAborted = errors.New("server: aborted mid-snapshot")
+
+// snapshot saves one image. With an oplog the capture runs under the
+// writer-exclusion window (wmu): read the log's high-water mark M,
+// rotate the log, capture the image — all with writers parked — then
+// write the image outside the window and finally delete the log
+// segments the image covers. A crash between any two of those durable
+// steps is safe: the rotation alone changes nothing replay-visible,
+// an image that never lands leaves the old image + full log, and a
+// missing truncation leaves covered segments that replay skips by LSN.
 func (s *Server) snapshot(kind string) error {
 	start := time.Now()
-	if err := s.cfg.Store.Snapshot(s.cfg.SnapshotPath); err != nil {
+	if s.cfg.Oplog == nil {
+		if err := s.cfg.Store.Snapshot(s.cfg.SnapshotPath); err != nil {
+			return err
+		}
+		s.snapshots.Inc()
+		s.logf("server: %s snapshot (%d items) in %s", kind, s.cfg.Store.Len(), time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+	s.wmu.Lock()
+	mark := s.cfg.Oplog.LastLSN()
+	err := s.cfg.Oplog.Rotate()
+	var write func(string) error
+	if err == nil {
+		write, err = s.cfg.Store.SnapshotWriter(mark)
+	}
+	s.wmu.Unlock()
+	if err != nil {
+		return err
+	}
+	if s.aborted.Load() {
+		return errAborted // crash point: rotated, image never written
+	}
+	if err := write(s.cfg.SnapshotPath); err != nil {
 		return err
 	}
 	s.snapshots.Inc()
-	s.logf("server: %s snapshot (%d items) in %s", kind, s.cfg.Store.Len(), time.Since(start).Round(time.Millisecond))
+	if s.aborted.Load() {
+		return errAborted // crash point: image durable, log not yet truncated
+	}
+	if err := s.cfg.Oplog.TruncateThrough(mark); err != nil {
+		// Non-fatal: covered segments merely linger; replay skips them.
+		s.logf("server: oplog truncation after %s snapshot: %v", kind, err)
+	}
+	s.logf("server: %s snapshot (%d items, oplog mark %d) in %s",
+		kind, s.cfg.Store.Len(), mark, time.Since(start).Round(time.Millisecond))
 	return nil
 }
 
 // handle runs one connection: read a frame, serve it, queue the
 // response; flush whenever the input buffer runs dry (the pipelining
 // rule — a batch of k requests costs one flush, a lone request is
-// answered immediately before the next blocking read).
+// answered immediately before the next blocking read). Before any
+// flush — the ack point — the oplog is group-commit synced through
+// the connection's highest staged LSN; if that sync fails, the
+// connection is torn down with its responses unflushed, so nothing
+// non-durable is ever acked.
 func (s *Server) handle(conn net.Conn) {
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		conn.Close()
-		s.closedConns.Inc()
+		s.connsActive.Dec()
 		s.handlers.Done()
 	}()
 	br := bufio.NewReaderSize(conn, 64<<10)
 	bw := bufio.NewWriterSize(conn, 64<<10)
+	var pending uint64 // highest oplog LSN staged on this conn, not yet known durable
+	syncPending := func() bool {
+		if pending == 0 {
+			return true
+		}
+		if err := s.cfg.Oplog.Sync(pending); err != nil {
+			s.logf("server: oplog sync failed, closing connection unacked: %v", err)
+			return false
+		}
+		pending = 0
+		return true
+	}
 	for {
 		if br.Buffered() == 0 {
+			if !syncPending() {
+				return
+			}
 			if err := bw.Flush(); err != nil {
 				return
 			}
@@ -257,62 +391,99 @@ func (s *Server) handle(conn net.Conn) {
 		req, err := wire.ReadRequest(br)
 		if err != nil {
 			// Clean close, drain deadline, or protocol garbage: flush
-			// whatever was answered (those become acked) and hang up.
-			bw.Flush()
+			// whatever was answered (those become acked, so their log
+			// records must be durable first) and hang up.
+			if syncPending() {
+				bw.Flush()
+			}
 			return
 		}
 		start := time.Now()
-		resp := s.dispatch(req)
+		resp, lsn := s.dispatch(req)
 		s.lat.Add(float64(time.Since(start).Nanoseconds()))
+		if lsn > pending {
+			pending = lsn
+		}
 		if err := wire.WriteResponse(bw, resp); err != nil {
 			return
 		}
 	}
 }
 
-// dispatch executes one request against the store.
-func (s *Server) dispatch(req wire.Request) wire.Response {
+// dispatch executes one request against the store, returning the
+// response and, for a logged mutation, the oplog LSN the ack must wait
+// for.
+func (s *Server) dispatch(req wire.Request) (wire.Response, uint64) {
 	st := s.cfg.Store
 	switch req.Op {
 	case wire.OpPing:
 		s.others.Inc()
-		return wire.Response{Status: wire.StatusOK}
+		return wire.Response{Status: wire.StatusOK}, 0
 	case wire.OpGet:
 		s.reads.Inc()
 		v, ok := st.Get(req.Key)
 		if !ok {
-			return wire.Response{Status: wire.StatusNotFound}
+			return wire.Response{Status: wire.StatusNotFound}, 0
 		}
-		return wire.Response{Status: wire.StatusOK, Value: v}
+		return wire.Response{Status: wire.StatusOK, Value: v}, 0
 	case wire.OpPut:
 		s.writes.Inc()
-		return s.errResponse(st.Put(req.Key, req.Value))
+		return s.applyWrite(oplog.OpPut, req)
 	case wire.OpInsert:
 		s.writes.Inc()
-		return s.errResponse(st.Insert(req.Key, req.Value))
+		return s.applyWrite(oplog.OpInsert, req)
 	case wire.OpDelete:
 		s.deletes.Inc()
-		if !st.Delete(req.Key) {
-			return wire.Response{Status: wire.StatusNotFound}
-		}
-		return wire.Response{Status: wire.StatusOK}
+		return s.applyWrite(oplog.OpDelete, req)
 	case wire.OpLen:
 		s.others.Inc()
-		return wire.Response{Status: wire.StatusOK, Value: st.Len()}
+		return wire.Response{Status: wire.StatusOK, Value: st.Len()}, 0
 	case wire.OpStats:
 		s.others.Inc()
-		return wire.Response{Status: wire.StatusOK, Extra: []byte(s.StatsText())}
+		return wire.Response{Status: wire.StatusOK, Extra: []byte(s.StatsText())}, 0
 	default:
 		s.badreq.Inc()
-		return wire.Response{Status: wire.StatusBadRequest}
+		return wire.Response{Status: wire.StatusBadRequest}, 0
 	}
+}
+
+// applyWrite runs one mutating request: refused outright once a drain
+// has begun (the final image's contents are already decided), else
+// applied to the store and appended to the oplog as an atomic pair
+// under the shared side of wmu. Only successful mutations are logged —
+// a refused or failed operation must not reappear at replay.
+func (s *Server) applyWrite(op oplog.Op, req wire.Request) (wire.Response, uint64) {
+	if s.draining.Load() {
+		s.drainRejects.Inc()
+		return wire.Response{Status: wire.StatusDraining}, 0
+	}
+	st := s.cfg.Store
+	s.wmu.RLock()
+	defer s.wmu.RUnlock()
+	switch op {
+	case oplog.OpPut:
+		if err := st.Put(req.Key, req.Value); err != nil {
+			return s.errResponse(err), 0
+		}
+	case oplog.OpInsert:
+		if err := st.Insert(req.Key, req.Value); err != nil {
+			return s.errResponse(err), 0
+		}
+	case oplog.OpDelete:
+		if !st.Delete(req.Key) {
+			return wire.Response{Status: wire.StatusNotFound}, 0
+		}
+	}
+	var lsn uint64
+	if s.cfg.Oplog != nil {
+		lsn = s.cfg.Oplog.Append(op, req.Key, req.Value)
+	}
+	return wire.Response{Status: wire.StatusOK}, lsn
 }
 
 // errResponse maps store write errors to wire statuses.
 func (s *Server) errResponse(err error) wire.Response {
 	switch {
-	case err == nil:
-		return wire.Response{Status: wire.StatusOK}
 	case errors.Is(err, hashtab.ErrTableFull):
 		s.full.Inc()
 		return wire.Response{Status: wire.StatusFull}
@@ -327,9 +498,9 @@ func (s *Server) errResponse(err error) wire.Response {
 
 // Stats returns a copy of the server's counters.
 func (s *Server) Stats() Metrics {
-	return Metrics{
+	m := Metrics{
 		ConnsAccepted: s.accepted.Load(),
-		ConnsActive:   s.accepted.Load() - s.closedConns.Load(),
+		ConnsActive:   s.connsActive.Load(),
 		Reads:         s.reads.Load(),
 		Writes:        s.writes.Load(),
 		Deletes:       s.deletes.Load(),
@@ -337,9 +508,15 @@ func (s *Server) Stats() Metrics {
 		Full:          s.full.Load(),
 		InvalidKey:    s.invalid.Load(),
 		BadRequest:    s.badreq.Load(),
+		DrainRejects:  s.drainRejects.Load(),
 		Snapshots:     s.snapshots.Load(),
 		Expansions:    s.cfg.Store.Expansions(),
 	}
+	if s.cfg.Oplog != nil {
+		m.OplogLastLSN = s.cfg.Oplog.LastLSN()
+		m.OplogDurableLSN = s.cfg.Oplog.DurableLSN()
+	}
+	return m
 }
 
 // StatsText renders the counters and request-latency quantiles as the
@@ -350,12 +527,14 @@ func (s *Server) StatsText() string {
 	us := func(q float64) float64 { return sample.Quantile(q) / 1e3 }
 	return fmt.Sprintf(
 		"items=%d load=%.3f conns=%d/%d reads=%d writes=%d deletes=%d others=%d "+
-			"full=%d invalid=%d bad=%d snapshots=%d expansions=%d expanding=%v draining=%v "+
+			"full=%d invalid=%d bad=%d drain_rejects=%d snapshots=%d oplog_lsn=%d/%d "+
+			"expansions=%d expanding=%v draining=%v "+
 			"latency_us{p50=%.1f p90=%.1f p99=%.1f max=%.1f n=%d}",
 		s.cfg.Store.Len(), s.cfg.Store.LoadFactor(),
 		m.ConnsActive, m.ConnsAccepted,
 		m.Reads, m.Writes, m.Deletes, m.Others,
-		m.Full, m.InvalidKey, m.BadRequest, m.Snapshots,
+		m.Full, m.InvalidKey, m.BadRequest, m.DrainRejects, m.Snapshots,
+		m.OplogDurableLSN, m.OplogLastLSN,
 		m.Expansions, s.cfg.Store.Expanding(), s.draining.Load(),
 		us(0.5), us(0.9), us(0.99), us(1), sample.N())
 }

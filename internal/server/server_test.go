@@ -357,53 +357,170 @@ func TestSnapshotWhileServing(t *testing.T) {
 	}
 }
 
-// TestDrainAcksBufferedPipeline checks the drain contract from the
-// protocol side: a pipelined batch the server has already buffered is
-// fully answered (and therefore fully in the final image) even when
-// the drain fires immediately after it is sent.
-func TestDrainAcksBufferedPipeline(t *testing.T) {
-	dir := t.TempDir()
-	img := filepath.Join(dir, "store.pmfs")
-	s, addr := startServer(t, grouphash.Options{Capacity: 1 << 14},
-		Config{SnapshotPath: img})
-	c := dial(t, addr)
+// TestDrainRefusesBufferedWrites checks the drain contract from the
+// protocol side: once Drain begins, writes the server has already
+// buffered are answered StatusDraining — observed here by a real
+// client — and the final image contains exactly the OK-acked keys:
+// every acked key present, every refused key absent. A single batch
+// straddling the drain boundary is probabilistic, so the test retries
+// with a fresh server until one batch yields both OK and Draining
+// responses.
+func TestDrainRefusesBufferedWrites(t *testing.T) {
+	attempt := func(t *testing.T) bool {
+		img := filepath.Join(t.TempDir(), "store.pmfs")
+		st, err := grouphash.New(grouphash.Options{Capacity: 1 << 14, Concurrent: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(Config{Store: st, SnapshotPath: img, Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		serveDone := make(chan error, 1)
+		go func() { serveDone <- s.Serve(ln) }()
 
-	const n = 200
-	reqs := make([]wire.Request, 0, n)
-	for i := uint64(1); i <= n; i++ {
-		reqs = append(reqs, wire.Request{Op: wire.OpInsert, Key: layout.Key{Lo: i}, Value: i})
-	}
-	done := make(chan error, 1)
-	go func() {
-		resps, err := c.Do(reqs)
-		if err == nil {
-			for _, r := range resps {
-				if r.Status != wire.StatusOK {
-					err = errors.New("non-OK status in batch")
-					break
+		const workers = 4
+		const batch = 256
+		type outcome struct{ acked, refused []uint64 }
+		outs := make([]outcome, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				c, err := client.Dial(ln.Addr().String(), time.Second)
+				if err != nil {
+					t.Errorf("dial: %v", err)
+					return
+				}
+				defer c.Close()
+				base := uint64(w+1) << 32
+				for i := uint64(0); ; i += batch {
+					reqs := make([]wire.Request, batch)
+					for j := range reqs {
+						k := base + i + uint64(j) + 1
+						reqs[j] = wire.Request{Op: wire.OpPut, Key: layout.Key{Lo: k}, Value: k}
+					}
+					resps, err := c.Do(reqs)
+					if err != nil {
+						return // conn died mid-batch; no acks from it
+					}
+					for j, r := range resps {
+						k := reqs[j].Key.Lo
+						switch r.Status {
+						case wire.StatusOK:
+							outs[w].acked = append(outs[w].acked, k)
+						case wire.StatusDraining:
+							outs[w].refused = append(outs[w].refused, k)
+						default:
+							t.Errorf("unexpected status %d", r.Status)
+						}
+					}
+					if len(outs[w].refused) > 0 {
+						return // server is draining; the conn is done for
+					}
+				}
+			}(w)
+		}
+		time.Sleep(30 * time.Millisecond)
+		if err := s.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		if err := <-serveDone; err != nil {
+			t.Fatalf("Serve returned %v", err)
+		}
+
+		// Regardless of whether a batch straddled: acked ⊆ image,
+		// refused ∩ image = ∅.
+		re, err := grouphash.LoadSnapshot(img, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var straddled bool
+		for w := range outs {
+			if len(outs[w].acked) > 0 && len(outs[w].refused) > 0 {
+				straddled = true
+			}
+			for _, k := range outs[w].acked {
+				if v, ok := re.Get(layout.Key{Lo: k}); !ok || v != k {
+					t.Fatalf("acked key %#x = (%d, %v) after reload", k, v, ok)
+				}
+			}
+			for _, k := range outs[w].refused {
+				if _, ok := re.Get(layout.Key{Lo: k}); ok {
+					t.Fatalf("key %#x answered StatusDraining yet present in final image", k)
 				}
 			}
 		}
-		done <- err
-	}()
-	time.Sleep(20 * time.Millisecond)
-	if err := s.Drain(); err != nil {
-		t.Fatal(err)
-	}
-	if err := <-done; err != nil {
-		// The batch raced the drain and lost: acceptable only if the
-		// connection died before ANY response, which Do reports as an
-		// error. The image then owes us nothing for this batch.
-		t.Logf("batch lost to drain: %v", err)
-		return
-	}
-	re, err := grouphash.LoadSnapshot(img, true)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := uint64(1); i <= n; i++ {
-		if _, ok := re.Get(layout.Key{Lo: i}); !ok {
-			t.Fatalf("acked batch key %d missing after reload", i)
+		if straddled {
+			refused := 0
+			for w := range outs {
+				refused += len(outs[w].refused)
+			}
+			t.Logf("straddling batch: %d writes refused with StatusDraining", refused)
 		}
+		return straddled
+	}
+	for try := 0; try < 20; try++ {
+		if attempt(t) {
+			return
+		}
+	}
+	t.Fatal("no pipelined batch straddled the drain in 20 attempts")
+}
+
+// TestConnsActiveNeverUnderflows is the regression test for the
+// Stats() gauge: it used to be computed as accepted − closed from two
+// independent atomics, so a sampler interleaving with a connection's
+// teardown could read ~2^64. Hammer short-lived connections while a
+// sampler polls; any reading beyond the connection count is the bug.
+func TestConnsActiveNeverUnderflows(t *testing.T) {
+	s, addr := startServer(t, grouphash.Options{Capacity: 1 << 10}, Config{})
+
+	const dialers = 8
+	const perDialer = 50
+	stop := make(chan struct{})
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if n := s.Stats().ConnsActive; n > dialers*2 {
+				t.Errorf("ConnsActive = %d with at most %d connections open", n, dialers)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for d := 0; d < dialers; d++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perDialer; i++ {
+				c, err := client.Dial(addr, time.Second)
+				if err != nil {
+					t.Errorf("dial: %v", err)
+					return
+				}
+				c.Ping()
+				c.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	sampler.Wait()
+	if got := s.Stats().ConnsAccepted; got < dialers*perDialer {
+		t.Fatalf("ConnsAccepted = %d, want at least %d", got, dialers*perDialer)
 	}
 }

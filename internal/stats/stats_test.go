@@ -235,6 +235,42 @@ func TestCounter(t *testing.T) {
 	}
 }
 
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if got := g.Load(); got != 1 {
+		t.Fatalf("Gauge = %d, want 1", got)
+	}
+	// The whole point of the type: a mispaired or interleaved Dec must
+	// surface as 0, never as a ~2^64 underflow.
+	g.Dec()
+	g.Dec()
+	if got := g.Load(); got != 0 {
+		t.Fatalf("underflowed Gauge = %d, want clamped 0", got)
+	}
+	g.Inc() // internal level is -1 + 1 = 0; still clamped sane
+	if got := g.Load(); got != 0 {
+		t.Fatalf("recovering Gauge = %d, want 0", got)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Inc()
+				if g.Load() > 1<<32 {
+					t.Error("Gauge read as underflow under concurrency")
+				}
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 func TestReservoir(t *testing.T) {
 	r := NewReservoir(256)
 	var wg sync.WaitGroup

@@ -58,7 +58,8 @@ const (
 	// StatusNotFound reports an absent key (Get, Delete).
 	StatusNotFound
 	// StatusFull maps hashtab.ErrTableFull: the store cannot place the
-	// item and the server does not expand online.
+	// item even after online expansion — seen only when expansion is
+	// disabled or the arena itself is exhausted.
 	StatusFull
 	// StatusInvalidKey maps hashtab.ErrInvalidKey (the compact
 	// layout's reserved zero key).

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"testing"
@@ -55,6 +56,56 @@ func TestResponseRoundtrip(t *testing.T) {
 		}
 		if got.Status != w.Status || got.Value != w.Value || !bytes.Equal(got.Extra, w.Extra) {
 			t.Fatalf("response %d = %+v, want %+v", i, got, w)
+		}
+	}
+}
+
+// TestHostileFrames feeds both read paths the frames a desynchronised
+// or malicious peer would: zero and off-by-one length prefixes, a
+// prefix just past the frame cap, and streams truncated at every
+// possible byte boundary.
+func TestHostileFrames(t *testing.T) {
+	// Request prefixes the fixed-body protocol must refuse. The bytes
+	// after the prefix are a plausible body so only the prefix is on
+	// trial.
+	for _, n := range []uint32{0, ReqBodyLen - 1, ReqBodyLen + 1, MaxFrame + 1} {
+		hdr := binary.LittleEndian.AppendUint32(nil, n)
+		if _, err := ReadRequest(bytes.NewReader(append(hdr, make([]byte, ReqBodyLen)...))); !errors.Is(err, ErrFrame) {
+			t.Errorf("request prefix %d = %v, want ErrFrame", n, err)
+		}
+	}
+	// Response prefixes: too small for the fixed part, and too big.
+	for _, n := range []uint32{0, RespFixedLen - 1, MaxFrame + 1} {
+		hdr := binary.LittleEndian.AppendUint32(nil, n)
+		if _, err := ReadResponse(bytes.NewReader(append(hdr, make([]byte, 16)...))); !errors.Is(err, ErrFrame) {
+			t.Errorf("response prefix %d = %v, want ErrFrame", n, err)
+		}
+	}
+	// Truncation at every boundary of both paths: a stream dying
+	// mid-frame is ErrUnexpectedEOF — never mistakable for a clean
+	// close — except before byte one, which IS the clean close.
+	req := AppendRequest(nil, Request{Op: OpPut, Key: layout.Key{Lo: 1, Hi: 2}, Value: 3})
+	for cut := 0; cut < len(req); cut++ {
+		want := io.ErrUnexpectedEOF
+		if cut == 0 {
+			want = io.EOF
+		}
+		if _, err := ReadRequest(bytes.NewReader(req[:cut])); err != want {
+			t.Errorf("request cut at %d = %v, want %v", cut, err, want)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteResponse(&buf, Response{Status: StatusOK, Value: 9, Extra: []byte("xyz")}); err != nil {
+		t.Fatal(err)
+	}
+	resp := buf.Bytes()
+	for cut := 0; cut < len(resp); cut++ {
+		want := io.ErrUnexpectedEOF
+		if cut == 0 {
+			want = io.EOF
+		}
+		if _, err := ReadResponse(bytes.NewReader(resp[:cut])); err != want {
+			t.Errorf("response cut at %d = %v, want %v", cut, err, want)
 		}
 	}
 }
