@@ -46,6 +46,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -105,8 +106,10 @@ type segment struct {
 }
 
 // Log is an append-only, group-committed operation log. Append and
-// Sync are safe for concurrent use; Rotate/TruncateThrough/Close are
-// the snapshot path's and must not race each other.
+// Sync are safe for concurrent use, including concurrently with
+// Rotate (a record assigned during a rotation lands in the new
+// segment, whose header start covers it); Rotate/TruncateThrough/
+// Close are the snapshot path's and must not race each other.
 type Log struct {
 	base string
 	dir  string
@@ -126,6 +129,13 @@ type Log struct {
 	closed  atomic.Bool
 }
 
+// testHookRotateAfterDrain, when non-nil, runs inside Rotate between
+// the flush-drain and the new segment's creation — the window where a
+// concurrent Append may assign LSNs past the drained high-water mark.
+// Tests use it to pin that such a record lands in the new segment
+// under a header start that covers it.
+var testHookRotateAfterDrain func()
+
 // segPath names segment seq of a log based at base.
 func segPath(base string, seq uint64) string {
 	return fmt.Sprintf("%s.%08d", base, seq)
@@ -140,12 +150,15 @@ func listSegments(base string) ([]segment, error) {
 	}
 	var segs []segment
 	for _, path := range matches {
-		var seq uint64
+		// segPath pads to 8 digits but widens beyond them once seq
+		// exceeds 99,999,999 — accept any all-digit suffix of at least
+		// the padded width, or recovery would silently skip segments.
 		suffix := path[len(base)+1:]
-		if len(suffix) != 8 {
+		if len(suffix) < 8 {
 			continue
 		}
-		if _, err := fmt.Sscanf(suffix, "%d", &seq); err != nil {
+		seq, err := strconv.ParseUint(suffix, 10, 64)
+		if err != nil {
 			continue
 		}
 		s := segment{path: path, seq: seq}
@@ -322,31 +335,35 @@ func (l *Log) Sync(upTo uint64) error {
 	if l.durable.Load() >= upTo { // a group leader covered us while we waited
 		return nil
 	}
-	return l.flushLocked(true)
+	_, err := l.flushLocked(true)
+	return err
 }
 
 // flushLocked writes the staged buffer to the active segment and, when
-// fsync is set, makes it durable. Caller holds flushMu.
-func (l *Log) flushLocked(fsync bool) error {
+// fsync is set, makes it durable. It returns the high-water LSN the
+// drain covered: every record with LSN ≤ hw is now in the active
+// segment, every later one is still (or will be) staged. Caller holds
+// flushMu.
+func (l *Log) flushLocked(fsync bool) (hw uint64, err error) {
 	if l.err != nil {
-		return l.err
+		return 0, l.err
 	}
 	l.mu.Lock()
 	buf := l.buf
 	l.buf = nil
-	hw := l.lastLSN
+	hw = l.lastLSN
 	l.mu.Unlock()
 	if len(buf) > 0 {
 		if _, err := l.f.Write(buf); err != nil {
 			l.err = fmt.Errorf("oplog: appending: %w", err)
-			return l.err
+			return hw, l.err
 		}
 		l.written += int64(len(buf))
 	}
 	if fsync {
 		if err := l.f.Sync(); err != nil {
 			l.err = fmt.Errorf("oplog: fsync: %w", err)
-			return l.err
+			return hw, l.err
 		}
 		l.synced = l.written
 		l.durable.Store(hw)
@@ -356,7 +373,7 @@ func (l *Log) flushLocked(fsync bool) error {
 		l.buf = buf[:0]
 	}
 	l.mu.Unlock()
-	return nil
+	return hw, nil
 }
 
 // LastLSN returns the highest LSN assigned so far (not necessarily
@@ -380,12 +397,19 @@ func (l *Log) Rotate() error {
 	}
 	l.flushMu.Lock()
 	defer l.flushMu.Unlock()
-	if err := l.flushLocked(true); err != nil {
+	// The drained high-water mark, not a fresh lastLSN read, decides the
+	// new segment's start: an Append racing this rotation may assign
+	// hw+1 after the drain, and that record — still staged — will be
+	// flushed into the NEW segment, so the new header must claim hw+1
+	// or replay would treat the record as a torn tail and drop it.
+	hw, err := l.flushLocked(true)
+	if err != nil {
 		return err
 	}
-	l.mu.Lock()
-	start := l.lastLSN + 1
-	l.mu.Unlock()
+	if testHookRotateAfterDrain != nil {
+		testHookRotateAfterDrain()
+	}
+	start := hw + 1
 	seq := l.segs[len(l.segs)-1].seq + 1
 	path := segPath(l.base, seq)
 	f, err := writeSegHeader(path, seq, start)
@@ -457,7 +481,7 @@ func (l *Log) SyncedSize() int64 {
 func (l *Log) WrittenSize() int64 {
 	l.flushMu.Lock()
 	defer l.flushMu.Unlock()
-	_ = l.flushLocked(false) // push staged records out; written stays best-known on error
+	_, _ = l.flushLocked(false) // push staged records out; written stays best-known on error
 	return l.written
 }
 
@@ -469,7 +493,7 @@ func (l *Log) Close() error {
 	}
 	l.flushMu.Lock()
 	defer l.flushMu.Unlock()
-	err := l.flushLocked(true)
+	_, err := l.flushLocked(true)
 	if cerr := l.f.Close(); err == nil {
 		err = cerr
 	}

@@ -1,7 +1,9 @@
 package oplog
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
@@ -274,6 +276,176 @@ func TestDeadSegmentTolerated(t *testing.T) {
 	recs, _ = collect(t, b, 0)
 	if len(recs) != 2 {
 		t.Fatalf("after cleanup replayed %d", len(recs))
+	}
+}
+
+// TestRotateConcurrentWithAppend is the regression test for the
+// rotation race: Rotate used to read lastLSN for the new segment's
+// start in a critical section separate from the flush-drain, so an
+// Append landing in between got an LSN below the new header's start
+// and was later written into that segment — where replay treated it
+// as a torn tail and silently dropped an fsynced record. Hammer
+// appends against rotations; every assigned LSN must replay exactly
+// once.
+func TestRotateConcurrentWithAppend(t *testing.T) {
+	b := base(t)
+	l, err := Open(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The appender runs free — no per-record Sync, so appends flow
+	// continuously through every phase of a concurrent rotation (the
+	// racy window sat between Rotate's flush-drain and its start-LSN
+	// read); an occasional Sync still exercises group commit against
+	// the rotation.
+	const total = 100_000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := uint64(1); i <= total; i++ {
+			l.Append(OpInsert, layout.Key{Lo: i}, i)
+			if i%8192 == 0 {
+				if err := l.Sync(i); err != nil {
+					t.Errorf("Sync(%d): %v", i, err)
+					return
+				}
+			}
+		}
+	}()
+	rotations := 0
+	for {
+		select {
+		case <-done:
+		default:
+			if err := l.Rotate(); err != nil {
+				t.Fatalf("Rotate %d: %v", rotations, err)
+			}
+			rotations++
+			continue
+		}
+		break
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%d rotations against %d appends", rotations, total)
+	recs, next := collect(t, b, 0)
+	if len(recs) != total || next != total+1 {
+		t.Fatalf("replayed %d records, next=%d; rotation dropped records", len(recs), next)
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) || r.Key.Lo != uint64(i+1) {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+}
+
+// TestAppendInRotateWindow pins the rotation race deterministically:
+// an Append landing between Rotate's flush-drain and its start-LSN
+// decision (injected via the test hook) must end up in the new
+// segment under a header start that covers it. Rotate used to re-read
+// lastLSN after the drain, stamping the new header one past the raced
+// record — which replay then treated as a torn tail, silently
+// dropping an fsynced record.
+func TestAppendInRotateWindow(t *testing.T) {
+	b := base(t)
+	l, err := Open(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 3; i++ {
+		l.Append(OpPut, layout.Key{Lo: i}, i)
+	}
+	testHookRotateAfterDrain = func() {
+		if got := l.Append(OpPut, layout.Key{Lo: 4}, 4); got != 4 {
+			t.Errorf("raced Append assigned LSN %d, want 4", got)
+		}
+	}
+	defer func() { testHookRotateAfterDrain = nil }()
+	if err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	testHookRotateAfterDrain = nil
+	l.Append(OpPut, layout.Key{Lo: 5}, 5)
+	if err := l.Sync(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if start, err := readSegHeader(segPath(b, 2)); err != nil || start != 4 {
+		t.Fatalf("new segment header start = (%d, %v), want 4: the raced record is below it", start, err)
+	}
+	recs, next := collect(t, b, 0)
+	if len(recs) != 5 || next != 6 {
+		t.Fatalf("replayed %d records, next=%d; the raced record was dropped", len(recs), next)
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) || r.Key.Lo != uint64(i+1) {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+}
+
+// TestWideSegmentSuffix pins recovery of segments whose sequence
+// number outgrows segPath's 8-digit padding: %08d widens to 9+ digits
+// past 99,999,999, and listSegments used to require exactly 8,
+// silently dropping such segments (and their acked records) at
+// recovery.
+func TestWideSegmentSuffix(t *testing.T) {
+	b := base(t)
+	l, err := Open(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 3; i++ {
+		l.Append(OpPut, layout.Key{Lo: i}, i)
+	}
+	if err := l.Sync(3); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// Rewrite the segment as sequence 100,000,000 — header seq patched
+	// and the header CRC recomputed, then the 9-digit filename.
+	const wideSeq = 100_000_000
+	buf, err := os.ReadFile(segPath(b, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint64(buf[8:16], wideSeq)
+	binary.LittleEndian.PutUint32(buf[24:28], crc32.Checksum(buf[:24], crcTable))
+	if err := os.WriteFile(segPath(b, wideSeq), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(segPath(b, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := segPath(b, wideSeq); len(filepath.Ext(got)) != 10 { // ".100000000"
+		t.Fatalf("segPath(%d) = %q, expected a 9-digit suffix", uint64(wideSeq), got)
+	}
+	recs, next := collect(t, b, 0)
+	if len(recs) != 3 || next != 4 {
+		t.Fatalf("wide-suffix segment: replayed %d, next=%d", len(recs), next)
+	}
+	// Reopen continues past the wide sequence number and replays the
+	// whole chain.
+	l2, err := Open(b, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l2.Append(OpPut, layout.Key{Lo: 4}, 4); got != 4 {
+		t.Fatalf("post-reopen LSN %d, want 4", got)
+	}
+	if err := l2.Sync(4); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	if _, err := os.Stat(segPath(b, wideSeq+1)); err != nil {
+		t.Fatalf("reopen did not continue from the wide sequence: %v", err)
+	}
+	recs, _ = collect(t, b, 0)
+	if len(recs) != 4 {
+		t.Fatalf("after reopen replayed %d records, want 4", len(recs))
 	}
 }
 

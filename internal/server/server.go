@@ -115,6 +115,7 @@ type Server struct {
 	serving    atomic.Bool    // Serve was entered
 	draining   atomic.Bool
 	aborted    atomic.Bool
+	oplogDead  atomic.Bool    // a sticky oplog failure began a self-drain
 	drainErr   error
 	drained    sync.Once
 
@@ -279,6 +280,21 @@ func (s *Server) Abort() {
 	})
 }
 
+// oplogFailure reacts to a failed oplog sync. The log's error is
+// sticky — its durable prefix is unknown and nothing can ever be
+// acked on it again — so staying up would leave a zombie server that
+// keeps applying store mutations no client will ever see acked (and
+// whose reads expose them). Refuse further writes and begin a drain;
+// the goroutine is required because the failing handler itself must
+// exit before Drain's handlers.Wait can complete.
+func (s *Server) oplogFailure(err error) {
+	if s.oplogDead.Swap(true) || s.draining.Load() {
+		return
+	}
+	s.logf("server: oplog failure is sticky, nothing can be acked again; shutting down: %v", err)
+	go s.Drain()
+}
+
 // snapshotLoop saves periodic background images until drain.
 func (s *Server) snapshotLoop() {
 	defer s.loops.Done()
@@ -355,7 +371,12 @@ func (s *Server) snapshot(kind string) error {
 // flush — the ack point — the oplog is group-commit synced through
 // the connection's highest staged LSN; if that sync fails, the
 // connection is torn down with its responses unflushed, so nothing
-// non-durable is ever acked.
+// non-durable is ever acked. The same rule guards the response
+// buffer's capacity: a response that would not fit triggers the
+// sync-then-flush sequence first, so bufio can never auto-flush acks
+// whose log records are not yet durable (a client pipelining
+// thousands of requests without reading would otherwise spill the
+// buffer between the Buffered()==0 sync points).
 func (s *Server) handle(conn net.Conn) {
 	defer func() {
 		s.mu.Lock()
@@ -374,6 +395,7 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		if err := s.cfg.Oplog.Sync(pending); err != nil {
 			s.logf("server: oplog sync failed, closing connection unacked: %v", err)
+			s.oplogFailure(err)
 			return false
 		}
 		pending = 0
@@ -403,6 +425,18 @@ func (s *Server) handle(conn net.Conn) {
 		s.lat.Add(float64(time.Since(start).Nanoseconds()))
 		if lsn > pending {
 			pending = lsn
+		}
+		// Never let bufio flush on its own: if this frame would
+		// overflow the buffer, everything buffered (and this response's
+		// own record — pending covers it) must be durable before any
+		// ack byte reaches the wire.
+		if frame := 4 + wire.RespFixedLen + len(resp.Extra); bw.Available() < frame {
+			if !syncPending() {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
 		}
 		if err := wire.WriteResponse(bw, resp); err != nil {
 			return
@@ -448,12 +482,14 @@ func (s *Server) dispatch(req wire.Request) (wire.Response, uint64) {
 }
 
 // applyWrite runs one mutating request: refused outright once a drain
-// has begun (the final image's contents are already decided), else
-// applied to the store and appended to the oplog as an atomic pair
+// has begun (the final image's contents are already decided) or the
+// oplog has suffered a sticky failure (the mutation could never be
+// acked), else applied to the store and appended to the oplog as an
+// atomic pair
 // under the shared side of wmu. Only successful mutations are logged —
 // a refused or failed operation must not reappear at replay.
 func (s *Server) applyWrite(op oplog.Op, req wire.Request) (wire.Response, uint64) {
-	if s.draining.Load() {
+	if s.draining.Load() || s.oplogDead.Load() {
 		s.drainRejects.Inc()
 		return wire.Response{Status: wire.StatusDraining}, 0
 	}

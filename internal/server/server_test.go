@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"errors"
 	"net"
 	"path/filepath"
@@ -12,6 +13,7 @@ import (
 	"grouphash"
 	"grouphash/internal/client"
 	"grouphash/internal/layout"
+	"grouphash/internal/oplog"
 	"grouphash/internal/wire"
 )
 
@@ -472,6 +474,101 @@ func TestDrainRefusesBufferedWrites(t *testing.T) {
 		}
 	}
 	t.Fatal("no pipelined batch straddled the drain in 20 attempts")
+}
+
+// TestPipelinedSpillNeverAcksUnsynced is the regression test for the
+// bufio spill hole: responses are 13 bytes into a 64KiB write buffer,
+// so a client pipelining thousands of requests without reading used
+// to overflow the buffer and let bufio auto-flush OK acks before the
+// oplog fsync covering them ran (the Buffered()==0 sync point never
+// fires while the client keeps the pipe full). Saturate one
+// connection with far more writes than the buffer holds and assert,
+// at every ack the client observes, that the oplog's durable LSN has
+// already passed it.
+func TestPipelinedSpillNeverAcksUnsynced(t *testing.T) {
+	lg, err := oplog.Open(filepath.Join(t.TempDir(), "oplog"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startServer(t, grouphash.Options{Capacity: 1 << 16}, Config{Oplog: lg})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// 8000 responses = ~104KiB, well past the server's 64KiB write
+	// buffer. Written as one burst so the server's read buffer stays
+	// non-empty and the drained-input sync point cannot save it.
+	const n = 8000
+	go func() {
+		buf := make([]byte, 0, n*(4+wire.ReqBodyLen))
+		for i := uint64(1); i <= n; i++ {
+			buf = wire.AppendRequest(buf, wire.Request{Op: wire.OpPut, Key: layout.Key{Lo: i}, Value: i})
+		}
+		conn.Write(buf)
+	}()
+	br := bufio.NewReader(conn)
+	for acks := uint64(1); acks <= n; acks++ {
+		resp, err := wire.ReadResponse(br)
+		if err != nil {
+			t.Fatalf("response %d: %v", acks, err)
+		}
+		if resp.Status != wire.StatusOK {
+			t.Fatalf("response %d status %d", acks, resp.Status)
+		}
+		// This connection is the only appender, so ack k answers LSN k.
+		if d := lg.DurableLSN(); d < acks {
+			t.Fatalf("ack %d reached the wire with durable LSN %d — acked before fsync", acks, d)
+		}
+	}
+}
+
+// TestStickyOplogFailureShutsDown pins the failure policy: once an
+// oplog sync fails, the error is sticky — nothing can ever be acked
+// again — so the server must come down instead of lingering as a
+// zombie that applies mutations no client will see acked.
+func TestStickyOplogFailureShutsDown(t *testing.T) {
+	lg, err := oplog.Open(filepath.Join(t.TempDir(), "oplog"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := grouphash.New(grouphash.Options{Capacity: 1 << 10, Concurrent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Store: st, Oplog: lg, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ln) }()
+	c := dial(t, ln.Addr().String())
+	if err := c.Put(layout.Key{Lo: 1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the log out from under the server — every future Sync now
+	// fails, standing in for a sticky I/O error.
+	lg.Abort()
+	if err := c.Put(layout.Key{Lo: 2}, 2); err == nil {
+		t.Fatal("write acked after the oplog died")
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut itself down after a sticky oplog failure")
+	}
+	s.Drain() // join the self-drain; its error (if any) is the sync failure already observed
+	if _, err := client.Dial(ln.Addr().String(), 0); err == nil {
+		t.Fatal("server still accepting connections after oplog failure")
+	}
 }
 
 // TestConnsActiveNeverUnderflows is the regression test for the
