@@ -50,6 +50,9 @@ type jsonReport struct {
 	// Operation-log cost: acked-write throughput through the network
 	// server with and without the oplog. See cmd/ghbench/oplog.go.
 	OplogThroughput []oplogThroughputRow `json:"oplog_throughput,omitempty"`
+	// Observability cost: acked-write throughput with per-request
+	// instrumentation off and on. See cmd/ghbench/metrics.go.
+	MetricsOverhead []metricsOverheadRow `json:"metrics_overhead,omitempty"`
 }
 
 // addLatency flattens LatencyResult rows (insert/query/delete phases)

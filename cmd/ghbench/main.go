@@ -28,7 +28,7 @@ import (
 func traceRandomNum(seed int64) trace.Trace { return trace.NewRandomNum(seed) }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig2, fig5, fig6, fig7, fig8, table3, wear, ycsb, excluded, curve, repeat, expand, oplog")
+	exp := flag.String("exp", "all", "experiment: all, fig2, fig5, fig6, fig7, fig8, table3, wear, ycsb, excluded, curve, repeat, expand, oplog, metrics")
 	scaleName := flag.String("scale", "default", "experiment scale: test, default, paper")
 	csvDir := flag.String("csv", "", "also write each experiment's data as CSV into this directory")
 	plotOut := flag.Bool("plot", false, "render figures additionally as terminal bar charts")
@@ -206,6 +206,22 @@ func main() {
 				}
 				for _, r := range report.OplogThroughput {
 					if _, err := fmt.Fprintf(f, "%s,%d,%d,%d,%.3f,%.3f,%.3f\n", r.Mode, r.Conns, r.Batch, r.Ops, r.WallMs, r.KopsSec, r.Slowdown); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+	}
+	if want("metrics") {
+		timed("metrics", func() {
+			runMetricsExperiment(w, scale, &report)
+			writeCSV("metrics.csv", func(f *os.File) error {
+				if _, err := fmt.Fprintln(f, "mode,conns,batch,ops,wall_ms,kops_per_sec,overhead"); err != nil {
+					return err
+				}
+				for _, r := range report.MetricsOverhead {
+					if _, err := fmt.Fprintf(f, "%s,%d,%d,%d,%.3f,%.3f,%.3f\n", r.Mode, r.Conns, r.Batch, r.Ops, r.WallMs, r.KopsSec, r.Overhead); err != nil {
 						return err
 					}
 				}

@@ -66,8 +66,8 @@ func main() {
 	fmt.Printf("run:   %d ops acked in %.2fs (%.0f ops/s)\n",
 		acked, dur.Seconds(), float64(acked)/dur.Seconds())
 	us := func(q float64) float64 { return rtt.Quantile(q) / 1e3 }
-	fmt.Printf("batch RTT (%d ops/batch): p50=%.0fµs p90=%.0fµs p99=%.0fµs max=%.0fµs\n",
-		*depth, us(0.5), us(0.9), us(0.99), us(1))
+	fmt.Printf("batch RTT (%d ops/batch, %d batches): p50=%.0fµs p90=%.0fµs p99=%.0fµs max=%.0fµs mean=%.0fµs\n",
+		*depth, rtt.Count, us(0.5), us(0.9), us(0.99), rtt.Max()/1e3, rtt.Mean()/1e3)
 	if c, err := client.Dial(*addr, 0); err == nil {
 		if text, err := c.ServerStats(); err == nil {
 			fmt.Printf("server: %s\n", text)
@@ -129,9 +129,12 @@ func preload(addr string, records uint64, conns, depth int) uint64 {
 }
 
 // run drives the mix and returns (acked ops, drained?, batch RTT
-// reservoir, wall time).
-func run(addr string, workload byte, records, ops uint64, conns, depth int, seed int64) (uint64, bool, *stats.Reservoir, time.Duration) {
-	rtt := stats.NewReservoir(16384)
+// distribution, wall time). The RTT histogram is the server's own
+// latency type — lock-free, so every worker observes into one shared
+// instance with no mutex on the timing path, and the client-side view
+// is directly comparable against the server's per-op scrape.
+func run(addr string, workload byte, records, ops uint64, conns, depth int, seed int64) (uint64, bool, *stats.HistSnapshot, time.Duration) {
+	rtt := &stats.Histogram{}
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var total uint64
@@ -170,7 +173,7 @@ func run(addr string, workload byte, records, ops uint64, conns, depth int, seed
 				}
 				t0 := time.Now()
 				resps, err := c.Do(reqs)
-				rtt.Add(float64(time.Since(t0).Nanoseconds()))
+				rtt.Observe(uint64(time.Since(t0)))
 				if err != nil {
 					mu.Lock()
 					drained = true
@@ -191,5 +194,5 @@ func run(addr string, workload byte, records, ops uint64, conns, depth int, seed
 		}(w)
 	}
 	wg.Wait()
-	return total, drained, rtt, time.Since(start)
+	return total, drained, rtt.Snapshot(), time.Since(start)
 }

@@ -22,6 +22,8 @@ package main
 import (
 	"flag"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,6 +43,7 @@ func main() {
 		logBase  = flag.String("oplog", "", "operation log base path: acked writes are fsynced here before the ack and replayed over the image at start (\"\" = snapshots only; a crash then loses acked writes since the last image)")
 		every    = flag.Duration("snapshot-every", 30*time.Second, "background snapshot period (0 = only the final drain snapshot)")
 		statsDur = flag.Duration("stats-every", 0, "log server stats at this period (0 = off)")
+		metrics  = flag.String("metrics-addr", "", "HTTP listen address serving GET /metrics (Prometheus scrape) and /healthz (readiness; 503 once draining); \"\" = off")
 	)
 	flag.Parse()
 	log.SetPrefix("ghserver: ")
@@ -97,6 +100,30 @@ func main() {
 		log.Fatal(err)
 	}
 
+	var msrv *http.Server
+	if *metrics != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", srv.Registry())
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			if srv.Ready() {
+				w.Write([]byte("ok\n"))
+				return
+			}
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+		})
+		mln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			log.Fatalf("metrics listener on %s: %v", *metrics, err)
+		}
+		msrv = &http.Server{Handler: mux}
+		go func() {
+			if err := msrv.Serve(mln); err != nil && err != http.ErrServerClosed {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+		log.Printf("metrics on http://%s/metrics", mln.Addr())
+	}
+
 	// The stats logger is tied to shutdown: a bare time.Tick would keep
 	// this goroutine printing stale counters after the drain.
 	statsStop := make(chan struct{})
@@ -135,6 +162,11 @@ func main() {
 			log.Fatalf("drain: %v", err)
 		}
 		<-serveErr
+		if msrv != nil {
+			// Kept up through the drain so /healthz reports 503 to load
+			// balancers while connections wind down; closed after.
+			msrv.Close()
+		}
 		log.Print(srv.StatsText())
 	}
 }

@@ -1,0 +1,31 @@
+package cache
+
+import "grouphash/internal/stats"
+
+// RegisterMetrics exports every cache level's counters into reg under
+// the given metric-name prefix, labelled by level (e.g. "sim" →
+// sim_cache_misses_total{level="L1"}). Per-level miss counters are how
+// the paper argues cacheline-friendly group probing; exporting them on
+// the same scrape as request latency makes that argument checkable on
+// a live workload.
+//
+// The hierarchy is not safe for concurrent use; the registered load
+// functions read the live counters, so scrapes must be serialised with
+// cache accesses by the caller.
+func (h *Hierarchy) RegisterMetrics(reg *stats.Registry, prefix string) {
+	p := prefix + "_cache_"
+	for _, c := range h.Levels() {
+		c := c
+		lbl := stats.Label("level", c.Name())
+		reg.RegisterCounter(p+"hits_total", lbl, "Accesses serviced by this cache level.",
+			func() uint64 { return c.stats.Hits })
+		reg.RegisterCounter(p+"misses_total", lbl, "Accesses passed down to the next level.",
+			func() uint64 { return c.stats.Misses })
+		reg.RegisterCounter(p+"evictions_total", lbl, "Lines displaced by fills.",
+			func() uint64 { return c.stats.Evictions })
+		reg.RegisterCounter(p+"writebacks_total", lbl, "Displaced or flushed lines that were dirty.",
+			func() uint64 { return c.stats.WriteBacks })
+		reg.RegisterCounter(p+"flushes_total", lbl, "clflush invalidations that found the line here.",
+			func() uint64 { return c.stats.Flushes })
+	}
+}

@@ -212,7 +212,28 @@ func (c *Client) Len() (uint64, error) {
 
 // ServerStats returns the server's counters/latency text.
 func (c *Client) ServerStats() (string, error) {
-	resp, err := c.do(wire.Request{Op: wire.OpStats})
+	return c.serverStats(wire.StatsFormatText)
+}
+
+// ServerStatsJSON returns the server's counters as a JSON document
+// (the OpStats machine-readable format). Servers predating the format
+// selector answer with the text dump instead — callers that must
+// distinguish should check the first byte is '{'.
+func (c *Client) ServerStatsJSON() (string, error) {
+	return c.serverStats(wire.StatsFormatJSON)
+}
+
+// ServerMetrics returns the server's metrics registry rendered as
+// Prometheus text exposition — the same payload GET /metrics serves,
+// fetched over the wire protocol (truncated at a line boundary if it
+// exceeds the frame limit).
+func (c *Client) ServerMetrics() (string, error) {
+	return c.serverStats(wire.StatsFormatProm)
+}
+
+// serverStats runs one OpStats request with the given format selector.
+func (c *Client) serverStats(format uint64) (string, error) {
+	resp, err := c.do(wire.Request{Op: wire.OpStats, Value: format})
 	if err != nil {
 		return "", err
 	}

@@ -57,6 +57,8 @@ type Concurrent struct {
 	exp        atomic.Pointer[expState] // non-nil while one is in flight
 	expansions atomic.Uint64            // completed expansions
 	fallbacks  atomic.Uint64            // expansions that needed the stop-the-world rebuild
+	stripesMig atomic.Uint64            // stripes migrated, cumulative across expansions
+	stallNanos atomic.Uint64            // total writer wall time blocked in awaitRoom
 
 	// Test hooks. hookPreFlip runs inside finishExpansion with every
 	// stripe held, just before the header-slot flip; hookStripeDone

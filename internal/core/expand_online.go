@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"grouphash/internal/hashtab"
 	"grouphash/internal/layout"
@@ -63,9 +64,9 @@ import (
 
 // expState is one in-flight online expansion.
 type expState struct {
-	old      *view         // the view being replaced
-	nvw      *view         // the doubled view being populated
-	migrated []atomic.Bool // per stripe: drained into nvw
+	old      *view           // the view being replaced
+	nvw      *view           // the doubled view being populated
+	migrated []atomic.Bool   // per stripe: drained into nvw
 	stripeCh []chan struct{} // closed when the stripe is drained
 	done     chan struct{}   // closed when the expansion has fully finished
 	overflow atomic.Bool     // some stripe could not drain into nvw
@@ -101,6 +102,34 @@ func (c *Concurrent) Expanding() bool { return c.exp.Load() != nil }
 // Expansions returns the number of completed online expansions.
 func (c *Concurrent) Expansions() uint64 { return c.expansions.Load() }
 
+// ExpandProgress reports the in-flight expansion's migration progress
+// as (stripes migrated, stripes total); (0, 0) when none is running.
+func (c *Concurrent) ExpandProgress() (migrated, total int) {
+	e := c.exp.Load()
+	if e == nil {
+		return 0, 0
+	}
+	for i := range e.migrated {
+		if e.migrated[i].Load() {
+			migrated++
+		}
+	}
+	return migrated, len(e.migrated)
+}
+
+// StripesMigrated returns the cumulative number of stripes drained by
+// online expansions over the store's lifetime.
+func (c *Concurrent) StripesMigrated() uint64 { return c.stripesMig.Load() }
+
+// WriterStallNanos returns the total wall time writers have spent
+// blocked in awaitRoom waiting for an expansion to make room — the
+// store-side cost of stop-less growth.
+func (c *Concurrent) WriterStallNanos() uint64 { return c.stallNanos.Load() }
+
+// Fallbacks returns the number of expansions that resorted to the
+// stop-the-world rebuild.
+func (c *Concurrent) Fallbacks() uint64 { return c.fallbacks.Load() }
+
 // WaitExpansion blocks until any in-flight expansion has finished.
 func (c *Concurrent) WaitExpansion() {
 	if e := c.exp.Load(); e != nil {
@@ -130,6 +159,8 @@ func (c *Concurrent) awaitRoom(si int) error {
 		return hashtab.ErrTableFull
 	}
 	e := c.ensureExpansion()
+	start := time.Now()
+	defer func() { c.stallNanos.Add(uint64(time.Since(start))) }()
 	if e.migrated[si].Load() {
 		// Our stripe already drained and the NEW arrays are full too;
 		// nothing more this generation can do for us. Wait it out and
@@ -224,6 +255,7 @@ func (c *Concurrent) migrateStripe(e *expState, si int) {
 		t.rehashGroups(e.old, e.nvw, lo, hi)
 	if ok {
 		e.migrated[si].Store(true)
+		c.stripesMig.Add(1)
 	} else {
 		e.overflow.Store(true)
 	}

@@ -49,8 +49,10 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"grouphash/internal/layout"
+	"grouphash/internal/stats"
 )
 
 // Op identifies the logged store mutation.
@@ -127,6 +129,14 @@ type Log struct {
 	segs    []segment // all live segments, seq order, active last
 	durable atomic.Uint64
 	closed  atomic.Bool
+
+	// Observability (zero-value-ready; exported via RegisterMetrics).
+	syncLat   stats.Histogram // fsync syscall latency, nanoseconds
+	batchRec  stats.Histogram // records made durable per fsync (group-commit batch)
+	fsyncs    atomic.Uint64
+	rotations atomic.Uint64
+	truncated atomic.Uint64
+	bytesOut  atomic.Uint64
 }
 
 // testHookRotateAfterDrain, when non-nil, runs inside Rotate between
@@ -359,11 +369,18 @@ func (l *Log) flushLocked(fsync bool) (hw uint64, err error) {
 			return hw, l.err
 		}
 		l.written += int64(len(buf))
+		l.bytesOut.Add(uint64(len(buf)))
 	}
 	if fsync {
+		start := time.Now()
 		if err := l.f.Sync(); err != nil {
 			l.err = fmt.Errorf("oplog: fsync: %w", err)
 			return hw, l.err
+		}
+		l.syncLat.Observe(uint64(time.Since(start)))
+		l.fsyncs.Add(1)
+		if prev := l.durable.Load(); hw > prev {
+			l.batchRec.Observe(hw - prev)
 		}
 		l.synced = l.written
 		l.durable.Store(hw)
@@ -421,6 +438,7 @@ func (l *Log) Rotate() error {
 	l.f = f
 	l.written, l.synced = segHeaderLen, segHeaderLen
 	l.segs = append(l.segs, segment{path: path, seq: seq, start: start})
+	l.rotations.Add(1)
 	if err := old.Close(); err != nil {
 		l.err = fmt.Errorf("oplog: closing sealed segment: %w", err)
 		return l.err
@@ -450,6 +468,7 @@ func (l *Log) TruncateThrough(lsn uint64) error {
 		if err := os.Remove(s.path); err != nil && !os.IsNotExist(err) {
 			return fmt.Errorf("oplog: truncating: %w", err)
 		}
+		l.truncated.Add(1)
 		removed = true
 	}
 	l.segs = kept

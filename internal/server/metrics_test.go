@@ -1,0 +1,204 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"grouphash"
+	"grouphash/internal/layout"
+	"grouphash/internal/oplog"
+	"grouphash/internal/stats"
+)
+
+// TestMetricsExposition is the acceptance test for the scrape surface:
+// a loaded server's metrics — fetched both over the wire protocol
+// (OpStats in Prometheus format) and over HTTP from the registry
+// handler — must parse as conformant text exposition and include the
+// per-opcode latency histograms, oplog sync/batch metrics, expansion
+// counters and (shared-registry) simulated-substrate counters.
+func TestMetricsExposition(t *testing.T) {
+	lg, err := oplog.Open(filepath.Join(t.TempDir(), "oplog"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One registry scrapes every layer: the server registers itself,
+	// its store and its oplog; a simulated-substrate store contributes
+	// the paper's NVM/cache cost counters under its own prefix. (The
+	// server's own store is native-backed — the simulator is
+	// single-threaded by design, so its counters ride along from a
+	// sequential store that is idle at scrape time.)
+	reg := stats.NewRegistry()
+	sim, err := grouphash.NewSimulated(grouphash.Options{Capacity: 1 << 10}, grouphash.SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 64; i++ {
+		if err := sim.Put(layout.Key{Lo: i}, i); err != nil {
+			t.Fatal(err)
+		}
+		sim.Get(layout.Key{Lo: i})
+	}
+	sim.RegisterSubstrateMetrics(reg, "sim")
+
+	s, addr := startServer(t, grouphash.Options{Capacity: 1 << 12}, Config{Oplog: lg, Registry: reg})
+	c := dial(t, addr)
+
+	// Load every opcode so each per-op histogram holds samples.
+	const puts = 200
+	for i := uint64(1); i <= puts; i++ {
+		if err := c.Put(layout.Key{Lo: i}, i*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(1); i <= 50; i++ {
+		if _, _, err := c.Get(layout.Key{Lo: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Insert(layout.Key{Lo: 1 << 40}, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Delete(layout.Key{Lo: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Len(); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(src, text string) map[string]*stats.ExpoFamily {
+		t.Helper()
+		fams, err := stats.ValidateExposition(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("%s fails exposition conformance: %v\n%s", src, err, text)
+		}
+		// Per-opcode latency histograms with the load's sample counts.
+		lat := fams["gh_server_request_latency_seconds"]
+		if lat == nil || lat.Type != "histogram" {
+			t.Fatalf("%s: gh_server_request_latency_seconds missing or mistyped", src)
+		}
+		for op, atLeast := range map[string]float64{
+			"put": puts, "get": 50, "insert": 1, "delete": 1, "ping": 1, "len": 1,
+		} {
+			if v := lat.Samples[`_count|op="`+op+`"`]; v < atLeast {
+				t.Errorf("%s: latency count for op=%s is %v, want ≥ %v", src, op, v, atLeast)
+			}
+		}
+		// Oplog durability metrics: every acked write was synced, so
+		// the sync-latency and batch-size histograms must hold samples.
+		for _, name := range []string{"gh_oplog_sync_latency_seconds", "gh_oplog_batch_records"} {
+			f := fams[name]
+			if f == nil || f.Type != "histogram" {
+				t.Fatalf("%s: %s missing or mistyped", src, name)
+			}
+			if v := f.Samples["_count|"]; v < 1 {
+				t.Errorf("%s: %s count = %v, want ≥ 1", src, name, v)
+			}
+		}
+		if v, ok := fams["gh_oplog_last_lsn"].Sample(""); !ok || v < puts {
+			t.Errorf("%s: gh_oplog_last_lsn = %v (%v), want ≥ %v", src, v, ok, float64(puts))
+		}
+		// Expansion progress series exist (zero-valued is fine at this
+		// load — presence and parseability is the contract here; the
+		// non-zero path is covered by the façade property test).
+		for _, name := range []string{
+			"gh_store_expansions_total", "gh_store_expansion_stripes_migrated",
+			"gh_store_expansion_stripes", "gh_store_expansion_writer_stall_seconds_total",
+		} {
+			if _, ok := fams[name]; !ok {
+				t.Errorf("%s: %s missing", src, name)
+			}
+		}
+		if v, ok := fams["gh_store_items"].Sample(""); !ok || v < puts {
+			t.Errorf("%s: gh_store_items = %v (%v), want ≥ %v", src, v, ok, float64(puts))
+		}
+		// Substrate counters from the shared registry: NVM write
+		// traffic and per-level cache hits, non-zero from the sim load.
+		if v, ok := fams["sim_nvm_stores_total"].Sample(""); !ok || v == 0 {
+			t.Errorf("%s: sim_nvm_stores_total = %v (%v), want > 0", src, v, ok)
+		}
+		hits := fams["sim_cache_hits_total"]
+		if hits == nil {
+			t.Fatalf("%s: sim_cache_hits_total missing", src)
+		}
+		if v, ok := hits.Sample(`level="L1"`); !ok || v == 0 {
+			t.Errorf(`%s: sim_cache_hits_total{level="L1"} = %v (%v), want > 0`, src, v, ok)
+		}
+		// Server byte accounting moved at least the request traffic.
+		if v, ok := fams["gh_server_bytes_read_total"].Sample(""); !ok || v == 0 {
+			t.Errorf("%s: gh_server_bytes_read_total = %v (%v), want > 0", src, v, ok)
+		}
+		return fams
+	}
+
+	// Path 1: over the wire protocol (OpStats, Prometheus format).
+	wireText, err := c.ServerMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("wire scrape", wireText)
+
+	// Path 2: over HTTP from the registry handler, as /metrics mounts it.
+	rec := httptest.NewRecorder()
+	s.Registry().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("scrape content type %q", ct)
+	}
+	check("http scrape", rec.Body.String())
+
+	if !s.Ready() {
+		t.Error("serving, undrained server must report Ready")
+	}
+}
+
+// TestStatsFormats pins the OpStats format selector: the previously
+// ignored request Value now chooses text (0), JSON (1) or Prometheus
+// (2), with unknown values falling back to text — so old clients that
+// sent garbage in Value keep getting what they always got.
+func TestStatsFormats(t *testing.T) {
+	_, addr := startServer(t, grouphash.Options{Capacity: 1 << 12}, Config{})
+	c := dial(t, addr)
+	if err := c.Put(layout.Key{Lo: 9}, 9); err != nil {
+		t.Fatal(err)
+	}
+
+	text, err := c.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "reads=") {
+		t.Fatalf("text stats missing counters: %q", text)
+	}
+
+	js, err := c.ServerStatsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Writes uint64 `json:"Writes"`
+		Items  uint64 `json:"Items"`
+	}
+	if err := json.Unmarshal([]byte(js), &doc); err != nil {
+		t.Fatalf("JSON stats do not parse: %v\n%s", err, js)
+	}
+	if doc.Writes < 1 || doc.Items < 1 {
+		t.Fatalf("JSON stats miscounted: %+v", doc)
+	}
+
+	prom, err := c.ServerMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stats.ValidateExposition(strings.NewReader(prom)); err != nil {
+		t.Fatalf("wire Prometheus stats fail conformance: %v", err)
+	}
+}

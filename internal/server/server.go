@@ -32,6 +32,8 @@ package server
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -62,6 +64,18 @@ type Config struct {
 	// (after replaying it into Store) and the server takes ownership:
 	// Drain closes it. See cmd/ghserver for the recovery sequence.
 	Oplog *oplog.Log
+	// Registry, when non-nil, is where the server registers its metrics
+	// (plus the store's and oplog's); nil means a fresh private registry,
+	// available via Server.Registry for mounting at /metrics. Each
+	// registry can hold at most one server — registering two panics on
+	// the duplicate metric names.
+	Registry *stats.Registry
+	// DisableTiming turns off the per-request instrumentation (latency
+	// histogram observation and byte accounting) so the overhead of the
+	// two time.Now calls per request can be measured; everything else —
+	// class counters, oplog metrics — stays on. Used by ghbench's
+	// before/after overhead experiment.
+	DisableTiming bool
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -87,6 +101,9 @@ type Metrics struct {
 	// OplogLastLSN and OplogDurableLSN are the operation log's
 	// assigned and fsynced high-water marks (0 without an oplog).
 	OplogLastLSN, OplogDurableLSN uint64
+	// BytesRead and BytesWritten count wire-protocol frame bytes in and
+	// out (0 when Config.DisableTiming turned byte accounting off).
+	BytesRead, BytesWritten uint64
 }
 
 // Server serves one Store over TCP. Create with New, start with Serve
@@ -115,7 +132,7 @@ type Server struct {
 	serving    atomic.Bool    // Serve was entered
 	draining   atomic.Bool
 	aborted    atomic.Bool
-	oplogDead  atomic.Bool    // a sticky oplog failure began a self-drain
+	oplogDead  atomic.Bool // a sticky oplog failure began a self-drain
 	drainErr   error
 	drained    sync.Once
 
@@ -124,7 +141,14 @@ type Server struct {
 	reads, writes, deletes, others   stats.Counter
 	full, invalid, badreq, snapshots stats.Counter
 	drainRejects                     stats.Counter
-	lat                              *stats.Reservoir
+	bytesRead, bytesWritten          stats.Counter
+	// opLat is the per-opcode request latency distribution in
+	// nanoseconds, indexed by opcode (slot 0 collects unknown opcodes).
+	// Histograms are lock-free and zero-value-ready, so the hot path
+	// pays two atomic adds per request and registration needs no init.
+	opLat    [wire.OpStats + 1]stats.Histogram
+	snapDur  stats.Histogram // snapshot capture+write duration, ns
+	registry *stats.Registry
 }
 
 // New validates cfg and builds a Server (not yet listening).
@@ -139,15 +163,75 @@ func New(cfg Config) (*Server, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Server{
+	s := &Server{
 		cfg:        cfg,
 		logf:       logf,
 		conns:      make(map[net.Conn]struct{}),
 		stop:       make(chan struct{}),
 		acceptDone: make(chan struct{}),
-		lat:        stats.NewReservoir(8192),
-	}, nil
+	}
+	s.registry = cfg.Registry
+	if s.registry == nil {
+		s.registry = stats.NewRegistry()
+	}
+	s.registerMetrics(s.registry)
+	cfg.Store.RegisterMetrics(s.registry, "gh")
+	if cfg.Oplog != nil {
+		cfg.Oplog.RegisterMetrics(s.registry, "gh")
+	}
+	return s, nil
 }
+
+// opNames maps opcodes to their metric label, indexed like opLat.
+var opNames = [wire.OpStats + 1]string{
+	"unknown", "ping", "get", "put", "insert", "delete", "len", "stats",
+}
+
+// registerMetrics exports the server's own counters, gauges and
+// latency histograms into reg under the gh_server_ prefix.
+func (s *Server) registerMetrics(reg *stats.Registry) {
+	p := "gh_server_"
+	reg.RegisterCounter(p+"connections_accepted_total", "", "Connections ever accepted.", s.accepted.Load)
+	reg.RegisterGauge(p+"connections_active", "", "Currently open connections.",
+		func() float64 { return float64(s.connsActive.Load()) })
+	reg.RegisterCounter(p+"requests_total", stats.Label("class", "read"), "Requests served, by class.", s.reads.Load)
+	reg.RegisterCounter(p+"requests_total", stats.Label("class", "write"), "", s.writes.Load)
+	reg.RegisterCounter(p+"requests_total", stats.Label("class", "delete"), "", s.deletes.Load)
+	reg.RegisterCounter(p+"requests_total", stats.Label("class", "other"), "", s.others.Load)
+	reg.RegisterCounter(p+"errors_total", stats.Label("kind", "full"), "Non-OK request outcomes, by kind.", s.full.Load)
+	reg.RegisterCounter(p+"errors_total", stats.Label("kind", "invalid_key"), "", s.invalid.Load)
+	reg.RegisterCounter(p+"errors_total", stats.Label("kind", "bad_request"), "", s.badreq.Load)
+	reg.RegisterCounter(p+"drain_rejects_total", "", "Writes answered StatusDraining after a drain began.", s.drainRejects.Load)
+	reg.RegisterCounter(p+"snapshots_total", "", "Completed snapshot saves (periodic + final).", s.snapshots.Load)
+	reg.RegisterCounter(p+"bytes_read_total", "", "Wire-protocol frame bytes read.", s.bytesRead.Load)
+	reg.RegisterCounter(p+"bytes_written_total", "", "Wire-protocol frame bytes written.", s.bytesWritten.Load)
+	reg.RegisterGauge(p+"draining", "", "1 once a drain has begun.",
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	for op := 1; op < len(s.opLat); op++ {
+		reg.RegisterHistogram(p+"request_latency_seconds", stats.Label("op", opNames[op]),
+			"Request dispatch latency by opcode (store + oplog append; excludes the group-commit fsync, which is amortised per batch).",
+			1e-9, &s.opLat[op])
+	}
+	reg.RegisterHistogram(p+"snapshot_duration_seconds", "",
+		"Snapshot duration, capture through durable image write.", 1e-9, &s.snapDur)
+}
+
+// Registry returns the registry holding the server's (and its store's
+// and oplog's) metrics — mount it at /metrics.
+func (s *Server) Registry() *stats.Registry { return s.registry }
+
+// Draining reports whether a drain (graceful shutdown) has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Ready reports whether the server is accepting and serving requests —
+// the /healthz readiness condition, which flips false the moment a
+// drain begins.
+func (s *Server) Ready() bool { return s.serving.Load() && !s.draining.Load() }
 
 // ListenAndServe listens on addr and serves until Drain.
 func (s *Server) ListenAndServe(addr string) error {
@@ -331,6 +415,7 @@ func (s *Server) snapshot(kind string) error {
 			return err
 		}
 		s.snapshots.Inc()
+		s.snapDur.Observe(uint64(time.Since(start)))
 		s.logf("server: %s snapshot (%d items) in %s", kind, s.cfg.Store.Len(), time.Since(start).Round(time.Millisecond))
 		return nil
 	}
@@ -352,6 +437,7 @@ func (s *Server) snapshot(kind string) error {
 		return err
 	}
 	s.snapshots.Inc()
+	s.snapDur.Observe(uint64(time.Since(start)))
 	if s.aborted.Load() {
 		return errAborted // crash point: image durable, log not yet truncated
 	}
@@ -388,6 +474,7 @@ func (s *Server) handle(conn net.Conn) {
 	}()
 	br := bufio.NewReaderSize(conn, 64<<10)
 	bw := bufio.NewWriterSize(conn, 64<<10)
+	timing := !s.cfg.DisableTiming
 	var pending uint64 // highest oplog LSN staged on this conn, not yet known durable
 	syncPending := func() bool {
 		if pending == 0 {
@@ -420,9 +507,21 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			return
 		}
-		start := time.Now()
-		resp, lsn := s.dispatch(req)
-		s.lat.Add(float64(time.Since(start).Nanoseconds()))
+		var resp wire.Response
+		var lsn uint64
+		if timing {
+			start := time.Now()
+			resp, lsn = s.dispatch(req)
+			op := int(req.Op)
+			if op >= len(s.opLat) {
+				op = 0
+			}
+			s.opLat[op].Observe(uint64(time.Since(start)))
+			s.bytesRead.Add(4 + wire.ReqBodyLen)
+			s.bytesWritten.Add(uint64(4 + wire.RespFixedLen + len(resp.Extra)))
+		} else {
+			resp, lsn = s.dispatch(req)
+		}
 		if lsn > pending {
 			pending = lsn
 		}
@@ -474,7 +573,7 @@ func (s *Server) dispatch(req wire.Request) (wire.Response, uint64) {
 		return wire.Response{Status: wire.StatusOK, Value: st.Len()}, 0
 	case wire.OpStats:
 		s.others.Inc()
-		return wire.Response{Status: wire.StatusOK, Extra: []byte(s.StatsText())}, 0
+		return wire.Response{Status: wire.StatusOK, Extra: s.statsExtra(req.Value)}, 0
 	default:
 		s.badreq.Inc()
 		return wire.Response{Status: wire.StatusBadRequest}, 0
@@ -552,14 +651,49 @@ func (s *Server) Stats() Metrics {
 		m.OplogLastLSN = s.cfg.Oplog.LastLSN()
 		m.OplogDurableLSN = s.cfg.Oplog.DurableLSN()
 	}
+	m.BytesRead = s.bytesRead.Load()
+	m.BytesWritten = s.bytesWritten.Load()
 	return m
 }
 
+// Latency returns the merged request-latency distribution across all
+// opcodes, in nanoseconds.
+func (s *Server) Latency() *stats.HistSnapshot {
+	merged := &stats.HistSnapshot{}
+	for op := range s.opLat {
+		merged.Merge(s.opLat[op].Snapshot())
+	}
+	return merged
+}
+
+// statsExtra renders the OpStats payload in the requested format;
+// unknown format selectors fall back to the text dump.
+func (s *Server) statsExtra(format uint64) []byte {
+	switch format {
+	case wire.StatsFormatJSON:
+		return s.StatsJSON()
+	case wire.StatsFormatProm:
+		var buf bytes.Buffer
+		s.registry.WritePrometheus(&buf)
+		b := buf.Bytes()
+		if max := wire.MaxFrame - wire.RespFixedLen; len(b) > max {
+			// Truncate at a line boundary so what does fit still parses.
+			b = b[:max]
+			if i := bytes.LastIndexByte(b, '\n'); i >= 0 {
+				b = b[:i+1]
+			}
+		}
+		return b
+	default:
+		return []byte(s.StatsText())
+	}
+}
+
 // StatsText renders the counters and request-latency quantiles as the
-// human-readable text OpStats returns.
+// human-readable text OpStats returns by default.
 func (s *Server) StatsText() string {
 	m := s.Stats()
-	sample := s.lat.Snapshot()
+	sample := s.Latency()
 	us := func(q float64) float64 { return sample.Quantile(q) / 1e3 }
 	return fmt.Sprintf(
 		"items=%d load=%.3f conns=%d/%d reads=%d writes=%d deletes=%d others=%d "+
@@ -572,5 +706,47 @@ func (s *Server) StatsText() string {
 		m.Full, m.InvalidKey, m.BadRequest, m.DrainRejects, m.Snapshots,
 		m.OplogDurableLSN, m.OplogLastLSN,
 		m.Expansions, s.cfg.Store.Expanding(), s.draining.Load(),
-		us(0.5), us(0.9), us(0.99), us(1), sample.N())
+		us(0.5), us(0.9), us(0.99), sample.Max()/1e3, sample.Count)
+}
+
+// statsDoc is the machine-readable OpStats JSON document: the Metrics
+// counters plus the store/drain state and latency quantiles the text
+// dump carries.
+type statsDoc struct {
+	Metrics
+	// Items and LoadFactor describe the store's occupancy.
+	Items      uint64  `json:"Items"`
+	LoadFactor float64 `json:"LoadFactor"`
+	// Expanding and Draining are the live state flags.
+	Expanding bool `json:"Expanding"`
+	Draining  bool `json:"Draining"`
+	// LatencyUs carries request-latency quantiles in microseconds over
+	// N observations.
+	LatencyUs struct {
+		P50, P90, P99, Max float64
+		N                  uint64
+	} `json:"LatencyUs"`
+}
+
+// StatsJSON renders the same counters as StatsText as a JSON document
+// (the OpStats StatsFormatJSON payload).
+func (s *Server) StatsJSON() []byte {
+	doc := statsDoc{
+		Metrics:    s.Stats(),
+		Items:      s.cfg.Store.Len(),
+		LoadFactor: s.cfg.Store.LoadFactor(),
+		Expanding:  s.cfg.Store.Expanding(),
+		Draining:   s.draining.Load(),
+	}
+	sample := s.Latency()
+	doc.LatencyUs.P50 = sample.Quantile(0.5) / 1e3
+	doc.LatencyUs.P90 = sample.Quantile(0.9) / 1e3
+	doc.LatencyUs.P99 = sample.Quantile(0.99) / 1e3
+	doc.LatencyUs.Max = sample.Max() / 1e3
+	doc.LatencyUs.N = sample.Count
+	b, err := json.Marshal(doc)
+	if err != nil { // unreachable: the document is plain numbers
+		return []byte(`{}`)
+	}
+	return b
 }

@@ -1,0 +1,366 @@
+package stats
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition is a line-by-line conformance checker for the
+// Prometheus text exposition format (version 0.0.4), used by the
+// repository's tests to prove a /metrics scrape parses: every sample
+// line must be syntactically valid, every family must declare a known
+// TYPE before its first sample, histogram series must have cumulative
+// non-decreasing buckets whose +Inf bucket equals the _count sample,
+// and no family may appear twice. It returns the parsed families.
+//
+// The checker is deliberately independent of the Registry's renderer —
+// a renderer bug that produced self-consistent garbage would still be
+// caught, because this side only trusts the format specification.
+func ValidateExposition(r io.Reader) (map[string]*ExpoFamily, error) {
+	families := make(map[string]*ExpoFamily)
+	var current *ExpoFamily
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			cur, err := parseComment(line, families, current)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			current = cur
+			continue
+		}
+		if err := parseSampleLine(line, families, current); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for name, f := range families {
+		if err := f.check(); err != nil {
+			return nil, fmt.Errorf("family %s: %w", name, err)
+		}
+	}
+	return families, nil
+}
+
+// ExpoFamily is one parsed metric family of an exposition.
+type ExpoFamily struct {
+	// Name is the family name (without _bucket/_sum/_count suffixes).
+	Name string
+	// Type is the declared TYPE (counter, gauge, histogram).
+	Type string
+	// Help is the declared HELP text ("" if none).
+	Help string
+	// Samples maps rendered label strings to values for plain
+	// counter/gauge series, and suffixed forms ("_sum|labels",
+	// "_count|labels", "_bucket|labels") for histogram parts.
+	Samples map[string]float64
+}
+
+// Sample returns the value of the series with the given rendered
+// labels ("" for none) and whether it exists.
+func (f *ExpoFamily) Sample(labels string) (float64, bool) {
+	v, ok := f.Samples["|"+labels]
+	return v, ok
+}
+
+// parseComment handles # HELP / # TYPE lines, creating families.
+func parseComment(line string, families map[string]*ExpoFamily, current *ExpoFamily) (*ExpoFamily, error) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return current, nil // free-form comment: legal, ignored
+	}
+	name := fields[2]
+	switch fields[1] {
+	case "HELP":
+		f := families[name]
+		if f == nil {
+			f = &ExpoFamily{Name: name, Samples: make(map[string]float64)}
+			families[name] = f
+		} else if f.Help != "" {
+			return nil, fmt.Errorf("duplicate HELP for %s", name)
+		}
+		if len(fields) == 4 {
+			f.Help = fields[3]
+		}
+		return f, nil
+	case "TYPE":
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("malformed TYPE line %q", line)
+		}
+		typ := fields[3]
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return nil, fmt.Errorf("unknown metric type %q", typ)
+		}
+		f := families[name]
+		if f == nil {
+			f = &ExpoFamily{Name: name, Samples: make(map[string]float64)}
+			families[name] = f
+		}
+		if f.Type != "" {
+			return nil, fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		if len(f.Samples) != 0 {
+			return nil, fmt.Errorf("TYPE for %s after its samples", name)
+		}
+		f.Type = typ
+		return f, nil
+	}
+	return current, nil
+}
+
+// parseSampleLine validates one sample and files it under its family.
+func parseSampleLine(line string, families map[string]*ExpoFamily, current *ExpoFamily) error {
+	name, labels, value, err := splitSample(line)
+	if err != nil {
+		return err
+	}
+	// Resolve the family: histogram sample suffixes belong to the base
+	// family when one is declared.
+	fam, suffix := name, ""
+	for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, sfx)
+		if base != name {
+			if f := families[base]; f != nil && f.Type == "histogram" {
+				fam, suffix = base, sfx
+			}
+			break
+		}
+	}
+	f := families[fam]
+	if f == nil || f.Type == "" {
+		return fmt.Errorf("sample %s before a TYPE declaration", name)
+	}
+	if f.Type == "histogram" && suffix == "" {
+		return fmt.Errorf("histogram %s has a bare sample", fam)
+	}
+	key := suffix + "|" + labels
+	if _, dup := f.Samples[key]; dup {
+		return fmt.Errorf("duplicate sample %s{%s}", name, labels)
+	}
+	f.Samples[key] = value
+	if f.Type == "counter" && (value < 0 || math.IsNaN(value)) {
+		return fmt.Errorf("counter %s has negative value %v", name, value)
+	}
+	return nil
+}
+
+// splitSample parses `name{labels} value` syntax, validating the
+// metric name, each label pair and the value.
+func splitSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	if brace >= 0 {
+		name = rest[:brace]
+		end := strings.LastIndexByte(rest, '}')
+		if end < brace {
+			return "", "", 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels = rest[brace+1 : end]
+		rest = strings.TrimSpace(rest[end+1:])
+		if err := checkLabels(labels); err != nil {
+			return "", "", 0, err
+		}
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return "", "", 0, fmt.Errorf("no value in sample %q", line)
+		}
+		name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp:])
+	}
+	if !validName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	// The value may be followed by an optional timestamp.
+	valStr := rest
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		valStr = rest[:sp]
+	}
+	value, err = parseValue(valStr)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	return name, labels, value, nil
+}
+
+// parseValue parses a sample value, accepting the exposition's +Inf /
+// -Inf / NaN spellings.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// checkLabels validates a rendered label list: name="value" pairs,
+// comma-separated, names legal, values properly quoted.
+func checkLabels(labels string) error {
+	rest := labels
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq <= 0 {
+			return fmt.Errorf("malformed label in %q", labels)
+		}
+		lname := rest[:eq]
+		if !validName(lname) || strings.Contains(lname, ":") {
+			return fmt.Errorf("invalid label name %q", lname)
+		}
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("unquoted label value in %q", labels)
+		}
+		// Scan the quoted value, honouring escapes.
+		i := 1
+		for i < len(rest) {
+			if rest[i] == '\\' {
+				i += 2
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(rest) {
+			return fmt.Errorf("unterminated label value in %q", labels)
+		}
+		rest = rest[i+1:]
+		if rest != "" {
+			if rest[0] != ',' {
+				return fmt.Errorf("missing comma between labels in %q", labels)
+			}
+			rest = rest[1:]
+		}
+	}
+	return nil
+}
+
+// check verifies a parsed family's internal consistency; histograms
+// get the cumulative-bucket checks.
+func (f *ExpoFamily) check() error {
+	if f.Type == "" {
+		return fmt.Errorf("no TYPE declared")
+	}
+	if f.Type != "histogram" {
+		return nil
+	}
+	// Group buckets by their non-le labels.
+	type hseries struct {
+		les    []float64
+		counts map[float64]float64
+	}
+	byLabels := make(map[string]*hseries)
+	for key, v := range f.Samples {
+		if !strings.HasPrefix(key, "_bucket|") {
+			continue
+		}
+		labels := strings.TrimPrefix(key, "_bucket|")
+		base, le, err := extractLe(labels)
+		if err != nil {
+			return err
+		}
+		hs := byLabels[base]
+		if hs == nil {
+			hs = &hseries{counts: make(map[float64]float64)}
+			byLabels[base] = hs
+		}
+		hs.les = append(hs.les, le)
+		hs.counts[le] = v
+	}
+	for base, hs := range byLabels {
+		sort.Float64s(hs.les)
+		if len(hs.les) == 0 || !math.IsInf(hs.les[len(hs.les)-1], 1) {
+			return fmt.Errorf("series {%s} lacks a +Inf bucket", base)
+		}
+		prev := -math.MaxFloat64
+		last := 0.0
+		for _, le := range hs.les {
+			if hs.counts[le] < last {
+				return fmt.Errorf("series {%s} bucket le=%v decreases", base, le)
+			}
+			last = hs.counts[le]
+			if le == prev {
+				return fmt.Errorf("series {%s} duplicate le=%v", base, le)
+			}
+			prev = le
+		}
+		count, ok := f.Samples["_count|"+base]
+		if !ok {
+			return fmt.Errorf("series {%s} lacks _count", base)
+		}
+		if _, ok := f.Samples["_sum|"+base]; !ok {
+			return fmt.Errorf("series {%s} lacks _sum", base)
+		}
+		if inf := hs.counts[math.Inf(1)]; inf != count {
+			return fmt.Errorf("series {%s} +Inf bucket %v != count %v", base, inf, count)
+		}
+	}
+	return nil
+}
+
+// extractLe removes the le label from a rendered list, returning the
+// remaining labels and the parsed bound.
+func extractLe(labels string) (base string, le float64, err error) {
+	parts := splitTopLevel(labels)
+	var rest []string
+	found := false
+	for _, p := range parts {
+		if strings.HasPrefix(p, `le="`) {
+			raw := strings.TrimSuffix(strings.TrimPrefix(p, `le="`), `"`)
+			le, err = parseValue(raw)
+			if err != nil {
+				return "", 0, fmt.Errorf("bad le bound %q", raw)
+			}
+			found = true
+			continue
+		}
+		rest = append(rest, p)
+	}
+	if !found {
+		return "", 0, fmt.Errorf("bucket without le label in {%s}", labels)
+	}
+	return strings.Join(rest, ","), le, nil
+}
+
+// splitTopLevel splits a rendered label list on commas outside quotes.
+func splitTopLevel(labels string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(labels); i++ {
+		switch labels[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, labels[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, labels[start:])
+	return out
+}

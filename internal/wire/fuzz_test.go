@@ -1,0 +1,92 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"grouphash/internal/layout"
+)
+
+// FuzzWireDecode feeds arbitrary byte streams through both decode
+// paths, asserting the framing invariants a hostile or desynchronised
+// peer must not be able to break:
+//
+//   - no panic, whatever the bytes;
+//   - no over-allocation: a length prefix is never trusted past
+//     MaxFrame, so Extra can never exceed MaxFrame-RespFixedLen;
+//   - every successfully decoded message re-encodes to bytes that
+//     decode back to the same message (round-trip identity);
+//   - progress: each decode consumes at least the 4-byte prefix, so a
+//     reader looping over a stream always terminates.
+//
+// The seed corpus covers the hostile-frame test's vocabulary (zero,
+// off-by-one and over-cap prefixes, truncations) plus valid streams.
+func FuzzWireDecode(f *testing.F) {
+	// Valid frames, alone and back-to-back.
+	req := AppendRequest(nil, Request{Op: OpPut, Key: layout.Key{Lo: 1, Hi: 2}, Value: 3})
+	f.Add(req)
+	f.Add(AppendRequest(req, Request{Op: OpGet, Key: layout.Key{Lo: ^uint64(0)}}))
+	var rbuf bytes.Buffer
+	WriteResponse(&rbuf, Response{Status: StatusOK, Value: 9, Extra: []byte("stats text")})
+	f.Add(rbuf.Bytes())
+	// Hostile prefixes from TestHostileFrames: zero, off-by-one, just
+	// past the cap, and a huge 32-bit length.
+	for _, n := range []uint32{0, ReqBodyLen - 1, ReqBodyLen + 1, RespFixedLen - 1, MaxFrame, MaxFrame + 1, 1 << 31} {
+		f.Add(append(binary.LittleEndian.AppendUint32(nil, n), make([]byte, 40)...))
+	}
+	// Truncations.
+	f.Add(req[:7])
+	f.Add(req[:4])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, decode := range []func(io.Reader) (int, error){
+			func(r io.Reader) (int, error) {
+				req, err := ReadRequest(r)
+				if err != nil {
+					return 0, err
+				}
+				// Round-trip identity.
+				frame := AppendRequest(nil, req)
+				again, err := ReadRequest(bytes.NewReader(frame))
+				if err != nil || again != req {
+					t.Fatalf("request round trip: %+v -> %v, %+v", req, err, again)
+				}
+				return len(frame), nil
+			},
+			func(r io.Reader) (int, error) {
+				resp, err := ReadResponse(r)
+				if err != nil {
+					return 0, err
+				}
+				if len(resp.Extra) > MaxFrame-RespFixedLen {
+					t.Fatalf("decoded %d-byte extra, cap is %d", len(resp.Extra), MaxFrame-RespFixedLen)
+				}
+				var buf bytes.Buffer
+				if err := WriteResponse(&buf, resp); err != nil {
+					t.Fatalf("re-encoding decoded response: %v", err)
+				}
+				again, err := ReadResponse(bytes.NewReader(buf.Bytes()))
+				if err != nil || again.Status != resp.Status || again.Value != resp.Value || !bytes.Equal(again.Extra, resp.Extra) {
+					t.Fatalf("response round trip: %+v -> %v, %+v", resp, err, again)
+				}
+				return buf.Len(), nil
+			},
+		} {
+			rd := bytes.NewReader(data)
+			for {
+				before := rd.Len()
+				if _, err := decode(rd); err != nil {
+					// io.EOF only at a clean frame boundary; anything else
+					// ends the stream too (framing is lost) — just no panic.
+					break
+				}
+				if consumed := before - rd.Len(); consumed < 4 {
+					t.Fatalf("decode consumed %d bytes, must consume at least the prefix", consumed)
+				}
+			}
+		}
+	})
+}

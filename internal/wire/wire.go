@@ -46,9 +46,25 @@ const (
 	OpDelete
 	// OpLen returns the store's item count in the response value.
 	OpLen
-	// OpStats returns the server's counters and latency quantiles as a
-	// human-readable text payload.
+	// OpStats returns the server's counters and latency quantiles. The
+	// request's Value field selects the payload format (StatsFormatText
+	// and friends); unknown values fall back to text, so old clients
+	// keep working against new servers and vice versa.
 	OpStats
+)
+
+// OpStats payload formats, carried in the request's Value field (which
+// OpStats previously ignored — old clients send 0 and get text).
+const (
+	// StatsFormatText selects the human-readable one-line text dump.
+	StatsFormatText = uint64(iota)
+	// StatsFormatJSON selects a machine-readable JSON document of the
+	// same counters and latency quantiles.
+	StatsFormatJSON
+	// StatsFormatProm selects the Prometheus text exposition of the
+	// server's metrics registry (the same bytes GET /metrics serves),
+	// truncated at a line boundary if it exceeds the frame limit.
+	StatsFormatProm
 )
 
 // Status codes carried in the first response byte.
