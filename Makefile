@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-json race torture fuzz fuzz-smoke cover serve-smoke figures figures-paper examples clean
+.PHONY: all build test vet bench bench-json bench-baseline bench-diff race torture fuzz fuzz-smoke cover serve-smoke figures figures-paper examples clean
 
 all: build vet test
 
@@ -38,12 +38,35 @@ torture:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# bench-json regenerates the PR's benchmark numbers: the cost of the
-# per-request instrumentation (acked-write throughput with timing off
-# and on), written to BENCH_PR5.json. Earlier PRs' files regenerate the
-# same way (oplog -> BENCH_PR4.json, expand -> BENCH_PR3.json).
+# bench-json regenerates the PR's benchmark numbers: fingerprint-
+# filtered vs unfiltered lookups (probe) and the rehash worker-count
+# sweep including the 10M+-item row (expand), written to
+# BENCH_PR6.json. Earlier PRs' files regenerate the same way
+# (metrics -> BENCH_PR5.json, oplog -> BENCH_PR4.json).
 bench-json:
-	$(GO) run ./cmd/ghbench -exp metrics -scale default -json BENCH_PR5.json
+	$(GO) run ./cmd/ghbench -exp probe,expand -scale default -json BENCH_PR6.json
+
+# The Go-benchmark set bench-baseline/bench-diff track: the substrate
+# microbenchmarks plus the fingerprint-sensitive lookup benchmarks.
+# -count 5 so ghbenchdiff compares means, not single noisy samples.
+BENCH_TRACKED = { \
+	$(GO) test -run XXX -bench 'BenchmarkSubstrate' -benchtime 0.3s -count 5 . && \
+	$(GO) test -run XXX -bench 'BenchmarkLookup(Hit|Miss)' -benchtime 0.3s -count 5 ./internal/core ; }
+
+# bench-baseline refreshes the committed reference numbers in
+# bench_baseline.txt. Rerun it (on the same class of machine) whenever
+# a PR intentionally shifts substrate or lookup performance, and commit
+# the result so bench-diff has something honest to compare against.
+bench-baseline:
+	$(BENCH_TRACKED) > bench_baseline.txt
+	@echo "bench-baseline: wrote bench_baseline.txt"
+
+# bench-diff reruns the tracked benchmarks and prints old-vs-new
+# against the committed baseline via the stdlib-only ghbenchdiff
+# (benchstat is an external dependency this repo does not take).
+bench-diff:
+	$(BENCH_TRACKED) > /tmp/ghbench_current.txt
+	$(GO) run ./cmd/ghbenchdiff bench_baseline.txt /tmp/ghbench_current.txt
 
 # Substrate microbenchmarks: dirty-word tracker (paged vs legacy map),
 # cache hit path, memsim stack, and the fixed trace replay.

@@ -43,10 +43,13 @@ type jsonReport struct {
 	Latency   []jsonLatencyRow `json:"latency,omitempty"`
 	SpaceUtil []jsonUtilRow    `json:"space_util,omitempty"`
 	// Expansion benchmarks (native backend, real wall-clock): the
-	// sequential-vs-parallel rehash comparison and the per-write stall
-	// distribution under online expansion. See cmd/ghbench/expand.go.
+	// rehash worker-count sweep and the per-write stall distribution
+	// under online expansion. See cmd/ghbench/expand.go.
 	ExpandRehash []expandRehashRow `json:"expand_rehash,omitempty"`
 	ExpandStall  []expandStallRow  `json:"expand_stall,omitempty"`
+	// Fingerprint-filtered vs unfiltered lookup latency (native
+	// backend, real wall-clock). See cmd/ghbench/probe.go.
+	Probe []probeRow `json:"probe,omitempty"`
 	// Operation-log cost: acked-write throughput through the network
 	// server with and without the oplog. See cmd/ghbench/oplog.go.
 	OplogThroughput []oplogThroughputRow `json:"oplog_throughput,omitempty"`

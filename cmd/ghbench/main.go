@@ -3,8 +3,11 @@
 //
 // Usage:
 //
-//	ghbench [-exp all|fig2|fig5|fig6|fig7|fig8|table3] [-scale test|default|paper]
+//	ghbench [-exp all|fig2|fig5|fig6|fig7|fig8|table3|...] [-scale test|default|paper]
 //	        [-csv dir] [-json BENCH_<scale>.json] [-plot]
+//
+// -exp accepts a comma-separated list (e.g. -exp probe,expand), so one
+// invocation — and one -json file — can capture several experiments.
 //
 // The default scale shrinks table sizes ~16× against the paper (keeping
 // them far larger than the simulated 15 MB L3, so cache behaviour and
@@ -28,7 +31,7 @@ import (
 func traceRandomNum(seed int64) trace.Trace { return trace.NewRandomNum(seed) }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig2, fig5, fig6, fig7, fig8, table3, wear, ycsb, excluded, curve, repeat, expand, oplog, metrics")
+	exp := flag.String("exp", "all", "comma-separated experiments: all, fig2, fig5, fig6, fig7, fig8, table3, wear, ycsb, excluded, curve, repeat, expand, probe, oplog, metrics")
 	scaleName := flag.String("scale", "default", "experiment scale: test, default, paper")
 	csvDir := flag.String("csv", "", "also write each experiment's data as CSV into this directory")
 	plotOut := flag.Bool("plot", false, "render figures additionally as terminal bar charts")
@@ -70,7 +73,18 @@ func main() {
 		os.Exit(2)
 	}
 
-	want := func(name string) bool { return *exp == "all" || *exp == name }
+	sel := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		sel[strings.TrimSpace(e)] = true
+	}
+	want := func(name string) bool {
+		if sel["all"] {
+			// repeat and curve are opt-in only: both rerun whole figure
+			// workloads several times over.
+			return name != "repeat" && name != "curve"
+		}
+		return sel[name]
+	}
 	ran := 0
 	w := os.Stdout
 	report := jsonReport{Scale: scale.Name, Cells: scale.RandomNumCells, OpsPhase: scale.Ops}
@@ -149,7 +163,7 @@ func main() {
 			writeCSV("wear.csv", func(f *os.File) error { return harness.WriteWearCSV(f, r) })
 		})
 	}
-	if *exp == "repeat" {
+	if sel["repeat"] {
 		// The paper's §4.1 protocol: each result is the average of five
 		// independent executions. Run the RandomNum lf-0.5 row of
 		// Figure 5 that way, reporting mean ± stddev.
@@ -167,7 +181,7 @@ func main() {
 			harness.PrintRepeated(w, rows)
 		})
 	}
-	if *exp == "curve" {
+	if sel["curve"] {
 		timed("curve", func() {
 			r := harness.LoadCurves(scale)
 			harness.PrintCurves(w, r)
@@ -185,11 +199,29 @@ func main() {
 		timed("expand", func() {
 			runExpandExperiment(w, scale, &report)
 			writeCSV("expand.csv", func(f *os.File) error {
-				if _, err := fmt.Fprintln(f, "mode,cells,items,wall_ms,speedup"); err != nil {
+				if _, err := fmt.Fprintln(f, "mode,workers,gomaxprocs,num_cpu,cells,items,wall_ms,speedup"); err != nil {
 					return err
 				}
 				for _, r := range report.ExpandRehash {
-					if _, err := fmt.Fprintf(f, "%s,%d,%d,%.3f,%.3f\n", r.Mode, r.Cells, r.Items, r.WallMs, r.Speedup); err != nil {
+					if _, err := fmt.Fprintf(f, "%s,%d,%d,%d,%d,%d,%.3f,%.3f\n",
+						r.Mode, r.Workers, r.GoMaxProcs, r.NumCPU, r.Cells, r.Items, r.WallMs, r.Speedup); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+	}
+	if want("probe") {
+		timed("probe", func() {
+			runProbeExperiment(w, scale, &report)
+			writeCSV("probe.csv", func(f *os.File) error {
+				if _, err := fmt.Fprintln(f, "case,target_lf_pct,load_factor_pct,fingerprints,ns_per_op,speedup,fp_hits_per_op,fp_skips_per_op"); err != nil {
+					return err
+				}
+				for _, r := range report.Probe {
+					if _, err := fmt.Fprintf(f, "%s,%d,%.2f,%v,%.2f,%.3f,%.3f,%.3f\n",
+						r.Case, r.TargetLfPct, r.LfPct, r.Fingerprints, r.NsOp, r.Speedup, r.FpHitsOp, r.FpSkipsOp); err != nil {
 						return err
 					}
 				}

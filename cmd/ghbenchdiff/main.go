@@ -1,0 +1,188 @@
+// Command ghbenchdiff compares two `go test -bench` output files the
+// way benchstat does — per-benchmark old-vs-new with a percentage
+// delta — without the external dependency (this repository is
+// stdlib-only by policy).
+//
+// Usage:
+//
+//	ghbenchdiff old.txt new.txt
+//
+// Run each side with -count N (N ≥ 3 recommended) so a delta is a
+// comparison of means with a visible spread, not two noisy samples.
+// The tool exits 0 regardless of regressions: it is a reporting aid
+// for `make bench-diff`, and what counts as a regression is for the
+// reader (or the PR discussion) to decide — benchmarks here include
+// wall-clock numbers from shared CI machines.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is every measurement collected for one benchmark name in one
+// file, one slice per unit ("ns/op", "B/op", ...).
+type sample struct {
+	units map[string][]float64
+	order []string // units in first-seen order
+}
+
+// parseBench reads a `go test -bench` output file: lines shaped
+//
+//	BenchmarkName[/sub...]-P  <iters>  <value> <unit> [<value> <unit>...]
+//
+// Everything else (PASS, ok, --- BENCH log sections, b.Logf output) is
+// ignored. The -P GOMAXPROCS suffix stays in the name: cpu-sweep rows
+// are distinct benchmarks.
+func parseBench(path string) (map[string]*sample, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	out := map[string]*sample{}
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not an iteration count; some other line
+		}
+		s := out[fields[0]]
+		if s == nil {
+			s = &sample{units: map[string][]float64{}}
+			out[fields[0]] = s
+			order = append(order, fields[0])
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			unit := fields[i+1]
+			if _, seen := s.units[unit]; !seen {
+				s.order = append(s.order, unit)
+			}
+			s.units[unit] = append(s.units[unit], v)
+		}
+	}
+	return out, order, sc.Err()
+}
+
+// meanSpread reduces a sample set to its mean and max relative
+// deviation from the mean (the ± the report prints).
+func meanSpread(xs []float64) (mean, spreadPct float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		if d := math.Abs(x-mean) / math.Max(mean, 1e-12) * 100; d > spreadPct {
+			spreadPct = d
+		}
+	}
+	return mean, spreadPct
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: ghbenchdiff old.txt new.txt")
+		os.Exit(2)
+	}
+	old, oldOrder, err := parseBench(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ghbenchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	cur, curOrder, err := parseBench(os.Args[2])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ghbenchdiff: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Old file dictates row order; new-only benchmarks append after.
+	names := append([]string{}, oldOrder...)
+	for _, n := range curOrder {
+		if _, ok := old[n]; !ok {
+			names = append(names, n)
+		}
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "%-52s %16s %16s %9s\n", "name", "old", "new", "delta")
+	byUnit := map[string][]float64{} // per-unit delta ratios for the geomean
+	for _, name := range names {
+		o, c := old[name], cur[name]
+		short := strings.TrimPrefix(name, "Benchmark")
+		switch {
+		case c == nil:
+			fmt.Fprintf(w, "%-52s %16s %16s %9s\n", short, fmtMean(o, o.order[0]), "—", "deleted")
+		case o == nil:
+			fmt.Fprintf(w, "%-52s %16s %16s %9s\n", short, "—", fmtMean(c, c.order[0]), "new")
+		default:
+			for _, unit := range o.order {
+				if _, ok := c.units[unit]; !ok {
+					continue
+				}
+				om, _ := meanSpread(o.units[unit])
+				cm, _ := meanSpread(c.units[unit])
+				label := short
+				if unit != o.order[0] {
+					label = short + " [" + unit + "]"
+				}
+				fmt.Fprintf(w, "%-52s %16s %16s %+8.2f%%\n",
+					label, fmtMean(o, unit), fmtMean(c, unit), (cm-om)/math.Max(om, 1e-12)*100)
+				if om > 0 && cm > 0 {
+					byUnit[unit] = append(byUnit[unit], cm/om)
+				}
+			}
+		}
+	}
+	units := make([]string, 0, len(byUnit))
+	for u := range byUnit {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	for _, u := range units {
+		ratios := byUnit[u]
+		logSum := 0.0
+		for _, r := range ratios {
+			logSum += math.Log(r)
+		}
+		fmt.Fprintf(w, "geomean [%s]  %+.2f%%  (%d benchmarks)\n",
+			u, (math.Exp(logSum/float64(len(ratios)))-1)*100, len(ratios))
+	}
+}
+
+// fmtMean renders one unit of a sample as "mean ±spread% unit".
+func fmtMean(s *sample, unit string) string {
+	m, sp := meanSpread(s.units[unit])
+	val := strconv.FormatFloat(m, 'g', 5, 64)
+	if sp >= 0.5 {
+		return fmt.Sprintf("%s%s ±%.0f%%", val, unitSuffix(unit), sp)
+	}
+	return val + unitSuffix(unit)
+}
+
+// unitSuffix abbreviates the dominant units for column compactness.
+func unitSuffix(unit string) string {
+	switch unit {
+	case "ns/op":
+		return "ns"
+	case "B/op":
+		return "B"
+	case "allocs/op":
+		return "al"
+	}
+	return unit
+}

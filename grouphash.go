@@ -18,6 +18,19 @@
 //	v, ok := store.Get(grouphash.Key{Lo: 42})
 //	store.Delete(grouphash.Key{Lo: 42})
 //
+// A store grows automatically: when Put fills a group the table
+// doubles and rehashes behind a single atomic root flip, so Capacity
+// is a starting size, not a limit (set DisableExpand to pin it). For
+// shared use, set Options.Concurrent — every method becomes safe for
+// any number of goroutines, lookups run lock-free on the default
+// backend, and a full table triggers a stop-less online expansion
+// instead of blocking the world: a background migration drains one
+// stripe of groups at a time while the store keeps serving, and a
+// writer waits only for its own stripe. On the default backend group
+// probes are additionally screened by a DRAM fingerprint sidecar
+// (1-byte tags compared eight at a time) before any table cell is
+// read.
+//
 // # Backends
 //
 // New builds the store over plain process memory. NewSimulated builds
@@ -285,6 +298,14 @@ func (s *Store) Recover() (RecoveryReport, error) { return s.tab.Recover() }
 // CheckConsistency verifies the table invariants without repairing,
 // returning human-readable violations (empty when consistent).
 func (s *Store) CheckConsistency() []string { return s.tab.CheckConsistency() }
+
+// FingerprintStats returns the DRAM probe-filter's effectiveness
+// counters: hits is the number of table cells that were dereferenced
+// because their fingerprint tag matched the probe key, skips the
+// number of occupied-range cells the filter screened out without
+// touching the table at all. Both stay zero on backends where the
+// sidecar is off (the simulated machine, tiny group sizes).
+func (s *Store) FingerprintStats() (hits, skips uint64) { return s.tab.FingerprintStats() }
 
 // Concurrent reports whether the store was built with the striped-lock
 // wrapper and is safe for concurrent use.

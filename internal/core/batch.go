@@ -75,6 +75,9 @@ func (t *Table) placeIn(vw *view, k layout.Key, v uint64) bool {
 }
 
 func (t *Table) placeInGroup(vw *view, j uint64, k layout.Key, v uint64) bool {
+	if vw.fp != nil {
+		return t.placeInGroupFP(vw, j, k, v)
+	}
 	for i := uint64(0); i < t.gsz; i++ {
 		if !vw.tab2.Occupied(j + i) {
 			vw.tab2.InsertAt(j+i, k, v)

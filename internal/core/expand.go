@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"grouphash/internal/hashtab"
 	"grouphash/internal/layout"
@@ -65,6 +66,50 @@ func (t *Table) Expand() error {
 	return fmt.Errorf("core: expansion failed after tripling attempts: %w", hashtab.ErrTableFull)
 }
 
+// RehashBench runs one full-table rehash into fresh doubled arrays
+// WITHOUT committing them, returning the wall time of the migration
+// itself (array allocation and reclamation excluded). The table is
+// left unchanged, and on reclaiming backends the scratch arrays are
+// returned to the allocator, so repeated calls — e.g. a worker-count
+// sweep via SetRehashWorkers — reuse one built table without growing
+// the footprint. Benchmark instrumentation for cmd/ghbench; not part
+// of the recovery or expansion protocol.
+func (t *Table) RehashBench() (time.Duration, error) {
+	vw := t.cur()
+	seed := t.mem.Read8(t.hdr + hdrSeed*layout.WordSize)
+	rec, canReclaim := t.mem.(hashtab.Reclaimer)
+	var mark uint64
+	if canReclaim {
+		mark = rec.Mark()
+	}
+	nvw := t.newView(vw.tab1.N*2, seed)
+	start := time.Now()
+	ok := t.rehashInto(vw, nvw)
+	d := time.Since(start)
+	if canReclaim {
+		rec.Release(mark)
+	}
+	if !ok {
+		return d, hashtab.ErrTableFull
+	}
+	return d, nil
+}
+
+// SetRehashWorkers overrides the worker count of the parallel rehash:
+// 0 restores the automatic choice (GOMAXPROCS on eligible backends),
+// 1 forces the sequential path, n > 1 forces an n-worker pool even
+// beyond GOMAXPROCS (useful for benchmarking the pool's scheduling
+// overhead in isolation — on a machine with fewer cores the extra
+// workers just timeshare). Two-choice tables and backends without
+// atomic word access ignore the override and stay sequential. Must not
+// be called while an expansion is in flight.
+func (t *Table) SetRehashWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	t.rehashWorkers = n
+}
+
 // rehashInto re-inserts every live item of vw into the new view,
 // reporting whether all items could be placed.
 //
@@ -74,23 +119,38 @@ func (t *Table) Expand() error {
 // [M·i, M·(i+1)). Old group g therefore maps exactly onto new groups
 // [M·g, M·(g+1)) — and since every item stored in old level-2 group g
 // has its level-1 home inside old group g, the destination windows of
-// distinct old groups are disjoint. That makes the migration
-// embarrassingly parallel at group granularity: workers claim
-// contiguous ranges of old groups and write non-overlapping regions of
-// the new arrays, with no locks and no cross-worker conflicts. The
-// parallel path is gated on backends whose word accesses are
+// distinct old groups are disjoint. Two consequences:
+//
+//   - The migration is embarrassingly parallel at group granularity:
+//     workers claim contiguous ranges of old groups and write
+//     non-overlapping regions of the new arrays, with no locks and no
+//     cross-worker conflicts.
+//   - Within one old group's window the destination level-2 groups are
+//     exclusively owned and start empty, so they fill strictly left to
+//     right — rehashGroups tracks each one's fill with a DRAM cursor
+//     instead of re-scanning the occupied prefix per item. That turns
+//     the level-2 half of the rehash from O(items · fill) commit-word
+//     reads into O(items), which at high load factors is most of the
+//     rehash (the old first-empty scan walked ~90 cells per spilled
+//     item at 82% occupancy).
+//
+// The parallel path is gated on backends whose word accesses are
 // individually atomic (hashtab.ConcurrentReader) and on single-choice
 // tables (a two-choice item's second candidate lands in an unrelated
-// group, breaking disjointness); everything else takes the sequential
-// path. Per-item durability is unchanged either way — each item runs
-// the same cell commit protocol (payload → persist → meta → persist)
-// through placeIn, and the single 8-byte header-slot flip in
-// commitRoots remains the expansion's only commit point.
+// group, breaking both disjointness and the left-to-right fill);
+// everything else takes the sequential path, which uses the same
+// cursor placement. Per-item durability is unchanged either way — each
+// item runs the same cell commit protocol (payload → persist → meta →
+// persist) through Cells.InsertAt, and the single 8-byte header-slot
+// flip in commitRoots remains the expansion's only commit point.
 func (t *Table) rehashInto(vw, nvw *view) bool {
 	groups := vw.tab1.N / t.gsz
 	workers := 1
 	if _, ok := t.mem.(hashtab.ConcurrentReader); ok && !t.two {
-		workers = runtime.GOMAXPROCS(0)
+		workers = t.rehashWorkers
+		if workers == 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
 		if uint64(workers) > groups {
 			workers = int(groups)
 		}
@@ -130,18 +190,70 @@ func (t *Table) rehashInto(vw, nvw *view) bool {
 }
 
 // rehashGroups migrates the live items of old groups [gLo, gHi) from vw
-// into nvw, reporting whether every item was placed.
+// into nvw, reporting whether every item was placed. Requires nvw's
+// destination windows for these groups to be empty and exclusively
+// owned by this call (true for every rehash: Expand builds nvw fresh,
+// and online migration drains a stripe exactly once under its lock).
+// Two-choice tables take the generic placeIn path instead — their
+// second candidate breaks window disjointness.
 func (t *Table) rehashGroups(vw, nvw *view, gLo, gHi uint64) bool {
-	lo, hi := gLo*t.gsz, gHi*t.gsz
-	for _, cells := range [2]hashtab.Cells{vw.tab1, vw.tab2} {
-		for i := lo; i < hi; i++ {
-			if cells.Occupied(i) {
-				if !t.placeIn(nvw, cells.Key(i), cells.Value(i)) {
-					return false
+	if t.two {
+		lo, hi := gLo*t.gsz, gHi*t.gsz
+		for _, cells := range [2]hashtab.Cells{vw.tab1, vw.tab2} {
+			for i := lo; i < hi; i++ {
+				if cells.Occupied(i) {
+					if !t.placeIn(nvw, cells.Key(i), cells.Value(i)) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	mult := nvw.tab1.N / vw.tab1.N
+	cur := make([]uint64, mult)
+	for g := gLo; g < gHi; g++ {
+		for i := range cur {
+			cur[i] = 0
+		}
+		winBase := g * mult // first destination group of old group g
+		lo, hi := g*t.gsz, (g+1)*t.gsz
+		for _, cells := range [2]hashtab.Cells{vw.tab1, vw.tab2} {
+			for i := lo; i < hi; i++ {
+				if cells.Occupied(i) {
+					if !t.placeRehash(nvw, cells.Key(i), cells.Value(i), winBase, cur) {
+						return false
+					}
 				}
 			}
 		}
 	}
+	return true
+}
+
+// placeRehash places one migrated item into nvw: the level-1 home if
+// free, else the matching level-2 group's fill cursor — the exact cell
+// the generic first-empty scan would pick, located without the scan
+// (destination groups fill left to right with no deletes in between).
+// cur[i] is the fill of destination group winBase+i.
+func (t *Table) placeRehash(nvw *view, k layout.Key, v uint64, winBase uint64, cur []uint64) bool {
+	i1 := nvw.h.Index(k.Lo, k.Hi)
+	if !nvw.tab1.Occupied(i1) {
+		nvw.tab1.InsertAt(i1, k, v)
+		return true
+	}
+	g := i1/t.gsz - winBase
+	c := cur[g]
+	if c >= t.gsz {
+		return false
+	}
+	j := (winBase+g)*t.gsz + c
+	nvw.tab2.InsertAt(j, k, v)
+	if nvw.fp != nil {
+		nvw.fpStore(j, t.fpTag(k))
+	}
+	nvw.noteL2Insert((winBase+g)*t.gsz, t.gsz)
+	cur[g] = c + 1
 	return true
 }
 

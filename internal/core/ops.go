@@ -63,11 +63,27 @@ func (t *Table) lookupIn(vw *view, k layout.Key) (uint64, bool) {
 }
 
 func (t *Table) lookupInGroup(vw *view, j uint64, k layout.Key) (uint64, bool) {
+	if i, ok := t.findInGroup(vw, j, k); ok {
+		return vw.tab2.Value(i), true
+	}
+	return 0, false
+}
+
+// findInGroup locates the first cell of the level-2 group starting at j
+// that holds k. With the fingerprint sidecar active it screens the
+// group's tag words first and dereferences only candidate cells;
+// otherwise it runs the paper's scan, bounded by the occupancy index
+// when that is on. All group probes — lookup, delete, in-place update —
+// funnel through here, so the two probe strategies cannot drift.
+func (t *Table) findInGroup(vw *view, j uint64, k layout.Key) (uint64, bool) {
+	if vw.fp != nil {
+		return t.findInGroupFP(vw, j, k)
+	}
 	remaining := vw.occupancy(j, t.gsz)
 	for i := uint64(0); i < t.gsz && remaining > 0; i++ {
 		match, occupied := vw.tab2.Probe(j+i, k)
 		if match {
-			return vw.tab2.Value(j + i), true
+			return j + i, true
 		}
 		if occupied {
 			remaining--
@@ -114,19 +130,14 @@ func (t *Table) removeIn(vw *view, k layout.Key) bool {
 }
 
 func (t *Table) removeInGroup(vw *view, j uint64, k layout.Key) bool {
-	remaining := vw.occupancy(j, t.gsz)
-	for i := uint64(0); i < t.gsz && remaining > 0; i++ {
-		match, occupied := vw.tab2.Probe(j+i, k)
-		if match {
-			vw.tab2.DeleteAt(j + i)
-			vw.noteL2Delete(j, t.gsz)
-			return true
-		}
-		if occupied {
-			remaining--
-		}
+	i, ok := t.findInGroup(vw, j, k)
+	if !ok {
+		return false
 	}
-	return false
+	vw.tab2.DeleteAt(i)
+	vw.fpStore(i, 0)
+	vw.noteL2Delete(j, t.gsz)
+	return true
 }
 
 // Update overwrites the value of an existing key in place and persists
@@ -159,10 +170,8 @@ func (t *Table) locateIn(vw *view, k layout.Key) (hashtab.Cells, uint64, bool) {
 		return vw.tab1, i2, true
 	}
 	for _, j := range [2]uint64{t.groupStart(i1), t.groupStart(i2)} {
-		for i := uint64(0); i < t.gsz; i++ {
-			if vw.tab2.Matches(j+i, k) {
-				return vw.tab2, j + i, true
-			}
+		if i, ok := t.findInGroup(vw, j, k); ok {
+			return vw.tab2, i, true
 		}
 		if n != 2 || t.groupStart(i2) == t.groupStart(i1) {
 			break

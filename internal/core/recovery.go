@@ -46,6 +46,11 @@ func (t *Table) Recover() (hashtab.RecoveryReport, error) {
 		// derived state is rebuilt from the authoritative bitmaps.
 		vw.buildOcc(t.gsz)
 	}
+	if vw.fp != nil {
+		// Same for the fingerprint sidecar: rederive the tags from the
+		// cells the scan just certified.
+		vw.buildFp(t.l)
+	}
 	return rep, nil
 }
 
@@ -57,7 +62,10 @@ func (t *Table) Recover() (hashtab.RecoveryReport, error) {
 //   - every occupied cell's key hashes to the group it is stored in
 //     (level-1 items to their exact cell; level-2 items to the matching
 //     group);
-//   - every occupied cell's meta tag matches its key.
+//   - every occupied cell's meta tag matches its key;
+//   - when the fingerprint sidecar is on, every level-2 cell's DRAM tag
+//     agrees with the cell: the key's fingerprint for occupied cells,
+//     zero for empty ones.
 //
 // It returns a list of human-readable violations, empty when the table
 // is consistent.
@@ -82,6 +90,15 @@ func (t *Table) CheckConsistency() []string {
 	}
 	for i := uint64(0); i < vw.tab2.N; i++ {
 		commit, k, _ := vw.tab2.Snapshot(i)
+		if vw.fp != nil {
+			want := uint64(0)
+			if t.l.Occupied(commit) {
+				want = t.fpTag(k)
+			}
+			if vw.fpLoad(i) != want {
+				bad = append(bad, "fingerprint sidecar disagrees with level-2 cell")
+			}
+		}
 		if t.l.Occupied(commit) {
 			count++
 			i1, i2, n := t.homesIn(vw, k)

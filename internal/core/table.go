@@ -19,8 +19,10 @@
 //
 // Beyond the paper, the package provides persistent-handle reopening
 // (Open), online expansion with an atomic root switch (Expand, and its
-// stop-less concurrent form in Concurrent), and a concurrency wrapper
-// with per-group striped locking (Concurrent).
+// stop-less concurrent form in Concurrent), a concurrency wrapper with
+// per-group striped locking (Concurrent), and a DRAM fingerprint
+// sidecar that screens group probes with word-wide tag compares before
+// any persistent cell is touched (fingerprint.go).
 package core
 
 import (
@@ -108,16 +110,19 @@ const flagTwoChoice = 1
 const HeaderBytes = hdrWords * layout.WordSize
 
 // view bundles one generation of the table's roots: the cell arrays
-// and the hash functions addressing them, plus the volatile per-group
-// occupancy index derived from them (nil = off; see groupindex.go).
-// Expansion builds a complete new view and publishes it with a single
-// atomic pointer swap (mirroring the persistent header-slot flip), so
-// readers always see a matched (hash, arrays) pair — never a new hash
-// over old arrays or vice versa.
+// and the hash functions addressing them, plus the volatile per-view
+// derived state — the per-group occupancy index (occ, nil = off; see
+// groupindex.go) and the 1-byte-per-cell fingerprint sidecar (fp,
+// nil = off; see fingerprint.go). Expansion builds a complete new view
+// and publishes it with a single atomic pointer swap (mirroring the
+// persistent header-slot flip), so readers always see a matched
+// (hash, arrays, sidecar) tuple — never a new hash over old arrays or
+// vice versa.
 type view struct {
 	h, h2      xhash.Func
 	tab1, tab2 hashtab.Cells
 	occ        []uint32
+	fp         []uint64
 }
 
 // Table is a group-hash table over persistent memory. Not safe for
@@ -133,6 +138,18 @@ type Table struct {
 	// view with no lock held while an online expansion commits a new
 	// one, so the publication itself must be atomic.
 	vp atomic.Pointer[view]
+	// fpOn makes newly built views carry the fingerprint sidecar
+	// (fingerprint.go). Set by default on ConcurrentReader backends at
+	// Create/Open, toggled by Enable/DisableFingerprints.
+	fpOn bool
+	// fpHits / fpSkips count cells dereferenced on a tag match and
+	// cells screened out by the filter, across all filtered group
+	// scans. Exposed via FingerprintStats for the stats registry.
+	fpHits, fpSkips atomic.Uint64
+	// rehashWorkers overrides the worker count of rehashInto's parallel
+	// migration: 0 = auto (GOMAXPROCS on eligible backends), 1 = force
+	// sequential, n > 1 = force an n-worker pool. See SetRehashWorkers.
+	rehashWorkers int
 	// expandFailures forces the first n rehash attempts of Expand to
 	// report failure (test hook for the tripling-retry/reclaim path).
 	expandFailures int
@@ -146,14 +163,31 @@ func (t *Table) cur() *view { return t.vp.Load() }
 func secondSeed(seed uint64) uint64 { return seed ^ 0x6a09e667f3bcc909 }
 
 // newView allocates fresh cell arrays for the given level-1 cell count
-// and builds the matching hash functions.
+// and builds the matching hash functions. The cells start empty, so a
+// fingerprint sidecar (when armed) starts all-zero and is maintained
+// incrementally by whatever populates the view.
 func (t *Table) newView(cells uint64, seed uint64) *view {
-	return &view{
+	vw := &view{
 		h:    xhash.NewFunc(seed, cells, t.l.KeyWords() == 2),
 		h2:   xhash.NewFunc(secondSeed(seed), cells, t.l.KeyWords() == 2),
 		tab1: hashtab.NewCells(t.mem, t.l, cells),
 		tab2: hashtab.NewCells(t.mem, t.l, cells),
 	}
+	if t.fpOn {
+		vw.fp = newFp(cells)
+	}
+	return vw
+}
+
+// defaultFpOn reports whether a fresh table on mem should arm the
+// fingerprint sidecar: on for concurrent-read-safe (production)
+// backends, off for the simulated machine so the paper experiments
+// keep measuring the paper's exact probe sequence (the sidecar, being
+// DRAM-resident, would short-circuit the charged cell reads the
+// figures count). EnableFingerprints overrides either way.
+func defaultFpOn(mem hashtab.Mem, gsz uint64) bool {
+	_, ok := mem.(hashtab.ConcurrentReader)
+	return ok && fpEligible(gsz)
 }
 
 // Create allocates and initialises a new table in mem and returns its
@@ -171,6 +205,7 @@ func Create(mem hashtab.Mem, opts Options) (*Table, error) {
 		two: opts.TwoChoice,
 		gsz: opts.GroupSize,
 	}
+	t.fpOn = defaultFpOn(mem, t.gsz)
 	vw := t.newView(opts.Cells, opts.Seed)
 	t.vp.Store(vw)
 
@@ -230,15 +265,21 @@ func Open(mem hashtab.Mem, hdr uint64) (*Table, error) {
 		two: rd(hdrFlags)&flagTwoChoice != 0,
 		gsz: rd(hdrGroupSize),
 	}
-	t.vp.Store(&view{
+	vw := &view{
 		h:    xhash.NewFunc(rd(hdrSeed), cells, l.KeyWords() == 2),
 		h2:   xhash.NewFunc(secondSeed(rd(hdrSeed)), cells, l.KeyWords() == 2),
 		tab1: hashtab.Cells{Mem: mem, L: l, Base: rd(base + 0), N: cells},
 		tab2: hashtab.Cells{Mem: mem, L: l, Base: rd(base + 1), N: cells},
-	})
+	}
 	if t.gsz == 0 || t.gsz&(t.gsz-1) != 0 || t.gsz > cells {
 		return nil, fmt.Errorf("core: corrupt header: group size %d", t.gsz)
 	}
+	if t.fpOn = defaultFpOn(mem, t.gsz); t.fpOn {
+		// The sidecar is derived state: rebuild it from the persistent
+		// cells, exactly as the occupancy index is rebuilt on open.
+		vw.buildFp(l)
+	}
+	t.vp.Store(vw)
 	return t, nil
 }
 

@@ -82,3 +82,16 @@ func Tag(lo, hi uint64, bits uint) uint64 {
 	}
 	return t
 }
+
+// Fingerprint derives a 1-byte tag of the key for the DRAM probe-filter
+// sidecar: the top byte of an independent full-avalanche hash, so it is
+// uncorrelated with any table's index bits (which come from a seeded
+// Hash64/Hash128, not this fixed-salt one) and stays valid across
+// expansions. Never zero — zero is the sidecar's empty-cell marker.
+func Fingerprint(lo, hi uint64) byte {
+	b := byte(Hash128(lo, hi, 0xd1b54a32d192ed03) >> 56)
+	if b == 0 {
+		b = 1
+	}
+	return b
+}

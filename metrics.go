@@ -63,6 +63,12 @@ func (s *Store) RegisterMetrics(r *stats.Registry, prefix string) {
 	r.RegisterFloatCounter(p+"expansion_writer_stall_seconds_total", "",
 		"Total wall time writers spent blocked waiting for expansion room.",
 		func() float64 { return float64(s.ExpansionStallNanos()) * 1e-9 })
+	r.RegisterCounter(p+"fingerprint_hits_total", "",
+		"Cells dereferenced because their fingerprint tag matched the probe key.",
+		func() uint64 { h, _ := s.FingerprintStats(); return h })
+	r.RegisterCounter(p+"fingerprint_skips_total", "",
+		"Cells the fingerprint filter screened out without a persistent-memory read.",
+		func() uint64 { _, sk := s.FingerprintStats(); return sk })
 }
 
 // RegisterSubstrateMetrics exports the memory backend's cost counters

@@ -18,6 +18,12 @@ import (
 //   - Len equals the union of the oracles after every phase;
 //   - a Snapshot → LoadSnapshot round trip preserves exactly the
 //     oracle contents (no losses, no resurrections, no extras);
+//   - CheckConsistency stays clean after every phase and after every
+//     reload — which audits the DRAM fingerprint sidecar cell by cell,
+//     so the filter is proven coherent through concurrent churn, forced
+//     online expansions, snapshot reload and crash recovery;
+//   - a Recover pass on the reloaded store (what a post-crash restart
+//     runs) repairs nothing and leaves the store fully verifiable;
 //   - all of the above holds while online expansions fire mid-stream
 //     (the store starts at a tiny capacity) and under -race.
 func TestConcurrentPropertyOracle(t *testing.T) {
@@ -79,6 +85,14 @@ func TestConcurrentPropertyOracle(t *testing.T) {
 		if seen != total {
 			t.Fatalf("phase %d: Range saw %d items, want %d", phase, seen, total)
 		}
+		// Full invariant audit, including the fingerprint-sidecar-vs-cell
+		// check. CheckConsistency needs the table at rest, and Quiesce
+		// waits out any still-running online expansion first.
+		s.Quiesce(func() {
+			if bad := s.CheckConsistency(); len(bad) != 0 {
+				t.Fatalf("phase %d: inconsistencies: %v", phase, bad)
+			}
+		})
 	}
 
 	dir := t.TempDir()
@@ -177,10 +191,28 @@ func TestConcurrentPropertyOracle(t *testing.T) {
 			t.Fatalf("phase %d: snapshot mark = %d, wrote 0", phase, mark)
 		}
 		verify(reloaded, phase)
+
+		// Crash-recovery leg: a reloaded image is byte-for-byte what a
+		// post-crash restart opens, and restarts always run Recover. The
+		// scan must repair nothing (the image was written quiesced),
+		// must keep the fingerprint sidecar it just rebuilt coherent
+		// (verify re-runs CheckConsistency), and the store must stay
+		// fully serviceable for the next phase.
+		rep, err := reloaded.Recover()
+		if err != nil {
+			t.Fatalf("phase %d: Recover: %v", phase, err)
+		}
+		if rep.CellsCleared != 0 || rep.CountCorrected {
+			t.Fatalf("phase %d: Recover repaired a clean image: %+v", phase, rep)
+		}
+		verify(reloaded, phase)
 		totalExpansions += st.Expansions()
 		st = reloaded
 	}
 	if totalExpansions == 0 {
 		t.Error("no online expansion fired: the property never saw the migration path")
+	}
+	if hits, skips := st.FingerprintStats(); hits == 0 || skips == 0 {
+		t.Errorf("fingerprint filter never exercised: hits=%d skips=%d", hits, skips)
 	}
 }
