@@ -28,30 +28,39 @@ race: torture fuzz-smoke
 
 # torture is the durability gate: the in-process crash-torture test
 # (deterministic kill points: mid-group-commit, mid-rotation,
-# mid-snapshot, mid-replay; torn log tails) under the race detector,
-# plus ghtorture SIGKILLing a real serving process 20 times and
-# auditing every acked write for exactly-once survival.
+# mid-snapshot, mid-replay; torn log tails; legacy and adaptive
+# commit modes) under the race detector, plus ghtorture SIGKILLing a
+# real serving process and auditing every acked write for exactly-once
+# survival — swept across the (T, B) group-commit matrix: synchronous,
+# the 100µs/64KiB default, and a wide 1ms/256KiB window, the latter
+# two with preallocated segments so kills land in zero-filled tails.
 torture:
 	$(GO) test -race -run 'CrashTorture' -count=1 ./internal/server
 	$(GO) run -race ./cmd/ghtorture -cycles 20
+	$(GO) run -race ./cmd/ghtorture -cycles 12 -sync-every 100us -sync-bytes 65536 -prealloc 1048576
+	$(GO) run -race ./cmd/ghtorture -cycles 12 -sync-every 1ms -sync-bytes 262144 -prealloc 1048576
 
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# bench-json regenerates the PR's benchmark numbers: fingerprint-
-# filtered vs unfiltered lookups (probe) and the rehash worker-count
-# sweep including the 10M+-item row (expand), written to
-# BENCH_PR6.json. Earlier PRs' files regenerate the same way
-# (metrics -> BENCH_PR5.json, oplog -> BENCH_PR4.json).
+# bench-json regenerates the PR's benchmark numbers: the acked-write
+# durability-tax sweep (no log / synchronous log / adaptive windows,
+# across pipelining shapes, with ack-latency and batch-RTT quantiles),
+# written to BENCH_PR7.json. Earlier PRs' files regenerate the same
+# way (probe,expand -> BENCH_PR6.json, metrics -> BENCH_PR5.json,
+# oplog at its pre-adaptive shape -> BENCH_PR4.json).
 bench-json:
-	$(GO) run ./cmd/ghbench -exp probe,expand -scale default -json BENCH_PR6.json
+	$(GO) run ./cmd/ghbench -exp oplog -scale default -json BENCH_PR7.json
 
 # The Go-benchmark set bench-baseline/bench-diff track: the substrate
-# microbenchmarks plus the fingerprint-sensitive lookup benchmarks.
-# -count 5 so ghbenchdiff compares means, not single noisy samples.
+# microbenchmarks, the fingerprint-sensitive lookup benchmarks, and
+# the end-to-end acked-write path through the server (no log, legacy
+# synchronous log, adaptive group commit). -count 5 so ghbenchdiff
+# compares means, not single noisy samples.
 BENCH_TRACKED = { \
 	$(GO) test -run XXX -bench 'BenchmarkSubstrate' -benchtime 0.3s -count 5 . && \
-	$(GO) test -run XXX -bench 'BenchmarkLookup(Hit|Miss)' -benchtime 0.3s -count 5 ./internal/core ; }
+	$(GO) test -run XXX -bench 'BenchmarkLookup(Hit|Miss)' -benchtime 0.3s -count 5 ./internal/core && \
+	$(GO) test -run XXX -bench 'BenchmarkAckedWrite' -benchtime 0.3s -count 5 ./internal/server ; }
 
 # bench-baseline refreshes the committed reference numbers in
 # bench_baseline.txt. Rerun it (on the same class of machine) whenever

@@ -1,16 +1,17 @@
 package main
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"net"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
 	"grouphash"
-	"grouphash/internal/client"
 	"grouphash/internal/harness"
 	"grouphash/internal/layout"
 	"grouphash/internal/oplog"
@@ -19,27 +20,110 @@ import (
 )
 
 // The oplog experiment measures what the durability contract costs:
-// acked-write throughput through a real server over loopback TCP, with
-// and without the operation log. Pipelining is the whole story — a
-// batch of writes shares one group-committed fsync, so the log's cost
-// per op shrinks with batch size.
+// acked-write throughput through a real server over loopback TCP,
+// without the operation log, with the legacy synchronous
+// fsync-per-batch log, and with the adaptive group-commit windows the
+// server ships with. Pipelining and the (T, B) window are the whole
+// story — the wider the commit, the more acked writes share one fsync
+// — so each row also reports the fsync count and the ack-latency tail
+// the batching buys that throughput with.
 
-// oplogThroughputRow is one (mode, batch) throughput measurement of
-// pipelined acked writes through the network server.
+// oplogThroughputRow is one (mode, shape) measurement of pipelined
+// acked writes through the network server.
 type oplogThroughputRow struct {
-	Mode     string  `json:"mode"`  // "no-oplog" or "oplog"
+	Mode     string  `json:"mode"`  // "no-oplog", "oplog-sync", "oplog-100us-64KiB", ...
 	Conns    int     `json:"conns"` // concurrent client connections
-	Batch    int     `json:"batch"` // requests per pipelined Do
+	Batch    int     `json:"batch"` // requests per pipelined batch
+	Depth    int     `json:"depth"` // batches in flight per connection
 	Ops      int     `json:"ops"`   // total acked writes
 	WallMs   float64 `json:"wall_ms"`
 	KopsSec  float64 `json:"kops_per_sec"`
 	Slowdown float64 `json:"slowdown_vs_baseline"` // 1.0 for the baseline row
+	Fsyncs   uint64  `json:"fsyncs,omitempty"`     // log fsyncs over the run
+	// Server-side ack latency (request receipt → durable release) and
+	// client-side batch RTT quantiles, microseconds. Ack quantiles are
+	// zero for the no-oplog row: nothing is held for durability there.
+	AckP50Us float64 `json:"ack_p50_us,omitempty"`
+	AckP99Us float64 `json:"ack_p99_us,omitempty"`
+	RTTP50Us float64 `json:"rtt_p50_us"`
+	RTTP99Us float64 `json:"rtt_p99_us"`
+}
+
+// quantileUs picks the q-quantile of sorted per-batch durations, in µs.
+func quantileUs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i].Nanoseconds()) / 1e3
+}
+
+// oplogWorker streams perConn acked writes over one raw connection
+// with up to depth batches in flight — the windowed pipelining the
+// apply/ack decoupling is built for: the server keeps applying (and
+// staging log records) while earlier batches' acks wait for the
+// durable watermark, so one group commit releases a window's worth of
+// work. depth 1 degenerates to the synchronous Do-per-batch client.
+// Per-batch round trips (send start → last response) land in rtts.
+func oplogWorker(addr string, base uint64, perConn, batch, depth int, rtts *[]time.Duration, mu *sync.Mutex) {
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		panic(err)
+	}
+	defer conn.Close()
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	br := bufio.NewReaderSize(conn, 64<<10)
+	batches := perConn / batch
+	sent := make(chan time.Time, depth-1) // buffered sends beyond the one being read
+	done := make(chan error, 1)
+	go func() {
+		mine := make([]time.Duration, 0, batches)
+		for b := 0; b < batches; b++ {
+			t0 := <-sent
+			for j := 0; j < batch; j++ {
+				resp, err := wire.ReadResponse(br)
+				if err != nil {
+					done <- err
+					return
+				}
+				if resp.Status != wire.StatusOK {
+					done <- fmt.Errorf("put status %d", resp.Status)
+					return
+				}
+			}
+			mine = append(mine, time.Since(t0))
+		}
+		mu.Lock()
+		*rtts = append(*rtts, mine...)
+		mu.Unlock()
+		done <- nil
+	}()
+	var buf []byte
+	for b := 0; b < batches; b++ {
+		buf = buf[:0]
+		for j := 0; j < batch; j++ {
+			k := base + uint64(b*batch+j) + 1
+			buf = wire.AppendRequest(buf, wire.Request{Op: wire.OpPut, Key: layout.Key{Lo: k}, Value: k})
+		}
+		sent <- time.Now() // blocks while depth batches are already in flight
+		if _, err := bw.Write(buf); err != nil {
+			panic(err)
+		}
+		if err := bw.Flush(); err != nil {
+			panic(err)
+		}
+	}
+	if err := <-done; err != nil {
+		panic(err)
+	}
 }
 
 // oplogThroughputBench acks `ops` pipelined writes through a freshly
-// started server and returns the wall time. With withLog, every ack is
-// covered by a group-committed fsync of the operation log.
-func oplogThroughputBench(conns, batch, ops int, withLog bool) oplogThroughputRow {
+// started server and returns the wall time plus latency quantiles.
+// With withLog, every ack is covered by the durable watermark of an
+// operation log running under lcfg (the zero Config is the legacy
+// synchronous fsync-per-batch mode).
+func oplogThroughputBench(mode string, conns, batch, depth, ops int, withLog bool, lcfg oplog.Config) oplogThroughputRow {
 	dir, err := os.MkdirTemp("", "ghbench-oplog-*")
 	if err != nil {
 		panic(err)
@@ -50,12 +134,10 @@ func oplogThroughputBench(conns, batch, ops int, withLog bool) oplogThroughputRo
 		panic(err)
 	}
 	var lg *oplog.Log
-	mode := "no-oplog"
 	if withLog {
-		if lg, err = oplog.Open(filepath.Join(dir, "oplog"), 1); err != nil {
+		if lg, err = oplog.OpenConfig(filepath.Join(dir, "oplog"), 1, lcfg); err != nil {
 			panic(err)
 		}
-		mode = "oplog"
 	}
 	srv, err := server.New(server.Config{Store: st, Oplog: lg})
 	if err != nil {
@@ -70,69 +152,89 @@ func oplogThroughputBench(conns, batch, ops int, withLog bool) oplogThroughputRo
 
 	perConn := ops / conns
 	var wg sync.WaitGroup
+	var rttMu sync.Mutex
+	var rtts []time.Duration
 	start := time.Now()
 	for c := 0; c < conns; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			cl, err := client.Dial(ln.Addr().String(), 2*time.Second)
-			if err != nil {
-				panic(err)
-			}
-			defer cl.Close()
-			base := uint64(c+1) << 40
-			reqs := make([]wire.Request, batch)
-			for done := 0; done < perConn; done += batch {
-				for j := range reqs {
-					k := base + uint64(done+j) + 1
-					reqs[j] = wire.Request{Op: wire.OpPut, Key: layout.Key{Lo: k}, Value: k}
-				}
-				resps, err := cl.Do(reqs)
-				if err != nil {
-					panic(err)
-				}
-				for _, r := range resps {
-					if r.Status != wire.StatusOK {
-						panic(fmt.Sprintf("put status %d", r.Status))
-					}
-				}
-			}
+			oplogWorker(ln.Addr().String(), uint64(c+1)<<40, perConn, batch, depth, &rtts, &rttMu)
 		}(c)
 	}
 	wg.Wait()
 	wall := float64(time.Since(start).Nanoseconds()) / 1e6
+	row := oplogThroughputRow{
+		Mode: mode, Conns: conns, Batch: batch, Depth: depth, Ops: conns * perConn,
+		WallMs: wall, KopsSec: float64(conns*perConn) / wall,
+	}
+	if withLog {
+		row.Fsyncs = uint64(lg.Fsyncs())
+		ack := srv.AckLatency()
+		row.AckP50Us = ack.Quantile(0.50) / 1e3
+		row.AckP99Us = ack.Quantile(0.99) / 1e3
+	}
+	sort.Slice(rtts, func(i, j int) bool { return rtts[i] < rtts[j] })
+	row.RTTP50Us = quantileUs(rtts, 0.50)
+	row.RTTP99Us = quantileUs(rtts, 0.99)
 	if err := srv.Drain(); err != nil {
 		panic(err)
 	}
 	<-serveDone
-	total := conns * perConn
-	return oplogThroughputRow{
-		Mode: mode, Conns: conns, Batch: batch, Ops: total,
-		WallMs: wall, KopsSec: float64(total) / wall,
-	}
+	return row
 }
 
-// runOplogExperiment measures acked-write throughput without and with
-// the operation log and folds both rows into the JSON report; the
-// acceptance bar is the logged run staying within 2x of the baseline.
+// runOplogExperiment measures acked-write throughput without the log,
+// with the legacy synchronous log, and with the two shipped adaptive
+// group-commit windows, folding every row (throughput, fsyncs, ack and
+// RTT quantiles) into the JSON report. The acceptance bar is the
+// adaptive default staying within 1.2x of the no-oplog baseline.
 func runOplogExperiment(w io.Writer, scale harness.Scale, report *jsonReport) {
 	ops := scale.Ops
 	if ops > 200_000 {
 		ops = 200_000
 	}
-	if ops < 20_000 {
-		ops = 20_000
+	if ops < 128_000 {
+		ops = 128_000 // short runs drown the slowdown ratio in startup noise
 	}
-	const conns, batch = 4, 64
-	base := oplogThroughputBench(conns, batch, ops, false)
-	base.Slowdown = 1
-	logged := oplogThroughputBench(conns, batch, ops, true)
-	logged.Slowdown = base.KopsSec / logged.KopsSec
 
-	fmt.Fprintf(w, "Acked-write throughput (loopback TCP, %d conns, %d-op pipelined batches):\n", conns, batch)
-	for _, r := range []oplogThroughputRow{base, logged} {
-		fmt.Fprintf(w, "  %-9s %8d ops  %8.1f ms  %8.1f kops/s  slowdown %.2fx\n",
-			r.Mode, r.Ops, r.WallMs, r.KopsSec, r.Slowdown)
+	modes := []struct {
+		name    string
+		withLog bool
+		cfg     oplog.Config
+	}{
+		{"no-oplog", false, oplog.Config{}},
+		{"oplog-sync", true, oplog.Config{}},
+		{"oplog-100us-64KiB", true, oplog.Config{
+			SyncEvery: 100 * time.Microsecond, SyncBytes: 64 << 10, PreallocBytes: 4 << 20}},
+		{"oplog-1ms-256KiB", true, oplog.Config{
+			SyncEvery: time.Millisecond, SyncBytes: 256 << 10, PreallocBytes: 4 << 20}},
 	}
-	report.OplogThroughput = append(report.OplogThroughput, base, logged)
+	shapes := []struct{ conns, batch, depth int }{{4, 64, 1}, {4, 64, 8}, {16, 64, 16}}
+	for _, sh := range shapes {
+		conns, batch, depth := sh.conns, sh.batch, sh.depth
+		fmt.Fprintf(w, "Acked-write throughput (loopback TCP, %d conns, %d-op batches, %d in flight):\n", conns, batch, depth)
+		var baseline float64
+		for _, m := range modes {
+			// Best of five: each cell is a fresh server and a fraction of
+			// a second of wall time, so scheduler and disk noise dominate
+			// a single run; the fastest of five is the honest capability
+			// number.
+			var row oplogThroughputRow
+			for rep := 0; rep < 5; rep++ {
+				r := oplogThroughputBench(m.name, conns, batch, depth, ops, m.withLog, m.cfg)
+				if rep == 0 || r.KopsSec > row.KopsSec {
+					row = r
+				}
+			}
+			if baseline == 0 {
+				baseline = row.KopsSec
+			}
+			row.Slowdown = baseline / row.KopsSec
+			fmt.Fprintf(w, "  %-18s %8d ops  %8.1f ms  %8.1f kops/s  slowdown %.2fx  fsyncs %6d  ack p50/p99 %6.0f/%6.0f µs  rtt p50/p99 %6.0f/%6.0f µs\n",
+				row.Mode, row.Ops, row.WallMs, row.KopsSec, row.Slowdown, row.Fsyncs,
+				row.AckP50Us, row.AckP99Us, row.RTTP50Us, row.RTTP99Us)
+			report.OplogThroughput = append(report.OplogThroughput, row)
+		}
+	}
 }

@@ -12,12 +12,16 @@
 // The tool exits 0 regardless of regressions: it is a reporting aid
 // for `make bench-diff`, and what counts as a regression is for the
 // reader (or the PR discussion) to decide — benchmarks here include
-// wall-clock numbers from shared CI machines.
+// wall-clock numbers from shared CI machines. Rows whose baseline
+// mean is zero (or whose samples are empty/unparseable) print "n/a"
+// instead of a delta: a refreshed baseline must never make the tool
+// divide by zero or crash the diff for every later PR.
 package main
 
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"sort"
@@ -30,6 +34,16 @@ import (
 type sample struct {
 	units map[string][]float64
 	order []string // units in first-seen order
+}
+
+// primaryUnit is the first-seen unit of a sample, or "" when the
+// benchmark line carried no parseable (value, unit) pair at all — a
+// malformed baseline must degrade to an "n/a" row, not an index panic.
+func (s *sample) primaryUnit() string {
+	if s == nil || len(s.order) == 0 {
+		return ""
+	}
+	return s.order[0]
 }
 
 // parseBench reads a `go test -bench` output file: lines shaped
@@ -79,8 +93,12 @@ func parseBench(path string) (map[string]*sample, []string, error) {
 }
 
 // meanSpread reduces a sample set to its mean and max relative
-// deviation from the mean (the ± the report prints).
+// deviation from the mean (the ± the report prints). An empty set
+// yields (0, 0), never NaN.
 func meanSpread(xs []float64) (mean, spreadPct float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
 	for _, x := range xs {
 		mean += x
 	}
@@ -98,15 +116,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: ghbenchdiff old.txt new.txt")
 		os.Exit(2)
 	}
-	old, oldOrder, err := parseBench(os.Args[1])
+	w := bufio.NewWriter(os.Stdout)
+	err := run(os.Args[1], os.Args[2], w)
+	w.Flush()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ghbenchdiff: %v\n", err)
 		os.Exit(1)
 	}
-	cur, curOrder, err := parseBench(os.Args[2])
+}
+
+// run is the whole comparison: parse both files, print the aligned
+// table and per-unit geomeans to w. Split from main so the degenerate
+// baselines (zero means, empty samples) are testable without a
+// subprocess.
+func run(oldPath, newPath string, w io.Writer) error {
+	old, oldOrder, err := parseBench(oldPath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ghbenchdiff: %v\n", err)
-		os.Exit(1)
+		return err
+	}
+	cur, curOrder, err := parseBench(newPath)
+	if err != nil {
+		return err
 	}
 
 	// Old file dictates row order; new-only benchmarks append after.
@@ -117,8 +147,6 @@ func main() {
 		}
 	}
 
-	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
 	fmt.Fprintf(w, "%-52s %16s %16s %9s\n", "name", "old", "new", "delta")
 	byUnit := map[string][]float64{} // per-unit delta ratios for the geomean
 	for _, name := range names {
@@ -126,9 +154,9 @@ func main() {
 		short := strings.TrimPrefix(name, "Benchmark")
 		switch {
 		case c == nil:
-			fmt.Fprintf(w, "%-52s %16s %16s %9s\n", short, fmtMean(o, o.order[0]), "—", "deleted")
+			fmt.Fprintf(w, "%-52s %16s %16s %9s\n", short, fmtMean(o, o.primaryUnit()), "—", "deleted")
 		case o == nil:
-			fmt.Fprintf(w, "%-52s %16s %16s %9s\n", short, "—", fmtMean(c, c.order[0]), "new")
+			fmt.Fprintf(w, "%-52s %16s %16s %9s\n", short, "—", fmtMean(c, c.primaryUnit()), "new")
 		default:
 			for _, unit := range o.order {
 				if _, ok := c.units[unit]; !ok {
@@ -137,11 +165,15 @@ func main() {
 				om, _ := meanSpread(o.units[unit])
 				cm, _ := meanSpread(c.units[unit])
 				label := short
-				if unit != o.order[0] {
+				if unit != o.primaryUnit() {
 					label = short + " [" + unit + "]"
 				}
-				fmt.Fprintf(w, "%-52s %16s %16s %+8.2f%%\n",
-					label, fmtMean(o, unit), fmtMean(c, unit), (cm-om)/math.Max(om, 1e-12)*100)
+				delta := "n/a"
+				if om > 0 {
+					delta = fmt.Sprintf("%+8.2f%%", (cm-om)/om*100)
+				}
+				fmt.Fprintf(w, "%-52s %16s %16s %9s\n",
+					label, fmtMean(o, unit), fmtMean(c, unit), delta)
 				if om > 0 && cm > 0 {
 					byUnit[unit] = append(byUnit[unit], cm/om)
 				}
@@ -162,10 +194,15 @@ func main() {
 		fmt.Fprintf(w, "geomean [%s]  %+.2f%%  (%d benchmarks)\n",
 			u, (math.Exp(logSum/float64(len(ratios)))-1)*100, len(ratios))
 	}
+	return nil
 }
 
-// fmtMean renders one unit of a sample as "mean ±spread% unit".
+// fmtMean renders one unit of a sample as "mean ±spread% unit", or "—"
+// when the sample has no measurements under that unit.
 func fmtMean(s *sample, unit string) string {
+	if s == nil || len(s.units[unit]) == 0 {
+		return "—"
+	}
 	m, sp := meanSpread(s.units[unit])
 	val := strconv.FormatFloat(m, 'g', 5, 64)
 	if sp >= 0.5 {

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, body string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestZeroBaselineMeanIsNA is the regression test for the divide-by-
+// zero crash: a refreshed baseline can legitimately record 0 for a
+// counter-style unit (e.g. 0 allocs/op, 0 fsyncs/op). The diff must
+// render "n/a" for that row's delta, keep the row out of the geomean,
+// and exit cleanly.
+func TestZeroBaselineMeanIsNA(t *testing.T) {
+	oldP := writeTemp(t, "old.txt", `
+BenchmarkAckedWrite/nolog-8   1000  120.0 ns/op  0 allocs/op
+BenchmarkAckedWrite/legacy-8  1000  900.0 ns/op  2 allocs/op
+`)
+	newP := writeTemp(t, "new.txt", `
+BenchmarkAckedWrite/nolog-8   1000  110.0 ns/op  1 allocs/op
+BenchmarkAckedWrite/legacy-8  1000  450.0 ns/op  2 allocs/op
+`)
+	var b strings.Builder
+	if err := run(oldP, newP, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "n/a") {
+		t.Fatalf("zero baseline mean did not render n/a:\n%s", out)
+	}
+	if strings.Contains(out, "Inf") || strings.Contains(out, "NaN") {
+		t.Fatalf("output leaked Inf/NaN:\n%s", out)
+	}
+	if !strings.Contains(out, "-50.00%") {
+		t.Fatalf("healthy row lost its delta:\n%s", out)
+	}
+	// The allocs/op geomean must only count the rows with a non-zero
+	// baseline — one benchmark, not two.
+	if !strings.Contains(out, "geomean [allocs/op]  +0.00%  (1 benchmarks)") {
+		t.Fatalf("geomean included the zero-baseline row:\n%s", out)
+	}
+}
+
+// TestMalformedSampleNoPanic pins the o.order[0] hardening: a baseline
+// row whose measurements never parse (empty unit list) used to panic
+// when the benchmark was later deleted. It must render an em-dash row.
+func TestMalformedSampleNoPanic(t *testing.T) {
+	oldP := writeTemp(t, "old.txt", `
+BenchmarkBroken-8  1000  garbage ns/op
+BenchmarkFine-8    1000  100.0 ns/op
+`)
+	newP := writeTemp(t, "new.txt", `
+BenchmarkFine-8    1000  100.0 ns/op
+`)
+	var b strings.Builder
+	if err := run(oldP, newP, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Broken-8") || !strings.Contains(out, "deleted") {
+		t.Fatalf("malformed deleted row missing:\n%s", out)
+	}
+	if !strings.Contains(out, "+0.00%") {
+		t.Fatalf("healthy row missing:\n%s", out)
+	}
+}
+
+// TestNewAndDeletedRows covers the alignment paths around a baseline
+// refresh: rows only in the old file read "deleted", rows only in the
+// new file read "new", and ordering follows the old file first.
+func TestNewAndDeletedRows(t *testing.T) {
+	oldP := writeTemp(t, "old.txt", "BenchmarkGone-8 100 50.0 ns/op\n")
+	newP := writeTemp(t, "new.txt", "BenchmarkAdded-8 100 75.0 ns/op\n")
+	var b strings.Builder
+	if err := run(oldP, newP, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	gone := strings.Index(out, "Gone-8")
+	added := strings.Index(out, "Added-8")
+	if gone < 0 || added < 0 || gone > added {
+		t.Fatalf("row alignment wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "deleted") || !strings.Contains(out, "new") {
+		t.Fatalf("status columns missing:\n%s", out)
+	}
+}

@@ -10,13 +10,16 @@
 //	    -image /var/lib/gh/store.pmfs -oplog /var/lib/gh/oplog
 //
 // Durability: with -oplog, acked means durable — every mutating
-// request is appended to the operation log and fsynced (one group
-// commit per pipelined batch) before its response is sent, snapshots
-// bound the log's length, and start-up recovery is image + replay:
-// after any crash, power failure included, every acked write is back,
-// exactly once. Without -oplog the server degrades to snapshots only,
-// where a crash loses acked writes since the last image. See
-// DESIGN.md §6.
+// request is appended to the operation log and its response is held
+// until an adaptive group commit (-oplog-sync-every /
+// -oplog-sync-bytes: fsync when the window ages out or enough bytes
+// stage, whichever first) carries its LSN past the durable watermark.
+// Worst-case added ack latency is the window; -oplog-sync-every 0
+// restores the synchronous fsync-per-batch mode. Snapshots bound the
+// log's length, and start-up recovery is image + replay: after any
+// crash, power failure included, every acked write is back, exactly
+// once. Without -oplog the server degrades to snapshots only, where a
+// crash loses acked writes since the last image. See DESIGN.md §6.
 package main
 
 import (
@@ -41,6 +44,9 @@ func main() {
 		group    = flag.Uint64("group-size", 0, "cells per group (0 = the paper's 256)")
 		image    = flag.String("image", "", "pmfs image path: loaded at start if present, snapshot target while serving")
 		logBase  = flag.String("oplog", "", "operation log base path: acked writes are fsynced here before the ack and replayed over the image at start (\"\" = snapshots only; a crash then loses acked writes since the last image)")
+		syncT    = flag.Duration("oplog-sync-every", 100*time.Microsecond, "adaptive group-commit window: acks are released when a batch has aged this long (0 = fsync synchronously per pipelined batch, the pre-adaptive behaviour)")
+		syncB    = flag.Int("oplog-sync-bytes", 64<<10, "close the group-commit window early once this many staged bytes accumulate (0 = timer only; ignored when -oplog-sync-every is 0)")
+		prealloc = flag.Int64("oplog-prealloc", 4<<20, "preallocate (zero-fill) each log segment to this size so steady-state group commits are data-only fdatasyncs (0 = grow on demand)")
 		every    = flag.Duration("snapshot-every", 30*time.Second, "background snapshot period (0 = only the final drain snapshot)")
 		statsDur = flag.Duration("stats-every", 0, "log server stats at this period (0 = off)")
 		metrics  = flag.String("metrics-addr", "", "HTTP listen address serving GET /metrics (Prometheus scrape) and /healthz (readiness; 503 once draining); \"\" = off")
@@ -82,7 +88,11 @@ func main() {
 		} else {
 			log.Printf("oplog %s: nothing to replay past mark %d", *logBase, mark)
 		}
-		if lg, err = oplog.Open(*logBase, next); err != nil {
+		if lg, err = oplog.OpenConfig(*logBase, next, oplog.Config{
+			SyncEvery:     *syncT,
+			SyncBytes:     *syncB,
+			PreallocBytes: *prealloc,
+		}); err != nil {
 			log.Fatalf("opening oplog %s: %v", *logBase, err)
 		}
 	} else if mark != 0 {

@@ -48,10 +48,14 @@ func main() {
 		serve    = flag.Bool("serve", false, "internal: run as the server child process")
 		addrFile = flag.String("addr-file", "", "internal: file the child publishes its address to")
 		seed     = flag.Int64("seed", 1, "kill-timing random seed")
+		syncT    = flag.Duration("sync-every", 0, "child oplog adaptive group-commit window (0 = legacy synchronous fsync per batch)")
+		syncB    = flag.Int("sync-bytes", 0, "child oplog byte trigger: close the commit window early at this many staged bytes")
+		prealloc = flag.Int64("prealloc", 0, "child oplog segment preallocation in bytes (0 = grow on demand)")
 	)
 	flag.Parse()
+	lcfg := oplog.Config{SyncEvery: *syncT, SyncBytes: *syncB, PreallocBytes: *prealloc}
 	if *serve {
-		child(*dir, *addrFile)
+		child(*dir, *addrFile, lcfg)
 		return
 	}
 	log.SetPrefix("ghtorture: ")
@@ -66,7 +70,7 @@ func main() {
 		*dir = d
 		cleanup = true
 	}
-	supervise(*dir, *cycles, *seed)
+	supervise(*dir, *cycles, *seed, lcfg)
 	if cleanup {
 		os.RemoveAll(*dir)
 	}
@@ -75,7 +79,7 @@ func main() {
 // child is the process that gets killed: ghserver's recovery and
 // serving loop, plus an address file so the supervisor can find the
 // kernel-assigned port.
-func child(dir, addrFile string) {
+func child(dir, addrFile string, lcfg oplog.Config) {
 	log.SetPrefix(fmt.Sprintf("child[%d]: ", os.Getpid()))
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
 	img := filepath.Join(dir, "store.pmfs")
@@ -97,7 +101,7 @@ func child(dir, addrFile string) {
 	if err != nil {
 		log.Fatalf("replay: %v", err)
 	}
-	lg, err := oplog.Open(base, next)
+	lg, err := oplog.OpenConfig(base, next, lcfg)
 	if err != nil {
 		log.Fatalf("opening oplog: %v", err)
 	}
@@ -150,14 +154,14 @@ const (
 	tainted               // batch died unacked: absent, or present exactly once
 )
 
-func supervise(dir string, cycles int, seed int64) {
+func supervise(dir string, cycles int, seed int64, lcfg oplog.Config) {
 	rng := rand.New(rand.NewSource(seed))
 	keys := make(map[uint64]kstate)
 	nextKey := uint64(1)
 	start := time.Now()
 
 	for cycle := 0; cycle < cycles; cycle++ {
-		proc, addr := startChild(dir)
+		proc, addr := startChild(dir, lcfg)
 		verify(addr, keys, cycle)
 
 		// Hammer pipelined insert batches until the kill; a batch's
@@ -205,11 +209,11 @@ func supervise(dir string, cycles int, seed int64) {
 
 	// One last recovery audits the final kill, then a clean drain and
 	// one more audit prove the graceful path preserves everything too.
-	proc, addr := startChild(dir)
+	proc, addr := startChild(dir, lcfg)
 	verify(addr, keys, cycles)
 	proc.Signal(syscall.SIGTERM)
 	proc.Wait()
-	proc, addr = startChild(dir)
+	proc, addr = startChild(dir, lcfg)
 	verify(addr, keys, cycles+1)
 	proc.Signal(syscall.SIGTERM)
 	proc.Wait()
@@ -224,11 +228,15 @@ func supervise(dir string, cycles int, seed int64) {
 		cycles, n, time.Since(start).Round(time.Millisecond))
 }
 
-// startChild launches the serve-mode child and waits for its address.
-func startChild(dir string) (*os.Process, string) {
+// startChild launches the serve-mode child with the run's oplog
+// configuration and waits for its address.
+func startChild(dir string, lcfg oplog.Config) (*os.Process, string) {
 	addrFile := filepath.Join(dir, "addr")
 	os.Remove(addrFile)
-	cmd := exec.Command(os.Args[0], "-serve", "-dir", dir, "-addr-file", addrFile)
+	cmd := exec.Command(os.Args[0], "-serve", "-dir", dir, "-addr-file", addrFile,
+		"-sync-every", lcfg.SyncEvery.String(),
+		"-sync-bytes", fmt.Sprint(lcfg.SyncBytes),
+		"-prealloc", fmt.Sprint(lcfg.PreallocBytes))
 	cmd.Stdout = os.Stdout
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {

@@ -258,10 +258,60 @@ func (s *Store) Get(k Key) (uint64, bool) {
 
 // Delete removes k, reporting whether it was present.
 func (s *Store) Delete(k Key) bool {
+	return s.DeleteHook(k, nil)
+}
+
+// PutHook is Put with a commit hook: on success, committed (if
+// non-nil) runs after the store mutation commits but before the
+// write's critical section is released — on a concurrent store, inside
+// the owning stripe's lock. The network server appends the operation
+// to its oplog there, which pairs (apply, append) atomically against
+// SnapshotWriterAt's all-stripes cut: no writer can be applied-but-
+// unlogged or logged-but-unapplied at the moment the snapshot mark is
+// read. The hook must not call back into the store and must be brief.
+func (s *Store) PutHook(k Key, v uint64, committed func()) error {
 	if s.conc != nil {
-		return s.conc.Delete(k)
+		return s.conc.UpsertHook(k, v, committed)
 	}
-	return s.tab.Delete(k)
+	if err := s.Put(k, v); err != nil {
+		return err
+	}
+	// Sequential stores have no internal lock: the caller already owns
+	// exclusivity, so after-apply is inside the critical section.
+	if committed != nil {
+		committed()
+	}
+	return nil
+}
+
+// InsertHook is Insert with a commit hook; see PutHook for the
+// contract.
+func (s *Store) InsertHook(k Key, v uint64, committed func()) error {
+	if s.conc != nil {
+		return s.conc.InsertHook(k, v, committed)
+	}
+	if err := s.tab.Insert(k, v); err != nil {
+		return err
+	}
+	if committed != nil {
+		committed()
+	}
+	return nil
+}
+
+// DeleteHook is Delete with a commit hook; see PutHook for the
+// contract. The hook runs only when the key existed and was removed.
+func (s *Store) DeleteHook(k Key, committed func()) bool {
+	if s.conc != nil {
+		return s.conc.DeleteHook(k, committed)
+	}
+	if !s.tab.Delete(k) {
+		return false
+	}
+	if committed != nil {
+		committed()
+	}
+	return true
 }
 
 // Len returns the number of stored items.
@@ -368,27 +418,53 @@ func (s *Store) Snapshot(path string) error {
 // SnapshotWriter captures a consistent image of the store NOW (under
 // an internal quiesce) and returns a function that later writes it to
 // an image file, crash-safely, recording oplogMark as the image's
-// oplog mark. The split lets the network server take the capture
-// inside its own writer-exclusion window — where the mark and the
-// image are guaranteed to agree — and do the slow file I/O after
-// writers have resumed.
+// oplog mark. Callers that need the mark decided INSIDE the quiesce
+// (the network server) use SnapshotWriterAt instead.
 func (s *Store) SnapshotWriter(oplogMark uint64) (func(path string) error, error) {
+	return s.SnapshotWriterAt(func() (uint64, error) { return oplogMark, nil })
+}
+
+// SnapshotWriterAt captures a consistent image of the store under an
+// internal quiesce, calling cut() with every writer excluded to decide
+// the image's oplog mark; it returns a function that later writes the
+// image to a file, crash-safely. Because mutations run their oplog
+// append inside the write's critical section (PutHook and friends) and
+// cut() runs with all of them held, the mark cut() returns covers
+// exactly the operations the captured image contains — the invariant
+// recovery's "load image, replay LSNs past the mark" depends on. The
+// server's cut reads the log's last LSN and rotates the segment there,
+// so sealed segments and image agree too. cut must not call back into
+// the store; a cut error aborts the capture.
+func (s *Store) SnapshotWriterAt(cut func() (uint64, error)) (func(path string) error, error) {
 	var img []byte
 	var allocated uint64
+	var mark uint64
+	var cutErr error
 	switch m := s.mem.(type) {
 	case *memsim.Memory:
 		s.Quiesce(func() {
+			if mark, cutErr = cut(); cutErr != nil {
+				return
+			}
 			m.CleanShutdown()
 			img, allocated = m.Region().Image(), m.Allocated()
 		})
 	case imager:
-		s.Quiesce(func() { img, allocated = m.Image(), m.Allocated() })
+		s.Quiesce(func() {
+			if mark, cutErr = cut(); cutErr != nil {
+				return
+			}
+			img, allocated = m.Image(), m.Allocated()
+		})
 	default:
 		return nil, fmt.Errorf("grouphash: memory backend %T cannot be snapshotted", s.mem)
 	}
+	if cutErr != nil {
+		return nil, cutErr
+	}
 	root := s.Header()
 	return func(path string) error {
-		return pmfs.SaveImage(path, img, allocated, root, oplogMark)
+		return pmfs.SaveImage(path, img, allocated, root, mark)
 	}, nil
 }
 

@@ -16,14 +16,25 @@
 //
 // # Group commit
 //
-// Appends go to an in-memory buffer and are durable only after Sync.
-// The server calls Sync once per pipelined response flush — the ack
-// point — so one fsync covers a whole batch of operations, amortising
+// Appends go to an in-memory buffer and are durable only after an
+// fsync covers them. Two commit modes share that buffer:
+//
+//   - Legacy (zero Config): the caller drives the fsync. Sync is a
+//     group commit with a leader/waiter fast path: while one caller's
+//     fsync is in flight, later appenders pile into the buffer and the
+//     next Sync covers them all; a caller whose records were covered by
+//     somebody else's fsync returns without touching the disk.
+//   - Adaptive (Config.SyncEvery > 0): a committer goroutine owns the
+//     fsync clock. The first record staged into an empty buffer opens a
+//     commit window; the committer fsyncs when SyncEvery elapses or
+//     SyncBytes accumulate, whichever first, so one fsync amortises
+//     across every connection that appended inside the window — not
+//     just one pipelined batch. Callers park in WaitDurable until the
+//     durable-LSN watermark passes their record.
+//
+// Either way one fsync covers a whole batch of operations, amortising
 // the dominant cost the same way the paper's batched persists amortise
-// clflush traffic. Sync is a group commit: while one caller's fsync is
-// in flight, later appenders pile into the buffer and the next Sync
-// covers them all; a caller whose records were covered by somebody
-// else's fsync returns without touching the disk.
+// clflush traffic.
 //
 // # Crash safety
 //
@@ -98,6 +109,26 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // ErrClosed reports use of a closed log.
 var ErrClosed = errors.New("oplog: log is closed")
 
+// Config tunes the log's commit scheduling and segment allocation. The
+// zero value is the legacy synchronous mode: callers drive every fsync
+// through Sync and segments grow on demand.
+type Config struct {
+	// SyncEvery, when > 0, enables adaptive group commit: a committer
+	// goroutine fsyncs at most SyncEvery after the first record of a
+	// window is staged. It bounds both the added ack latency and the
+	// durability lag of an append nobody is waiting on.
+	SyncEvery time.Duration
+	// SyncBytes, when > 0 in adaptive mode, closes a commit window
+	// early once at least SyncBytes of records are staged, so heavy
+	// pipelines do not queue a full SyncEvery behind the timer.
+	SyncBytes int
+	// PreallocBytes, when > 0, zero-fills each new segment file to this
+	// size at creation so steady-state record flushes never extend the
+	// file and can use a data-only fsync (fdatasync on Linux) instead
+	// of journaling a size update per batch.
+	PreallocBytes int64
+}
+
 // segment is one on-disk log file. Segment i holds LSNs
 // [start_i, start_{i+1}-1]; the last segment is the active one.
 type segment struct {
@@ -115,20 +146,34 @@ type segment struct {
 type Log struct {
 	base string
 	dir  string
+	cfg  Config
 
 	mu      sync.Mutex // buf, lastLSN, active file identity
 	buf     []byte
 	lastLSN uint64
 
-	flushMu sync.Mutex // file writes + fsync + segment swap
-	f       *os.File   // active segment
-	written int64      // bytes written to the active segment
-	synced  int64      // bytes fsynced (crash-survivable prefix)
-	err     error      // sticky I/O failure: nothing acks after it
+	flushMu  sync.Mutex // file writes + fsync + segment swap
+	f        *os.File   // active segment
+	written  int64      // bytes written to the active segment
+	synced   int64      // bytes fsynced (crash-survivable prefix)
+	prealloc int64      // preallocated size of the active segment (0 = none)
+	err      error      // sticky I/O failure: nothing acks after it
 
 	segs    []segment // all live segments, seq order, active last
 	durable atomic.Uint64
 	closed  atomic.Bool
+
+	// Adaptive-mode machinery (nil/unused when cfg.SyncEvery == 0).
+	kick          chan struct{} // a record was staged into an empty buffer
+	kickBytes     chan struct{} // staged bytes crossed cfg.SyncBytes
+	stopc         chan struct{}
+	committerDone chan struct{}
+
+	// WaitDurable parking. waitMu also serialises the sticky waitErr;
+	// flushers broadcast after every durable-watermark advance/failure.
+	waitMu   sync.Mutex
+	waitCond *sync.Cond
+	waitErr  error
 
 	// Observability (zero-value-ready; exported via RegisterMetrics).
 	syncLat   stats.Histogram // fsync syscall latency, nanoseconds
@@ -145,6 +190,18 @@ type Log struct {
 // Tests use it to pin that such a record lands in the new segment
 // under a header start that covers it.
 var testHookRotateAfterDrain func()
+
+// testHookFsyncErr, when non-nil, is consulted before every record
+// fsync; a non-nil return is treated exactly like the fsync syscall
+// failing. Tests use it to prove batch-failure fan-out: every waiter of
+// the failed group commit (and every later one) must see the error.
+var testHookFsyncErr func() error
+
+// SetTestFsyncErr installs (or, with nil, clears) a hook consulted
+// before every record fsync; a non-nil return from the hook is treated
+// exactly like the fsync syscall failing. For crash-injection tests in
+// other packages only — production code must never call it.
+func SetTestFsyncErr(fn func() error) { testHookFsyncErr = fn }
 
 // segPath names segment seq of a log based at base.
 func segPath(base string, seq uint64) string {
@@ -209,18 +266,39 @@ func parseSegHeader(hdr []byte) (start uint64, err error) {
 }
 
 // writeSegHeader creates a new segment file and makes its existence
-// durable (header fsync + directory fsync) before returning it.
-func writeSegHeader(path string, seq, start uint64) (*os.File, error) {
+// durable (header fsync + directory fsync) before returning it. When
+// prealloc > 0 the file is zero-filled to that size first, so later
+// record flushes inside the region never extend the file — a
+// zero-filled tail is recovery-equivalent to a torn tail (a zero
+// record fails both the CRC and the LSN sequence check), so replay
+// stops at the last real record exactly as it does today.
+func writeSegHeader(path string, seq, start uint64, prealloc int64) (*os.File, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("oplog: creating segment: %w", err)
+	}
+	if prealloc > segHeaderLen {
+		// Real zero writes, not Truncate: a sparse hole would still cost
+		// a block-mapping metadata commit on first write into it.
+		zeros := make([]byte, 256<<10)
+		for off := int64(0); off < prealloc; {
+			n := prealloc - off
+			if n > int64(len(zeros)) {
+				n = int64(len(zeros))
+			}
+			if _, err := f.WriteAt(zeros[:n], off); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("oplog: preallocating segment: %w", err)
+			}
+			off += n
+		}
 	}
 	var hdr [segHeaderLen]byte
 	binary.LittleEndian.PutUint64(hdr[0:8], segMagic)
 	binary.LittleEndian.PutUint64(hdr[8:16], seq)
 	binary.LittleEndian.PutUint64(hdr[16:24], start)
 	binary.LittleEndian.PutUint32(hdr[24:28], crc32.Checksum(hdr[:24], crcTable))
-	if _, err := f.Write(hdr[:]); err != nil {
+	if _, err := f.WriteAt(hdr[:], 0); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("oplog: writing segment header: %w", err)
 	}
@@ -249,12 +327,20 @@ func syncDir(dir string) error {
 	return nil
 }
 
-// Open opens the log based at base for appending, starting a fresh
-// segment whose first LSN is nextLSN (callers derive it from Scan and
-// the snapshot's oplog mark: one past the highest LSN known). A fresh
-// segment — never appending to an existing file — means a torn tail
-// left by a crash can never precede new records.
+// Open opens the log based at base for appending with the legacy
+// (caller-driven Sync) configuration. See OpenConfig.
 func Open(base string, nextLSN uint64) (*Log, error) {
+	return OpenConfig(base, nextLSN, Config{})
+}
+
+// OpenConfig opens the log based at base for appending, starting a
+// fresh segment whose first LSN is nextLSN (callers derive it from
+// Scan and the snapshot's oplog mark: one past the highest LSN known).
+// A fresh segment — never appending to an existing file — means a torn
+// tail left by a crash can never precede new records. When
+// cfg.SyncEvery > 0 the returned log runs in adaptive group-commit
+// mode with its own committer goroutine; Close (or Abort) stops it.
+func OpenConfig(base string, nextLSN uint64, cfg Config) (*Log, error) {
 	if nextLSN == 0 {
 		nextLSN = 1
 	}
@@ -267,33 +353,181 @@ func Open(base string, nextLSN uint64) (*Log, error) {
 		seq = segs[n-1].seq + 1
 	}
 	path := segPath(base, seq)
-	f, err := writeSegHeader(path, seq, nextLSN)
+	f, err := writeSegHeader(path, seq, nextLSN, cfg.PreallocBytes)
 	if err != nil {
 		return nil, err
 	}
 	l := &Log{
-		base:    base,
-		dir:     filepath.Dir(base),
-		f:       f,
-		written: segHeaderLen,
-		synced:  segHeaderLen,
-		lastLSN: nextLSN - 1,
-		segs:    append(segs, segment{path: path, seq: seq, start: nextLSN}),
+		base:     base,
+		dir:      filepath.Dir(base),
+		cfg:      cfg,
+		f:        f,
+		written:  segHeaderLen,
+		synced:   segHeaderLen,
+		prealloc: cfg.PreallocBytes,
+		lastLSN:  nextLSN - 1,
+		segs:     append(segs, segment{path: path, seq: seq, start: nextLSN}),
 	}
 	l.durable.Store(nextLSN - 1)
+	l.waitCond = sync.NewCond(&l.waitMu)
+	if l.adaptive() {
+		l.kick = make(chan struct{}, 1)
+		l.kickBytes = make(chan struct{}, 1)
+		l.stopc = make(chan struct{})
+		l.committerDone = make(chan struct{})
+		go l.committer()
+	}
 	return l, nil
 }
 
+// adaptive reports whether the committer goroutine owns the fsync
+// clock.
+func (l *Log) adaptive() bool { return l.cfg.SyncEvery > 0 }
+
 // Append stages one mutation record and returns its LSN. The record is
-// NOT durable until a Sync covering the LSN returns nil — callers must
-// not ack before that.
+// NOT durable until a Sync or WaitDurable covering the LSN returns
+// nil — callers must not ack before that. In adaptive mode an append
+// into an empty buffer opens a commit window (the committer will fsync
+// within cfg.SyncEvery), and crossing cfg.SyncBytes closes the window
+// early.
 func (l *Log) Append(op Op, k layout.Key, v uint64) uint64 {
 	l.mu.Lock()
 	l.lastLSN++
 	lsn := l.lastLSN
+	wasEmpty := len(l.buf) == 0
 	l.buf = appendRecord(l.buf, Record{LSN: lsn, Op: op, Key: k, Value: v})
+	staged := len(l.buf)
 	l.mu.Unlock()
+	if l.adaptive() {
+		// flushLocked grabs the whole buffer under l.mu, so exactly one
+		// appender observes each empty→non-empty transition: every
+		// commit window is opened by exactly one kick. A stale byte-kick
+		// (sent just as the committer drained the buffer) only closes
+		// the next window early — an extra fsync, never a lost one.
+		if wasEmpty {
+			select {
+			case l.kick <- struct{}{}:
+			default:
+			}
+		}
+		if l.cfg.SyncBytes > 0 && staged >= l.cfg.SyncBytes {
+			select {
+			case l.kickBytes <- struct{}{}:
+			default:
+			}
+		}
+	}
 	return lsn
+}
+
+// committer is the adaptive-mode fsync clock: it sleeps until a kick
+// opens a commit window, then flushes when cfg.SyncEvery elapses or
+// the byte trigger fires, whichever first.
+func (l *Log) committer() {
+	defer close(l.committerDone)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		select {
+		case <-l.stopc:
+			return
+		case <-l.kick:
+		}
+		timer.Reset(l.cfg.SyncEvery)
+		select {
+		case <-l.stopc:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			return
+		case <-l.kickBytes:
+			if !timer.Stop() {
+				<-timer.C
+			}
+		case <-timer.C:
+		}
+		l.commit()
+	}
+}
+
+// commit is one committer flush: fsync whatever is pending, ignoring
+// stale kicks. Errors are sticky in l.err and fanned out to waiters by
+// flushLocked; the committer itself just keeps serving windows (every
+// subsequent flush re-fails fast).
+func (l *Log) commit() {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	l.mu.Lock()
+	pending := len(l.buf) > 0 || l.lastLSN > l.durable.Load()
+	l.mu.Unlock()
+	if !pending {
+		return
+	}
+	_, _ = l.flushLocked(true)
+}
+
+// WaitDurable blocks until every record with LSN ≤ upTo is durable, or
+// the log fails or closes. It is the adaptive-mode ack gate: callers
+// park here while the committer batches fsyncs across connections. In
+// legacy mode it degrades to Sync, preserving the caller-driven group
+// commit.
+func (l *Log) WaitDurable(upTo uint64) error {
+	if l.durable.Load() >= upTo {
+		return nil
+	}
+	if !l.adaptive() {
+		return l.Sync(upTo)
+	}
+	if l.closed.Load() {
+		return ErrClosed
+	}
+	l.waitMu.Lock()
+	defer l.waitMu.Unlock()
+	for l.durable.Load() < upTo {
+		if l.waitErr != nil {
+			return l.waitErr
+		}
+		if l.closed.Load() {
+			return ErrClosed
+		}
+		l.waitCond.Wait()
+	}
+	return nil
+}
+
+// notifyWaiters wakes WaitDurable parkers after the durable watermark
+// moved. Taking waitMu (even without shared state to touch) closes the
+// check-then-park race: a waiter that read a stale watermark either
+// parks before we acquire waitMu (and gets this broadcast) or acquires
+// it after us (and re-reads the fresh watermark).
+func (l *Log) notifyWaiters() {
+	l.waitMu.Lock()
+	l.waitCond.Broadcast()
+	l.waitMu.Unlock()
+}
+
+// failWaiters makes err sticky for WaitDurable and wakes every parked
+// waiter so the whole failed batch — and anything racing it — observes
+// the failure instead of hanging on a watermark that will never move.
+func (l *Log) failWaiters(err error) {
+	l.waitMu.Lock()
+	if l.waitErr == nil {
+		l.waitErr = err
+	}
+	l.waitCond.Broadcast()
+	l.waitMu.Unlock()
+}
+
+// fail records err as the log's sticky I/O failure (first error wins)
+// and fans it out to waiters. Caller holds flushMu.
+func (l *Log) fail(err error) error {
+	if l.err == nil {
+		l.err = err
+	}
+	l.failWaiters(l.err)
+	return l.err
 }
 
 // appendRecord encodes r onto buf.
@@ -356,6 +590,9 @@ func (l *Log) Sync(upTo uint64) error {
 // flushMu.
 func (l *Log) flushLocked(fsync bool) (hw uint64, err error) {
 	if l.err != nil {
+		// Re-fan-out so waiters that parked after the original failure
+		// (racing appends of the failed batch's era) still observe it.
+		l.failWaiters(l.err)
 		return 0, l.err
 	}
 	l.mu.Lock()
@@ -364,18 +601,30 @@ func (l *Log) flushLocked(fsync bool) (hw uint64, err error) {
 	hw = l.lastLSN
 	l.mu.Unlock()
 	if len(buf) > 0 {
-		if _, err := l.f.Write(buf); err != nil {
-			l.err = fmt.Errorf("oplog: appending: %w", err)
-			return hw, l.err
+		if _, err := l.f.WriteAt(buf, l.written); err != nil {
+			return hw, l.fail(fmt.Errorf("oplog: appending: %w", err))
 		}
 		l.written += int64(len(buf))
 		l.bytesOut.Add(uint64(len(buf)))
 	}
 	if fsync {
 		start := time.Now()
-		if err := l.f.Sync(); err != nil {
-			l.err = fmt.Errorf("oplog: fsync: %w", err)
-			return hw, l.err
+		if testHookFsyncErr != nil {
+			if err := testHookFsyncErr(); err != nil {
+				return hw, l.fail(fmt.Errorf("oplog: fsync: %w", err))
+			}
+		}
+		// Inside a preallocated region the flush changed no file size or
+		// block mapping, so a data-only sync suffices; past it (or with
+		// no preallocation) fall back to a full fsync.
+		var serr error
+		if l.prealloc > 0 && l.written <= l.prealloc {
+			serr = datasync(l.f)
+		} else {
+			serr = l.f.Sync()
+		}
+		if serr != nil {
+			return hw, l.fail(fmt.Errorf("oplog: fsync: %w", serr))
 		}
 		l.syncLat.Observe(uint64(time.Since(start)))
 		l.fsyncs.Add(1)
@@ -384,6 +633,7 @@ func (l *Log) flushLocked(fsync bool) (hw uint64, err error) {
 		}
 		l.synced = l.written
 		l.durable.Store(hw)
+		l.notifyWaiters()
 	}
 	l.mu.Lock()
 	if l.buf == nil { // recycle the flushed buffer if nobody appended meanwhile
@@ -429,19 +679,23 @@ func (l *Log) Rotate() error {
 	start := hw + 1
 	seq := l.segs[len(l.segs)-1].seq + 1
 	path := segPath(l.base, seq)
-	f, err := writeSegHeader(path, seq, start)
+	f, err := writeSegHeader(path, seq, start, l.cfg.PreallocBytes)
 	if err != nil {
-		l.err = err
-		return err
+		return l.fail(err)
 	}
-	old := l.f
+	old, oldWritten, oldPrealloc := l.f, l.written, l.prealloc
 	l.f = f
 	l.written, l.synced = segHeaderLen, segHeaderLen
+	l.prealloc = l.cfg.PreallocBytes
 	l.segs = append(l.segs, segment{path: path, seq: seq, start: start})
 	l.rotations.Add(1)
+	if oldPrealloc > oldWritten {
+		// Give the sealed segment's unused preallocated tail back to the
+		// filesystem. Best-effort: a leftover zero tail is replay-inert.
+		_ = old.Truncate(oldWritten)
+	}
 	if err := old.Close(); err != nil {
-		l.err = fmt.Errorf("oplog: closing sealed segment: %w", err)
-		return l.err
+		return l.fail(fmt.Errorf("oplog: closing sealed segment: %w", err))
 	}
 	return nil
 }
@@ -505,18 +759,34 @@ func (l *Log) WrittenSize() int64 {
 }
 
 // Close flushes and fsyncs staged records and closes the active
-// segment. The log cannot be used afterwards.
+// segment. The log cannot be used afterwards. In adaptive mode the
+// committer is stopped first (outside flushMu, so an in-flight commit
+// finishes rather than deadlocks), then the final flush covers
+// whatever it had not yet committed, then parked waiters are released:
+// each finds its record durable or the log closed — never a hang.
 func (l *Log) Close() error {
 	if l.closed.Swap(true) {
 		return nil
 	}
+	l.stopCommitter()
 	l.flushMu.Lock()
-	defer l.flushMu.Unlock()
 	_, err := l.flushLocked(true)
 	if cerr := l.f.Close(); err == nil {
 		err = cerr
 	}
+	l.flushMu.Unlock()
+	l.notifyWaiters()
 	return err
+}
+
+// stopCommitter shuts down the adaptive committer goroutine and waits
+// for it to exit. No-op in legacy mode.
+func (l *Log) stopCommitter() {
+	if !l.adaptive() {
+		return
+	}
+	close(l.stopc)
+	<-l.committerDone
 }
 
 // Abort closes the active segment's file descriptor without flushing
@@ -528,9 +798,11 @@ func (l *Log) Abort() {
 	if l.closed.Swap(true) {
 		return
 	}
+	l.stopCommitter()
 	l.flushMu.Lock()
-	defer l.flushMu.Unlock()
 	l.f.Close()
+	l.flushMu.Unlock()
+	l.notifyWaiters() // parked waiters observe closed, not a hang
 }
 
 // Scan replays the log based at base: every valid record with LSN >

@@ -1,0 +1,22 @@
+//go:build linux
+
+package oplog
+
+import (
+	"os"
+	"syscall"
+)
+
+// datasync flushes f's written data without forcing a metadata-only
+// journal commit — fdatasync(2). Safe for the record-flush path only
+// because preallocated segments never change size there: the data
+// blocks (and any size change, which fdatasync does persist) are all
+// an acked record needs to survive.
+func datasync(f *os.File) error {
+	for {
+		err := syscall.Fdatasync(int(f.Fd()))
+		if err != syscall.EINTR {
+			return err
+		}
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package oplog
+
+import "os"
+
+// datasync falls back to a full fsync on platforms without a distinct
+// data-only sync syscall exposed through the stdlib.
+func datasync(f *os.File) error { return f.Sync() }

@@ -1,0 +1,133 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"grouphash"
+	"grouphash/internal/layout"
+	"grouphash/internal/oplog"
+	"grouphash/internal/wire"
+)
+
+// benchAckedWrite measures the end-to-end cost of one acked write
+// through the server over loopback TCP — the durability tax the
+// adaptive group commit is built to cut. The client streams 64-op
+// pipelined batches with 8 in flight, the shape the apply/ack
+// decoupling targets: the reader applies the next burst while the
+// acker waits out the commit window for the previous one.
+func benchAckedWrite(b *testing.B, withLog bool, lcfg oplog.Config) {
+	st, err := grouphash.New(grouphash.Options{Capacity: 1 << 16, Concurrent: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var lg *oplog.Log
+	if withLog {
+		if lg, err = oplog.OpenConfig(filepath.Join(b.TempDir(), "oplog"), 1, lcfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s, err := New(Config{Store: st, Oplog: lg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ln) }()
+	defer func() {
+		if err := s.Drain(); err != nil {
+			b.Fatal(err)
+		}
+		if err := <-serveDone; err != nil {
+			b.Errorf("Serve returned %v", err)
+		}
+	}()
+
+	conn, err := net.DialTimeout("tcp", ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	br := bufio.NewReaderSize(conn, 64<<10)
+
+	const batch, depth = 64, 32
+	total := b.N
+	sem := make(chan struct{}, depth)
+	done := make(chan error, 1)
+	go func() {
+		for consumed := 0; consumed < total; {
+			m := batch
+			if total-consumed < m {
+				m = total - consumed
+			}
+			for j := 0; j < m; j++ {
+				resp, err := wire.ReadResponse(br)
+				if err != nil {
+					done <- err
+					return
+				}
+				if resp.Status != wire.StatusOK {
+					done <- fmt.Errorf("put status %d", resp.Status)
+					return
+				}
+			}
+			consumed += m
+			<-sem
+		}
+		done <- nil
+	}()
+	b.ResetTimer()
+	var buf []byte
+	for sent := 0; sent < total; {
+		n := batch
+		if total-sent < n {
+			n = total - sent
+		}
+		sem <- struct{}{} // window: at most depth batches in flight
+		buf = buf[:0]
+		for j := 0; j < n; j++ {
+			k := uint64(sent+j)%(1<<20) + 1
+			buf = wire.AppendRequest(buf, wire.Request{Op: wire.OpPut, Key: layout.Key{Lo: k}, Value: k})
+		}
+		if _, err := bw.Write(buf); err != nil {
+			b.Fatal(err)
+		}
+		if err := bw.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		sent += n
+	}
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if withLog {
+		b.ReportMetric(float64(lg.Fsyncs())/float64(b.N), "fsyncs/op")
+	}
+}
+
+// BenchmarkAckedWrite compares the acked-write path without a log,
+// with the legacy synchronous fsync-per-batch log, and with the
+// shipped adaptive group-commit window.
+func BenchmarkAckedWrite(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		withLog bool
+		cfg     oplog.Config
+	}{
+		{"nolog", false, oplog.Config{}},
+		{"legacy", true, oplog.Config{}},
+		{"adaptive-100us-64KiB", true, oplog.Config{
+			SyncEvery: 100 * time.Microsecond, SyncBytes: 64 << 10, PreallocBytes: 4 << 20}},
+	} {
+		b.Run(mode.name, func(b *testing.B) { benchAckedWrite(b, mode.withLog, mode.cfg) })
+	}
+}

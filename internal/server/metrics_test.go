@@ -101,6 +101,15 @@ func TestMetricsExposition(t *testing.T) {
 				t.Errorf("%s: %s count = %v, want ≥ 1", src, name, v)
 			}
 		}
+		// Ack latency: every durably acked write contributes one sample
+		// measured from request receipt to durable-watermark release.
+		ack := fams["gh_server_ack_latency_seconds"]
+		if ack == nil || ack.Type != "histogram" {
+			t.Fatalf("%s: gh_server_ack_latency_seconds missing or mistyped", src)
+		}
+		if v := ack.Samples["_count|"]; v < puts {
+			t.Errorf("%s: ack latency count = %v, want ≥ %v", src, v, float64(puts))
+		}
 		if v, ok := fams["gh_oplog_last_lsn"].Sample(""); !ok || v < puts {
 			t.Errorf("%s: gh_oplog_last_lsn = %v (%v), want ≥ %v", src, v, ok, float64(puts))
 		}

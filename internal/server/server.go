@@ -13,11 +13,15 @@
 //
 // Durability contract: snapshot + oplog — acked ⇒ durable. Every
 // mutating request is appended to the operation log (internal/oplog)
-// and the log is fsynced before the response leaves the server, one
-// group-committed fsync per pipelined batch. Periodic snapshots bound
-// the log: each image records the LSN it covers, the log rotates at
-// the capture point, and fully-covered segments are deleted once the
-// image is durable. Recovery is LoadSnapshotMark + Store.ReplayOplog:
+// inside the store's own per-stripe critical section, and its response
+// is released only when the log's durable-LSN watermark passes the
+// record: one group-committed fsync per pipelined batch in legacy
+// mode, or per adaptive commit window (fsync every T µs or B bytes,
+// whichever first, batching across connections) when the log runs
+// adaptively. Periodic snapshots bound the log: each image records the
+// LSN it covers, the log rotates at the capture point (under a
+// full-store quiesce, so mark and image always agree), and
+// fully-covered segments are deleted once the image is durable. Recovery is LoadSnapshotMark + Store.ReplayOplog:
 // after any crash — power failure included — every acked write is
 // present exactly once. Without a Config.Oplog the server degrades to
 // the old cache-with-snapshots mode, where a power failure loses acked
@@ -117,13 +121,14 @@ type Server struct {
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
 
-	// wmu pairs each store mutation with its oplog append: writers
-	// hold it shared around the (apply, append) pair, and the snapshot
-	// path holds it exclusively while it reads the log's high-water
-	// mark and captures the image — so an image with oplog mark M
-	// contains exactly the operations of records 1..M, the invariant
-	// replay-past-the-mark depends on.
-	wmu sync.RWMutex
+	// snapMu serialises snapshot saves (periodic ticker vs final drain).
+	// Writers no longer take any server-global lock: each mutation runs
+	// its oplog append inside the store's own per-stripe critical
+	// section (PutHook and friends), and the snapshot path reads its
+	// oplog mark via SnapshotWriterAt with every stripe held — the same
+	// applied==appended guarantee the old global RWMutex provided,
+	// without a process-wide writer convoy.
+	snapMu sync.Mutex
 
 	handlers   sync.WaitGroup // per-connection goroutines
 	loops      sync.WaitGroup // snapshot ticker goroutine
@@ -148,6 +153,7 @@ type Server struct {
 	// pays two atomic adds per request and registration needs no init.
 	opLat    [wire.OpStats + 1]stats.Histogram
 	snapDur  stats.Histogram // snapshot capture+write duration, ns
+	ackLat   stats.Histogram // write dispatch → durable-watermark release, ns
 	registry *stats.Registry
 }
 
@@ -219,7 +225,15 @@ func (s *Server) registerMetrics(reg *stats.Registry) {
 	}
 	reg.RegisterHistogram(p+"snapshot_duration_seconds", "",
 		"Snapshot duration, capture through durable image write.", 1e-9, &s.snapDur)
+	reg.RegisterHistogram(p+"ack_latency_seconds", "",
+		"Acked-write latency: dispatch of a logged mutation until its response is released by the durable-LSN watermark (includes the group-commit wait).", 1e-9, &s.ackLat)
 }
+
+// AckLatency returns the acked-write latency distribution in
+// nanoseconds: dispatch of a logged mutation until the durable-LSN
+// watermark released its response. Empty without an oplog or with
+// Config.DisableTiming set.
+func (s *Server) AckLatency() *stats.HistSnapshot { return s.ackLat.Snapshot() }
 
 // Registry returns the registry holding the server's (and its store's
 // and oplog's) metrics — mount it at /metrics.
@@ -401,14 +415,17 @@ func (s *Server) snapshotLoop() {
 var errAborted = errors.New("server: aborted mid-snapshot")
 
 // snapshot saves one image. With an oplog the capture runs under the
-// writer-exclusion window (wmu): read the log's high-water mark M,
-// rotate the log, capture the image — all with writers parked — then
+// store's own writer-exclusion window (SnapshotWriterAt quiesces every
+// stripe): read the log's high-water mark M, rotate the log, capture
+// the image — all with writers parked on their stripe locks — then
 // write the image outside the window and finally delete the log
 // segments the image covers. A crash between any two of those durable
 // steps is safe: the rotation alone changes nothing replay-visible,
 // an image that never lands leaves the old image + full log, and a
 // missing truncation leaves covered segments that replay skips by LSN.
 func (s *Server) snapshot(kind string) error {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
 	start := time.Now()
 	if s.cfg.Oplog == nil {
 		if err := s.cfg.Store.Snapshot(s.cfg.SnapshotPath); err != nil {
@@ -419,14 +436,13 @@ func (s *Server) snapshot(kind string) error {
 		s.logf("server: %s snapshot (%d items) in %s", kind, s.cfg.Store.Len(), time.Since(start).Round(time.Millisecond))
 		return nil
 	}
-	s.wmu.Lock()
-	mark := s.cfg.Oplog.LastLSN()
-	err := s.cfg.Oplog.Rotate()
-	var write func(string) error
-	if err == nil {
-		write, err = s.cfg.Store.SnapshotWriter(mark)
-	}
-	s.wmu.Unlock()
+	var mark uint64
+	write, err := s.cfg.Store.SnapshotWriterAt(func() (uint64, error) {
+		// All stripes are held here: no (apply, append) pair is in
+		// flight, so the log's last LSN is exactly the image's content.
+		mark = s.cfg.Oplog.LastLSN()
+		return mark, s.cfg.Oplog.Rotate()
+	})
 	if err != nil {
 		return err
 	}
@@ -450,19 +466,46 @@ func (s *Server) snapshot(kind string) error {
 	return nil
 }
 
-// handle runs one connection: read a frame, serve it, queue the
-// response; flush whenever the input buffer runs dry (the pipelining
-// rule — a batch of k requests costs one flush, a lone request is
-// answered immediately before the next blocking read). Before any
-// flush — the ack point — the oplog is group-commit synced through
-// the connection's highest staged LSN; if that sync fails, the
-// connection is torn down with its responses unflushed, so nothing
-// non-durable is ever acked. The same rule guards the response
-// buffer's capacity: a response that would not fit triggers the
-// sync-then-flush sequence first, so bufio can never auto-flush acks
-// whose log records are not yet durable (a client pipelining
-// thousands of requests without reading would otherwise spill the
-// buffer between the Buffered()==0 sync points).
+// ackChunkCap caps how many applied responses the reader accumulates
+// before handing them to the acker even when the client keeps
+// streaming, and ackQueueChunks bounds the chunks in flight between
+// the two goroutines. A full queue blocks the reader, so a client
+// that streams requests without reading responses holds at most
+// ackQueueChunks×ackChunkCap unreleased acks in memory.
+const (
+	ackChunkCap    = 1024
+	ackQueueChunks = 8
+)
+
+// pendingResp is one applied request parked on the completion queue
+// until the durable-LSN watermark covers it.
+type pendingResp struct {
+	resp  wire.Response
+	lsn   uint64    // oplog LSN the ack must not precede to the wire; 0 = unlogged
+	start time.Time // dispatch time for the ack-latency histogram; zero when untimed
+}
+
+// handle runs one connection as a two-goroutine pipeline. The reader
+// (this goroutine) decodes requests, applies them, and accumulates
+// the responses — each with the oplog LSN its ack must wait for —
+// into a chunk that is pushed onto the per-connection completion
+// queue at the pipelining boundaries: when the input buffer runs dry
+// (the next read would block) or the chunk hits ackChunkCap. Cutting
+// chunks at input-dry points is load-bearing — one client burst
+// becomes one chunk, so the acker parks in WaitDurable once per burst
+// rather than once per response, and a lone request is still released
+// immediately.
+//
+// The acker goroutine releases chunks: one WaitDurable on the chunk's
+// highest LSN (in adaptive mode the committer goroutine owns the
+// fsync clock, and one fsync releases every connection waiting in the
+// window), then write and flush. Decoupling apply from ack is what
+// makes the commit window cheap: the reader keeps applying and
+// staging log records for the NEXT burst while the acker waits out
+// the window for the previous one, so a deep-pipelining client never
+// stalls the store on an fsync. If a wait fails, the connection is
+// torn down with its responses unwritten — nothing non-durable is
+// ever acked.
 func (s *Server) handle(conn net.Conn) {
 	defer func() {
 		s.mu.Lock()
@@ -473,71 +516,123 @@ func (s *Server) handle(conn net.Conn) {
 		s.handlers.Done()
 	}()
 	br := bufio.NewReaderSize(conn, 64<<10)
-	bw := bufio.NewWriterSize(conn, 64<<10)
+	queue := make(chan []pendingResp, ackQueueChunks)
+	ackerDone := make(chan struct{})
+	go s.acker(conn, queue, ackerDone)
 	timing := !s.cfg.DisableTiming
-	var pending uint64 // highest oplog LSN staged on this conn, not yet known durable
-	syncPending := func() bool {
-		if pending == 0 {
-			return true
-		}
-		if err := s.cfg.Oplog.Sync(pending); err != nil {
-			s.logf("server: oplog sync failed, closing connection unacked: %v", err)
-			s.oplogFailure(err)
-			return false
-		}
-		pending = 0
-		return true
-	}
+	chunk := make([]pendingResp, 0, 64)
 	for {
-		if br.Buffered() == 0 {
-			if !syncPending() {
-				return
-			}
-			if err := bw.Flush(); err != nil {
-				return
-			}
-		}
 		req, err := wire.ReadRequest(br)
 		if err != nil {
-			// Clean close, drain deadline, or protocol garbage: flush
-			// whatever was answered (those become acked, so their log
-			// records must be durable first) and hang up.
-			if syncPending() {
-				bw.Flush()
+			// Clean close, drain deadline, or protocol garbage: the
+			// acker releases everything already applied (those become
+			// acked, so their log records must be durable first), then
+			// the connection hangs up.
+			if len(chunk) > 0 {
+				queue <- chunk
 			}
+			close(queue)
+			<-ackerDone
 			return
 		}
-		var resp wire.Response
-		var lsn uint64
+		var pr pendingResp
 		if timing {
 			start := time.Now()
-			resp, lsn = s.dispatch(req)
+			pr.resp, pr.lsn = s.dispatch(req)
 			op := int(req.Op)
 			if op >= len(s.opLat) {
 				op = 0
 			}
 			s.opLat[op].Observe(uint64(time.Since(start)))
 			s.bytesRead.Add(4 + wire.ReqBodyLen)
-			s.bytesWritten.Add(uint64(4 + wire.RespFixedLen + len(resp.Extra)))
+			s.bytesWritten.Add(uint64(4 + wire.RespFixedLen + len(pr.resp.Extra)))
+			if pr.lsn > 0 {
+				pr.start = start
+			}
 		} else {
-			resp, lsn = s.dispatch(req)
+			pr.resp, pr.lsn = s.dispatch(req)
 		}
-		if lsn > pending {
-			pending = lsn
+		chunk = append(chunk, pr)
+		if br.Buffered() == 0 || len(chunk) >= ackChunkCap {
+			queue <- chunk // ownership moves to the acker
+			chunk = make([]pendingResp, 0, 64)
 		}
-		// Never let bufio flush on its own: if this frame would
-		// overflow the buffer, everything buffered (and this response's
-		// own record — pending covers it) must be durable before any
-		// ack byte reaches the wire.
-		if frame := 4 + wire.RespFixedLen + len(resp.Extra); bw.Available() < frame {
-			if !syncPending() {
+	}
+}
+
+// acker is a connection's release half: it drains completion-queue
+// chunks in arrival order, holds each (merged with any chunks already
+// queued behind it) until the log's durable watermark passes its
+// highest LSN, then writes the responses and records their ack
+// latency. Responses reach bw only after their covering WaitDurable,
+// so bufio can never auto-flush an ack whose record is still
+// volatile. On a wait or write failure it closes the connection with
+// the batch unacked and keeps consuming the queue so the reader can
+// exit.
+func (s *Server) acker(conn net.Conn, queue <-chan []pendingResp, done chan<- struct{}) {
+	defer close(done)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	discard := func() {
+		conn.Close()
+		for range queue { // unblock the reader until it closes the queue
+		}
+	}
+	var held [][]pendingResp
+	for {
+		first, ok := <-queue
+		if !ok {
+			bw.Flush()
+			return
+		}
+		held = append(held[:0], first)
+		open := true
+	gather:
+		for {
+			select {
+			case more, ok := <-queue:
+				if !ok {
+					open = false
+					break gather
+				}
+				held = append(held, more)
+			default:
+				break gather
+			}
+		}
+		var hi uint64
+		for _, c := range held {
+			for _, p := range c {
+				if p.lsn > hi {
+					hi = p.lsn
+				}
+			}
+		}
+		if hi > 0 {
+			if err := s.cfg.Oplog.WaitDurable(hi); err != nil {
+				s.logf("server: oplog wait failed, closing connection unacked: %v", err)
+				s.oplogFailure(err)
+				discard()
 				return
 			}
-			if err := bw.Flush(); err != nil {
-				return
+		}
+		now := time.Now()
+		for _, c := range held {
+			for _, p := range c {
+				if !p.start.IsZero() {
+					s.ackLat.Observe(uint64(now.Sub(p.start)))
+				}
+				if err := wire.WriteResponse(bw, p.resp); err != nil {
+					discard()
+					return
+				}
 			}
 		}
-		if err := wire.WriteResponse(bw, resp); err != nil {
+		if !open {
+			bw.Flush()
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			discard()
 			return
 		}
 	}
@@ -583,35 +678,44 @@ func (s *Server) dispatch(req wire.Request) (wire.Response, uint64) {
 // applyWrite runs one mutating request: refused outright once a drain
 // has begun (the final image's contents are already decided) or the
 // oplog has suffered a sticky failure (the mutation could never be
-// acked), else applied to the store and appended to the oplog as an
-// atomic pair
-// under the shared side of wmu. Only successful mutations are logged —
-// a refused or failed operation must not reappear at replay.
+// acked), else applied to the store with the oplog append running as a
+// commit hook INSIDE the store's own critical section — on a
+// concurrent store, the owning stripe's lock. That pairs (apply,
+// append) atomically against the snapshot cut without any server-wide
+// lock. Only successful mutations are logged — a refused or failed
+// operation must not reappear at replay.
+//
+// The draining check racing Drain is safe without re-checking under
+// the lock: Drain flips the flag, then waits for every handler
+// goroutine to exit before cutting the final image, so a write that
+// slipped past the check completes its (apply, append) pair AND its
+// durable ack (or is discarded unacked) strictly before the final
+// snapshot's cut observes the log — acked ⇒ in the image, refused ⇒
+// absent, no third outcome. TestDrainStraddleDurability pins this.
 func (s *Server) applyWrite(op oplog.Op, req wire.Request) (wire.Response, uint64) {
 	if s.draining.Load() || s.oplogDead.Load() {
 		s.drainRejects.Inc()
 		return wire.Response{Status: wire.StatusDraining}, 0
 	}
 	st := s.cfg.Store
-	s.wmu.RLock()
-	defer s.wmu.RUnlock()
+	var lsn uint64
+	var hook func()
+	if s.cfg.Oplog != nil {
+		hook = func() { lsn = s.cfg.Oplog.Append(op, req.Key, req.Value) }
+	}
 	switch op {
 	case oplog.OpPut:
-		if err := st.Put(req.Key, req.Value); err != nil {
+		if err := st.PutHook(req.Key, req.Value, hook); err != nil {
 			return s.errResponse(err), 0
 		}
 	case oplog.OpInsert:
-		if err := st.Insert(req.Key, req.Value); err != nil {
+		if err := st.InsertHook(req.Key, req.Value, hook); err != nil {
 			return s.errResponse(err), 0
 		}
 	case oplog.OpDelete:
-		if !st.Delete(req.Key) {
+		if !st.DeleteHook(req.Key, hook) {
 			return wire.Response{Status: wire.StatusNotFound}, 0
 		}
-	}
-	var lsn uint64
-	if s.cfg.Oplog != nil {
-		lsn = s.cfg.Oplog.Append(op, req.Key, req.Value)
 	}
 	return wire.Response{Status: wire.StatusOK}, lsn
 }

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"net"
 	"path/filepath"
+	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -486,7 +488,19 @@ func TestDrainRefusesBufferedWrites(t *testing.T) {
 // at every ack the client observes, that the oplog's durable LSN has
 // already passed it.
 func TestPipelinedSpillNeverAcksUnsynced(t *testing.T) {
-	lg, err := oplog.Open(filepath.Join(t.TempDir(), "oplog"), 1)
+	for _, mode := range []struct {
+		name string
+		cfg  oplog.Config
+	}{
+		{"legacy", oplog.Config{}},
+		{"adaptive", oplog.Config{SyncEvery: 100 * time.Microsecond, SyncBytes: 8 << 10}},
+	} {
+		t.Run(mode.name, func(t *testing.T) { pipelinedSpill(t, mode.cfg) })
+	}
+}
+
+func pipelinedSpill(t *testing.T, lcfg oplog.Config) {
+	lg, err := oplog.OpenConfig(filepath.Join(t.TempDir(), "oplog"), 1, lcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -620,4 +634,249 @@ func TestConnsActiveNeverUnderflows(t *testing.T) {
 	if got := s.Stats().ConnsAccepted; got < dialers*perDialer {
 		t.Fatalf("ConnsAccepted = %d, want at least %d", got, dialers*perDialer)
 	}
+}
+
+// TestGroupCommitFailureFanOutServer drives the batch-failure contract
+// end to end: an injected fsync failure mid-load must tear down every
+// connection whose batch it covered WITHOUT acking any member, flip the
+// server into its self-drain exactly once, and leave a log whose
+// guaranteed-durable prefix (everything up to SyncedSize — what a
+// power failure preserves) still contains every write that WAS acked.
+func TestGroupCommitFailureFanOutServer(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "oplog")
+	lg, err := oplog.OpenConfig(base, 1, oplog.Config{SyncEvery: 100 * time.Microsecond, SyncBytes: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var armed atomic.Bool
+	boom := errors.New("injected fsync failure")
+	oplog.SetTestFsyncErr(func() error {
+		if armed.Load() {
+			return boom
+		}
+		return nil
+	})
+	defer oplog.SetTestFsyncErr(nil)
+
+	st, err := grouphash.New(grouphash.Options{Capacity: 1 << 14, Concurrent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Store: st, Oplog: lg, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ln) }()
+
+	const workers = 4
+	acked := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := client.Dial(ln.Addr().String(), time.Second)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			base := uint64(w+1) << 32
+			for i := uint64(0); ; i += 16 {
+				reqs := make([]wire.Request, 16)
+				for j := range reqs {
+					k := base + i + uint64(j) + 1
+					reqs[j] = wire.Request{Op: wire.OpPut, Key: layout.Key{Lo: k}, Value: k}
+				}
+				resps, err := c.Do(reqs)
+				if err != nil {
+					return // torn down unacked: the failed batch's fate
+				}
+				for j, r := range resps {
+					switch r.Status {
+					case wire.StatusOK:
+						acked[w] = append(acked[w], reqs[j].Key.Lo)
+					case wire.StatusDraining:
+						return
+					default:
+						t.Errorf("status %d", r.Status)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	time.Sleep(20 * time.Millisecond)
+	armed.Store(true)
+	wg.Wait()
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not self-drain after the fsync failure")
+	}
+	s.Drain() // join the self-drain; its error is the injected failure
+
+	// Power-failure semantics: only the fsynced prefix is guaranteed.
+	// Truncate the (now closed) active segment there and replay — every
+	// acked write must still be present; if any member of the failed
+	// batch had been acked, it would be missing now.
+	synced, path := lg.SyncedSize(), lg.ActivePath()
+	if err := os.Truncate(path, synced); err != nil {
+		t.Fatal(err)
+	}
+	oplog.SetTestFsyncErr(nil)
+	onDisk := make(map[uint64]bool)
+	if _, _, err := oplog.Scan(base, 0, func(r oplog.Record) error {
+		onDisk[r.Key.Lo] = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for w := range acked {
+		total += len(acked[w])
+		for _, k := range acked[w] {
+			if !onDisk[k] {
+				t.Fatalf("key %#x was acked OK but is not in the guaranteed-durable log prefix", k)
+			}
+		}
+	}
+	t.Logf("%d acked writes, all inside the durable prefix", total)
+}
+
+// TestDrainStraddleDurability is the oplog-enabled drain/apply race
+// test: pipelined writers hammer an adaptively-committed server while
+// Drain flips the draining flag under them, so some batches straddle
+// the cut (part acked, part refused StatusDraining). applyWrite checks
+// the flag BEFORE the stripe-locked (apply, append) pair; this test
+// pins the ordering argument that makes that safe — Drain waits for
+// every handler before cutting the final image, so acked ⇒ in the
+// image, refused ⇒ absent, and the post-image log replays nothing.
+func TestDrainStraddleDurability(t *testing.T) {
+	attempt := func(t *testing.T) bool {
+		dir := t.TempDir()
+		img := filepath.Join(dir, "store.pmfs")
+		logBase := filepath.Join(dir, "oplog")
+		lg, err := oplog.OpenConfig(logBase, 1, oplog.Config{SyncEvery: 200 * time.Microsecond, SyncBytes: 64 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := grouphash.New(grouphash.Options{Capacity: 1 << 14, Concurrent: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(Config{Store: st, SnapshotPath: img, Oplog: lg, Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		serveDone := make(chan error, 1)
+		go func() { serveDone <- s.Serve(ln) }()
+
+		const workers = 4
+		const batch = 128
+		type outcome struct{ acked, refused []uint64 }
+		outs := make([]outcome, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				c, err := client.Dial(ln.Addr().String(), time.Second)
+				if err != nil {
+					t.Errorf("dial: %v", err)
+					return
+				}
+				defer c.Close()
+				base := uint64(w+1) << 32
+				for i := uint64(0); ; i += batch {
+					reqs := make([]wire.Request, batch)
+					for j := range reqs {
+						k := base + i + uint64(j) + 1
+						reqs[j] = wire.Request{Op: wire.OpPut, Key: layout.Key{Lo: k}, Value: k}
+					}
+					resps, err := c.Do(reqs)
+					if err != nil {
+						return
+					}
+					for j, r := range resps {
+						k := reqs[j].Key.Lo
+						switch r.Status {
+						case wire.StatusOK:
+							outs[w].acked = append(outs[w].acked, k)
+						case wire.StatusDraining:
+							outs[w].refused = append(outs[w].refused, k)
+						default:
+							t.Errorf("unexpected status %d", r.Status)
+						}
+					}
+					if len(outs[w].refused) > 0 {
+						return
+					}
+				}
+			}(w)
+		}
+		time.Sleep(20 * time.Millisecond)
+		if err := s.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		if err := <-serveDone; err != nil {
+			t.Fatalf("Serve returned %v", err)
+		}
+
+		// Full recovery: image + replay past its mark. The drain's final
+		// snapshot must already cover every acked write (replay finds
+		// nothing), contain no refused one, and the count must match.
+		re, mark, err := grouphash.LoadSnapshotMark(img, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed, _, err := re.ReplayOplog(logBase, mark)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if replayed != 0 {
+			t.Fatalf("replayed %d records past the final image's mark %d — the drain snapshot missed acked writes", replayed, mark)
+		}
+		var straddled bool
+		var ackedTotal uint64
+		for w := range outs {
+			if len(outs[w].acked) > 0 && len(outs[w].refused) > 0 {
+				straddled = true
+			}
+			ackedTotal += uint64(len(outs[w].acked))
+			for _, k := range outs[w].acked {
+				if v, ok := re.Get(layout.Key{Lo: k}); !ok || v != k {
+					t.Fatalf("acked key %#x = (%d, %v) after recovery", k, v, ok)
+				}
+			}
+			for _, k := range outs[w].refused {
+				if _, ok := re.Get(layout.Key{Lo: k}); ok {
+					t.Fatalf("key %#x answered StatusDraining yet present after recovery", k)
+				}
+			}
+		}
+		if got := re.Len(); got != ackedTotal {
+			t.Fatalf("recovered Len = %d, want %d acked keys", got, ackedTotal)
+		}
+		return straddled
+	}
+	for try := 0; try < 20; try++ {
+		if attempt(t) {
+			return
+		}
+	}
+	t.Fatal("no pipelined batch straddled the drain in 20 attempts")
 }

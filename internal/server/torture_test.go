@@ -43,7 +43,28 @@ import (
 // than the one sent). Exactly-once is proven by Len(): every present
 // key is accounted for individually, so a double-applied insert would
 // make Len exceed the count.
+//
+// The whole gauntlet runs once per oplog commit configuration: the
+// legacy caller-driven Sync mode and two adaptive (SyncEvery,
+// SyncBytes) windows — the durability contract must be identical no
+// matter who owns the fsync clock. The adaptive legs preallocate
+// segments, so the torn-tail logic also runs against zero-filled
+// files.
 func TestCrashTorture(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		cycles int
+		cfg    oplog.Config
+	}{
+		{"legacy", 24, oplog.Config{}},
+		{"adaptive-100us-64KiB", 16, oplog.Config{SyncEvery: 100 * time.Microsecond, SyncBytes: 64 << 10, PreallocBytes: 1 << 20}},
+		{"adaptive-1ms-256KiB", 16, oplog.Config{SyncEvery: time.Millisecond, SyncBytes: 256 << 10, PreallocBytes: 1 << 20}},
+	} {
+		t.Run(tc.name, func(t *testing.T) { crashTorture(t, tc.cycles, tc.cfg) })
+	}
+}
+
+func crashTorture(t *testing.T, cycles int, lcfg oplog.Config) {
 	dir := t.TempDir()
 	img := filepath.Join(dir, "store.pmfs")
 	base := filepath.Join(dir, "oplog")
@@ -54,9 +75,8 @@ func TestCrashTorture(t *testing.T) {
 		ws[i] = newTortureWorker(uint64(i))
 	}
 
-	const cycles = 24
 	for cycle := 0; cycle < cycles; cycle++ {
-		st, lg := recoverStore(t, img, base, cycle%2 == 1)
+		st, lg := recoverStore(t, img, base, cycle%2 == 1, lcfg)
 		verifyModel(t, st, ws, cycle)
 
 		s, err := New(Config{Store: st, SnapshotPath: img, Oplog: lg, Logf: t.Logf})
@@ -88,16 +108,16 @@ func TestCrashTorture(t *testing.T) {
 
 		// Replicate server.snapshot's durable steps up to the cycle's
 		// crash point, while the writers are still hammering — then
-		// pull the plug.
+		// pull the plug. The mark is read and the log rotated inside
+		// SnapshotWriterAt's all-stripes cut, exactly as the server
+		// does; stage 1 captures but never writes the image, so its
+		// on-disk state is "rotated, no image".
 		if stage := cycle % 4; stage >= 1 {
-			s.wmu.Lock()
-			mark := lg.LastLSN()
-			err := lg.Rotate()
-			var write func(string) error
-			if err == nil && stage >= 2 {
-				write, err = st.SnapshotWriter(mark)
-			}
-			s.wmu.Unlock()
+			var mark uint64
+			write, err := st.SnapshotWriterAt(func() (uint64, error) {
+				mark = lg.LastLSN()
+				return mark, lg.Rotate()
+			})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -126,7 +146,7 @@ func TestCrashTorture(t *testing.T) {
 		}
 	}
 
-	st, lg := recoverStore(t, img, base, true)
+	st, lg := recoverStore(t, img, base, true, lcfg)
 	verifyModel(t, st, ws, cycles)
 	if err := lg.Close(); err != nil {
 		t.Fatal(err)
@@ -139,7 +159,7 @@ func TestCrashTorture(t *testing.T) {
 // replay: a prefix of the log is applied to a throwaway store that is
 // then abandoned — replay writes nothing, so the real recovery that
 // follows must be unaffected.
-func recoverStore(t *testing.T, img, base string, doomed bool) (*grouphash.Store, *oplog.Log) {
+func recoverStore(t *testing.T, img, base string, doomed bool, lcfg oplog.Config) (*grouphash.Store, *oplog.Log) {
 	t.Helper()
 	load := func() (*grouphash.Store, uint64) {
 		if _, err := os.Stat(img); err == nil {
@@ -189,7 +209,7 @@ func recoverStore(t *testing.T, img, base string, doomed bool) (*grouphash.Store
 	if err != nil {
 		t.Fatalf("replay: %v", err)
 	}
-	lg, err := oplog.Open(base, next)
+	lg, err := oplog.OpenConfig(base, next, lcfg)
 	if err != nil {
 		t.Fatalf("reopening oplog: %v", err)
 	}
