@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-json bench-baseline bench-diff race torture fuzz fuzz-smoke cover serve-smoke figures figures-paper examples clean
+.PHONY: all build test vet bench bench-json bench-baseline bench-diff bench-allocs race torture fuzz fuzz-smoke cover serve-smoke figures figures-paper examples clean
 
 all: build vet test
 
@@ -43,24 +43,28 @@ torture:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# bench-json regenerates the PR's benchmark numbers: the acked-write
-# durability-tax sweep (no log / synchronous log / adaptive windows,
-# across pipelining shapes, with ack-latency and batch-RTT quantiles),
-# written to BENCH_PR7.json. Earlier PRs' files regenerate the same
-# way (probe,expand -> BENCH_PR6.json, metrics -> BENCH_PR5.json,
-# oplog at its pre-adaptive shape -> BENCH_PR4.json).
+# bench-json regenerates the PR's benchmark numbers: the end-to-end
+# batching sweep (single-op pipelined with and without transparent
+# coalescing vs explicit OpBatch frames of 1/8/64/256, with allocation
+# and write-amplification counters per row), written to BENCH_PR8.json.
+# Earlier PRs' files regenerate the same way (oplog -> BENCH_PR7.json,
+# probe,expand -> BENCH_PR6.json, metrics -> BENCH_PR5.json, oplog at
+# its pre-adaptive shape -> BENCH_PR4.json).
 bench-json:
-	$(GO) run ./cmd/ghbench -exp oplog -scale default -json BENCH_PR7.json
+	$(GO) run ./cmd/ghbench -exp batch -scale default -json BENCH_PR8.json
 
 # The Go-benchmark set bench-baseline/bench-diff track: the substrate
-# microbenchmarks, the fingerprint-sensitive lookup benchmarks, and
-# the end-to-end acked-write path through the server (no log, legacy
-# synchronous log, adaptive group commit). -count 5 so ghbenchdiff
-# compares means, not single noisy samples.
+# microbenchmarks, the fingerprint-sensitive lookup benchmarks, the
+# allocation-pinned wire codecs, and the end-to-end acked-write path
+# through the server (no log, legacy synchronous log, adaptive group
+# commit) plus the batch-frame serving loop. -count 5 so ghbenchdiff
+# compares means, not single noisy samples; -benchmem so allocs/op is
+# tracked alongside ns/op.
 BENCH_TRACKED = { \
-	$(GO) test -run XXX -bench 'BenchmarkSubstrate' -benchtime 0.3s -count 5 . && \
-	$(GO) test -run XXX -bench 'BenchmarkLookup(Hit|Miss)' -benchtime 0.3s -count 5 ./internal/core && \
-	$(GO) test -run XXX -bench 'BenchmarkAckedWrite' -benchtime 0.3s -count 5 ./internal/server ; }
+	$(GO) test -run XXX -bench 'BenchmarkSubstrate' -benchtime 0.3s -benchmem -count 5 . && \
+	$(GO) test -run XXX -bench 'BenchmarkLookup(Hit|Miss)' -benchtime 0.3s -benchmem -count 5 ./internal/core && \
+	$(GO) test -run XXX -bench 'Benchmark(ReadResponseFixed|WriteResponseFixed|WriteBatchResponses|RequestReaderBatch)' -benchtime 0.3s -benchmem -count 5 ./internal/wire && \
+	$(GO) test -run XXX -bench 'Benchmark(AckedWrite|ServeBatchPipeline)' -benchtime 0.3s -benchmem -count 5 ./internal/server ; }
 
 # bench-baseline refreshes the committed reference numbers in
 # bench_baseline.txt. Rerun it (on the same class of machine) whenever
@@ -76,6 +80,17 @@ bench-baseline:
 bench-diff:
 	$(BENCH_TRACKED) > /tmp/ghbench_current.txt
 	$(GO) run ./cmd/ghbenchdiff bench_baseline.txt /tmp/ghbench_current.txt
+
+# bench-allocs is the zero-allocation gate for the steady-state serving
+# loop: the wire codec benchmarks and the end-to-end batch-frame server
+# benchmark must stay at (exactly) the ceilings committed in
+# bench_allocs_floors.txt — allocs/op is deterministic, so unlike
+# bench-diff this one fails the build on regression.
+bench-allocs:
+	{ \
+	$(GO) test -run XXX -bench 'Benchmark(ReadResponseFixed|WriteResponseFixed|WriteBatchResponses|RequestReaderBatch)' -benchtime 0.3s -benchmem -count 3 ./internal/wire && \
+	$(GO) test -run XXX -bench 'BenchmarkServeBatchPipeline' -benchtime 0.3s -benchmem -count 3 ./internal/server ; } > /tmp/ghbench_allocs.txt
+	$(GO) run ./cmd/ghbenchdiff -gate bench_allocs_floors.txt /tmp/ghbench_allocs.txt
 
 # Substrate microbenchmarks: dirty-word tracker (paged vs legacy map),
 # cache hit path, memsim stack, and the fixed trace replay.

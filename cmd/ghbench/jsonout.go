@@ -56,6 +56,10 @@ type jsonReport struct {
 	// Observability cost: acked-write throughput with per-request
 	// instrumentation off and on. See cmd/ghbench/metrics.go.
 	MetricsOverhead []metricsOverheadRow `json:"metrics_overhead,omitempty"`
+	// End-to-end batching: single-pipelined frames (server-coalesced)
+	// vs explicit OpBatch frames across batch sizes, with allocation
+	// and write-amplification counters. See cmd/ghbench/batch.go.
+	BatchThroughput []batchRow `json:"batch_throughput,omitempty"`
 }
 
 // addLatency flattens LatencyResult rows (insert/query/delete phases)

@@ -31,7 +31,7 @@ import (
 func traceRandomNum(seed int64) trace.Trace { return trace.NewRandomNum(seed) }
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: all, fig2, fig5, fig6, fig7, fig8, table3, wear, ycsb, excluded, curve, repeat, expand, probe, oplog, metrics")
+	exp := flag.String("exp", "all", "comma-separated experiments: all, fig2, fig5, fig6, fig7, fig8, table3, wear, ycsb, excluded, curve, repeat, expand, probe, oplog, metrics, batch")
 	scaleName := flag.String("scale", "default", "experiment scale: test, default, paper")
 	csvDir := flag.String("csv", "", "also write each experiment's data as CSV into this directory")
 	plotOut := flag.Bool("plot", false, "render figures additionally as terminal bar charts")
@@ -254,6 +254,24 @@ func main() {
 				}
 				for _, r := range report.MetricsOverhead {
 					if _, err := fmt.Fprintf(f, "%s,%d,%d,%d,%.3f,%.3f,%.3f\n", r.Mode, r.Conns, r.Batch, r.Ops, r.WallMs, r.KopsSec, r.Overhead); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+	}
+	if want("batch") {
+		timed("batch", func() {
+			runBatchExperiment(w, scale, &report)
+			writeCSV("batch.csv", func(f *os.File) error {
+				if _, err := fmt.Fprintln(f, "workload,shape,batch,conns,ops,wall_ms,kops_per_sec,speedup,allocs_per_op,oplog_appends_per_kop,count_persists_per_kop"); err != nil {
+					return err
+				}
+				for _, r := range report.BatchThroughput {
+					if _, err := fmt.Fprintf(f, "%s,%s,%d,%d,%d,%.3f,%.3f,%.3f,%.4f,%.3f,%.3f\n",
+						r.Workload, r.Shape, r.Batch, r.Conns, r.Ops, r.WallMs, r.KopsSec, r.Speedup,
+						r.AllocsPerOp, r.OplogAppendsPerKop, r.CountPersistsPerKop); err != nil {
 						return err
 					}
 				}

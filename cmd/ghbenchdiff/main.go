@@ -6,6 +6,7 @@
 // Usage:
 //
 //	ghbenchdiff old.txt new.txt
+//	ghbenchdiff -gate ceilings.txt current.txt
 //
 // Run each side with -count N (N ≥ 3 recommended) so a delta is a
 // comparison of means with a visible spread, not two noisy samples.
@@ -16,6 +17,15 @@
 // mean is zero (or whose samples are empty/unparseable) print "n/a"
 // instead of a delta: a refreshed baseline must never make the tool
 // divide by zero or crash the diff for every later PR.
+//
+// Allocation numbers are the exception to "the reader decides": they
+// are deterministic (no wall-clock noise), so -gate enforces them.
+// The ceilings file lists `BenchmarkName  max-allocs/op` pairs (#
+// comments and blank lines ignored; names match with the -GOMAXPROCS
+// suffix stripped); a benchmark whose mean allocs/op exceeds its
+// ceiling — or that is missing from the bench output entirely, so a
+// rename can't silently skip the gate — fails the run with exit 1.
+// `make bench-allocs` drives this against bench_allocs_floors.txt.
 package main
 
 import (
@@ -112,17 +122,124 @@ func meanSpread(xs []float64) (mean, spreadPct float64) {
 }
 
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: ghbenchdiff old.txt new.txt")
+	w := bufio.NewWriter(os.Stdout)
+	switch {
+	case len(os.Args) == 4 && os.Args[1] == "-gate":
+		ok, err := gate(os.Args[2], os.Args[3], w)
+		w.Flush()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ghbenchdiff: %v\n", err)
+			os.Exit(1)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	case len(os.Args) == 3:
+		err := run(os.Args[1], os.Args[2], w)
+		w.Flush()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ghbenchdiff: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: ghbenchdiff old.txt new.txt\n       ghbenchdiff -gate ceilings.txt current.txt")
 		os.Exit(2)
 	}
-	w := bufio.NewWriter(os.Stdout)
-	err := run(os.Args[1], os.Args[2], w)
-	w.Flush()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "ghbenchdiff: %v\n", err)
-		os.Exit(1)
+}
+
+// stripProcSuffix removes the trailing -GOMAXPROCS decoration go test
+// appends to benchmark names ("BenchmarkFoo/sub-8" → "BenchmarkFoo/sub"),
+// so ceilings files stay valid across machines with different core
+// counts. Only an all-digit final segment is stripped.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || i == len(name)-1 {
+		return name
 	}
+	for _, r := range name[i+1:] {
+		if r < '0' || r > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+// gate enforces the allocs/op ceilings in floorsPath against the bench
+// output in benchPath. Returns ok=false (after printing every verdict)
+// when any listed benchmark exceeds its ceiling or is absent from the
+// output; an unparseable ceilings file is an error, not a pass.
+func gate(floorsPath, benchPath string, w io.Writer) (bool, error) {
+	f, err := os.Open(floorsPath)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	type ceiling struct {
+		name string
+		max  float64
+	}
+	var ceilings []ceiling
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return false, fmt.Errorf("%s:%d: want `BenchmarkName max-allocs/op`, got %q", floorsPath, line, text)
+		}
+		max, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || max < 0 {
+			return false, fmt.Errorf("%s:%d: bad ceiling %q", floorsPath, line, fields[1])
+		}
+		ceilings = append(ceilings, ceiling{fields[0], max})
+	}
+	if err := sc.Err(); err != nil {
+		return false, err
+	}
+	if len(ceilings) == 0 {
+		return false, fmt.Errorf("%s: no ceilings — an empty gate gates nothing", floorsPath)
+	}
+
+	cur, curOrder, err := parseBench(benchPath)
+	if err != nil {
+		return false, err
+	}
+	ok := true
+	fmt.Fprintf(w, "%-44s %12s %12s  %s\n", "benchmark", "allocs/op", "ceiling", "verdict")
+	for _, c := range ceilings {
+		found := false
+		for _, name := range curOrder {
+			if stripProcSuffix(name) != c.name {
+				continue
+			}
+			found = true
+			xs := cur[name].units["allocs/op"]
+			if len(xs) == 0 {
+				ok = false
+				fmt.Fprintf(w, "%-44s %12s %12g  FAIL (no allocs/op — run with -benchmem)\n",
+					strings.TrimPrefix(name, "Benchmark"), "—", c.max)
+				continue
+			}
+			mean, _ := meanSpread(xs)
+			verdict := "ok"
+			if mean > c.max {
+				ok = false
+				verdict = "FAIL"
+			}
+			fmt.Fprintf(w, "%-44s %12.3f %12g  %s\n",
+				strings.TrimPrefix(name, "Benchmark"), mean, c.max, verdict)
+		}
+		if !found {
+			ok = false
+			fmt.Fprintf(w, "%-44s %12s %12g  FAIL (missing from bench output)\n",
+				strings.TrimPrefix(c.name, "Benchmark"), "—", c.max)
+		}
+	}
+	return ok, nil
 }
 
 // run is the whole comparison: parse both files, print the aligned

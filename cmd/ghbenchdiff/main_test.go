@@ -75,6 +75,89 @@ BenchmarkFine-8    1000  100.0 ns/op
 	}
 }
 
+// TestGatePassAndFail covers the -gate verdicts: a benchmark at or
+// under its ceiling passes, one over fails, and a ceiling whose
+// benchmark never ran fails too (a rename must not skip the gate).
+func TestGatePassAndFail(t *testing.T) {
+	bench := writeTemp(t, "cur.txt", `
+BenchmarkWriteResponseFixed-8    1000  12.0 ns/op  0 B/op  0 allocs/op
+BenchmarkWriteResponseFixed-8    1000  12.5 ns/op  0 B/op  0 allocs/op
+BenchmarkServeBatchPipeline-8    1000  6000 ns/op  3 B/op  2 allocs/op
+`)
+	floors := writeTemp(t, "floors.txt", `
+# comment lines and blanks are fine
+BenchmarkWriteResponseFixed 0
+BenchmarkServeBatchPipeline 0.5
+BenchmarkRequestReaderBatch 0
+`)
+	var b strings.Builder
+	ok, err := gate(floors, bench, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("gate passed despite a violation and a missing benchmark:\n%s", b.String())
+	}
+	out := b.String()
+	if !strings.Contains(out, "WriteResponseFixed-8") || strings.Contains(out, "WriteResponseFixed-8 ") && !strings.Contains(out, "ok") {
+		t.Fatalf("passing row missing:\n%s", out)
+	}
+	if !strings.Contains(out, "FAIL (missing from bench output)") {
+		t.Fatalf("missing-benchmark row not flagged:\n%s", out)
+	}
+	if strings.Count(out, "FAIL") != 2 {
+		t.Fatalf("want exactly 2 FAIL rows (over-ceiling + missing):\n%s", out)
+	}
+
+	allPass := writeTemp(t, "floors2.txt", "BenchmarkWriteResponseFixed 0\nBenchmarkServeBatchPipeline 2\n")
+	b.Reset()
+	ok, err = gate(allPass, bench, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("gate failed with every ceiling satisfied:\n%s", b.String())
+	}
+}
+
+// TestGateRejectsDegenerateInputs pins the error paths: a malformed
+// ceilings line, a benchmark run without -benchmem, and an empty
+// ceilings file must all refuse to pass.
+func TestGateRejectsDegenerateInputs(t *testing.T) {
+	bench := writeTemp(t, "cur.txt", "BenchmarkNoMem-8 1000 12.0 ns/op\n")
+	var b strings.Builder
+	if _, err := gate(writeTemp(t, "bad.txt", "BenchmarkNoMem zero allocs\n"), bench, &b); err == nil {
+		t.Fatal("malformed ceilings line accepted")
+	}
+	if _, err := gate(writeTemp(t, "empty.txt", "# nothing\n"), bench, &b); err == nil {
+		t.Fatal("empty ceilings file accepted")
+	}
+	b.Reset()
+	ok, err := gate(writeTemp(t, "floors.txt", "BenchmarkNoMem 0\n"), bench, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || !strings.Contains(b.String(), "-benchmem") {
+		t.Fatalf("benchmark without allocs/op passed the allocation gate:\n%s", b.String())
+	}
+}
+
+// TestStripProcSuffix pins the name normalisation the ceilings file
+// relies on.
+func TestStripProcSuffix(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkFoo-8":          "BenchmarkFoo",
+		"BenchmarkFoo/sub-16":     "BenchmarkFoo/sub",
+		"BenchmarkFoo":            "BenchmarkFoo",
+		"BenchmarkAdaptive-1ms-8": "BenchmarkAdaptive-1ms", // only the numeric tail goes
+		"BenchmarkTrailingDash-":  "BenchmarkTrailingDash-",
+	} {
+		if got := stripProcSuffix(in); got != want {
+			t.Errorf("stripProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
 // TestNewAndDeletedRows covers the alignment paths around a baseline
 // refresh: rows only in the old file read "deleted", rows only in the
 // new file read "new", and ordering follows the old file first.

@@ -38,6 +38,7 @@ func main() {
 		ops      = flag.Uint64("ops", 1_000_000, "total operations across all connections")
 		conns    = flag.Int("conns", 4, "concurrent connections (one goroutine each)")
 		depth    = flag.Int("depth", 64, "pipelined operations per batch")
+		batch    = flag.Int("batch", 0, "send operations as explicit OpBatch frames of this many sub-ops (0 = pipelined single frames); the -depth burst still travels in one flush")
 		seed     = flag.Int64("seed", 1, "workload seed (each connection derives its own)")
 		skipLoad = flag.Bool("skip-load", false, "skip the preload phase (server already holds the records)")
 	)
@@ -51,18 +52,18 @@ func main() {
 		log.Fatal("-workload must be a single letter")
 	}
 
-	fmt.Printf("ghload: addr=%s workload=YCSB-%s records=%d ops=%d conns=%d depth=%d\n",
-		*addr, *workload, *records, *ops, *conns, *depth)
+	fmt.Printf("ghload: addr=%s workload=YCSB-%s records=%d ops=%d conns=%d depth=%d batch=%d\n",
+		*addr, *workload, *records, *ops, *conns, *depth, *batch)
 
 	if !*skipLoad {
 		start := time.Now()
-		loaded := preload(*addr, *records, *conns, *depth)
+		loaded := preload(*addr, *records, *conns, *depth, *batch)
 		dur := time.Since(start)
 		fmt.Printf("load:  %d keys in %.2fs (%.0f ops/s)\n",
 			loaded, dur.Seconds(), float64(loaded)/dur.Seconds())
 	}
 
-	acked, drained, rtt, dur := run(*addr, (*workload)[0], *records, *ops, *conns, *depth, *seed)
+	acked, drained, rtt, dur := run(*addr, (*workload)[0], *records, *ops, *conns, *depth, *batch, *seed)
 	fmt.Printf("run:   %d ops acked in %.2fs (%.0f ops/s)\n",
 		acked, dur.Seconds(), float64(acked)/dur.Seconds())
 	us := func(q float64) float64 { return rtt.Quantile(q) / 1e3 }
@@ -80,9 +81,18 @@ func main() {
 	}
 }
 
+// send ships one burst: pipelined single frames by default, explicit
+// OpBatch frames of batch sub-ops when -batch is set.
+func send(c *client.Client, reqs []wire.Request, batch int) ([]wire.Response, error) {
+	if batch > 0 {
+		return c.DoBatchN(reqs, batch)
+	}
+	return c.Do(reqs)
+}
+
 // preload puts keys 1..records (value = key) through pipelined
 // batches, split across conns connections. Returns acked count.
-func preload(addr string, records uint64, conns, depth int) uint64 {
+func preload(addr string, records uint64, conns, depth, batch int) uint64 {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var total uint64
@@ -108,7 +118,7 @@ func preload(addr string, records uint64, conns, depth int) uint64 {
 				for ; k <= hi && len(reqs) < depth; k++ {
 					reqs = append(reqs, wire.Request{Op: wire.OpPut, Key: layout.Key{Lo: k}, Value: k})
 				}
-				resps, err := c.Do(reqs)
+				resps, err := send(c, reqs, batch)
 				if err != nil {
 					log.Fatalf("preload batch: %v", err)
 				}
@@ -133,7 +143,7 @@ func preload(addr string, records uint64, conns, depth int) uint64 {
 // latency type — lock-free, so every worker observes into one shared
 // instance with no mutex on the timing path, and the client-side view
 // is directly comparable against the server's per-op scrape.
-func run(addr string, workload byte, records, ops uint64, conns, depth int, seed int64) (uint64, bool, *stats.HistSnapshot, time.Duration) {
+func run(addr string, workload byte, records, ops uint64, conns, depth, batch int, seed int64) (uint64, bool, *stats.HistSnapshot, time.Duration) {
 	rtt := &stats.Histogram{}
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -172,7 +182,7 @@ func run(addr string, workload byte, records, ops uint64, conns, depth int, seed
 					}
 				}
 				t0 := time.Now()
-				resps, err := c.Do(reqs)
+				resps, err := send(c, reqs, batch)
 				rtt.Observe(uint64(time.Since(t0)))
 				if err != nil {
 					mu.Lock()

@@ -5,9 +5,11 @@
 // test (internal/server): the supervisor re-executes its own binary in
 // a child mode that recovers and serves exactly the way ghserver does
 // (image + oplog replay, group-committed acks, aggressive background
-// snapshots), hammers it with pipelined inserts over real TCP, then
-// SIGKILLs it at a random moment — sometimes mid-snapshot, mid-
-// rotation or mid-group-commit, the scheduler decides. At the next
+// snapshots), hammers it with inserts over real TCP — alternating
+// pipelined single frames (server-coalesced into stripe-grouped runs)
+// with explicit OpBatch frames — then SIGKILLs it at a random moment:
+// sometimes mid-snapshot, mid-rotation, mid-group-commit or mid-batch,
+// the scheduler decides. At the next
 // cycle's recovery the supervisor audits the child: every acked key
 // present with its value, every key whose batch died unacked present
 // at most once, and the store's Len equal to the distinct present keys
@@ -164,9 +166,13 @@ func supervise(dir string, cycles int, seed int64, lcfg oplog.Config) {
 		proc, addr := startChild(dir, lcfg)
 		verify(addr, keys, cycle)
 
-		// Hammer pipelined insert batches until the kill; a batch's
-		// keys are acked as a unit or tainted as a unit (the client
-		// returns no partial responses).
+		// Hammer insert bursts until the kill, alternating the wire
+		// shape every burst: pipelined single frames (the server
+		// coalesces them) and one explicit OpBatch frame (released
+		// all-or-nothing on its highest LSN) — so SIGKILLs land
+		// mid-coalesced-run and mid-batch-frame alike. Either way a
+		// burst's keys are acked as a unit or tainted as a unit (the
+		// client returns no partial responses).
 		const batch = 64
 		c, err := client.Dial(addr, 2*time.Second)
 		if err != nil {
@@ -175,7 +181,7 @@ func supervise(dir string, cycles int, seed int64, lcfg oplog.Config) {
 		loadDone := make(chan struct{})
 		go func() {
 			defer close(loadDone)
-			for {
+			for useBatch := false; ; useBatch = !useBatch {
 				reqs := make([]wire.Request, batch)
 				base := nextKey
 				for j := range reqs {
@@ -183,7 +189,13 @@ func supervise(dir string, cycles int, seed int64, lcfg oplog.Config) {
 					reqs[j] = wire.Request{Op: wire.OpInsert, Key: layout.Key{Lo: k}, Value: k * 3}
 				}
 				nextKey += batch
-				resps, err := c.Do(reqs)
+				var resps []wire.Response
+				var err error
+				if useBatch {
+					resps, err = c.DoBatch(reqs)
+				} else {
+					resps, err = c.Do(reqs)
+				}
 				if err != nil {
 					for j := range reqs {
 						keys[base+uint64(j)] = tainted

@@ -237,15 +237,161 @@ func (s *Store) Insert(k Key, v uint64) error {
 // Item is a key-value pair for batch operations.
 type Item = core.Item
 
+// Batch types, re-exported from core. See Store.ApplyBatch.
+type (
+	// BatchKind selects a BatchOp's mutation semantics.
+	BatchKind = core.BatchKind
+	// BatchOp is one mutation of a batch.
+	BatchOp = core.BatchOp
+	// BatchResult is one BatchOp's outcome.
+	BatchResult = core.BatchResult
+	// BatchScratch holds ApplyBatch's reusable working state; the zero
+	// value is ready. One per serving goroutine.
+	BatchScratch = core.BatchScratch
+)
+
+// Batch mutation kinds.
+const (
+	// BatchPut upserts (Put semantics).
+	BatchPut = core.BatchPut
+	// BatchInsert inserts with Algorithm-1 semantics, duplicates
+	// allowed.
+	BatchInsert = core.BatchInsert
+	// BatchDelete removes the key if present.
+	BatchDelete = core.BatchDelete
+)
+
 // InsertBatch inserts items with one persistent count update for the
 // whole batch — roughly one persist barrier in three saved per insert.
-// Crash consistency is unchanged (recovery recomputes the count). See
-// core.Table.InsertBatch. Not available on concurrent stores.
+// Crash consistency is unchanged (recovery recomputes the count). On a
+// sequential store this is core.Table.InsertBatch (items place in
+// order; the first failure stops the batch). On a concurrent store it
+// runs through ApplyBatch's stripe-grouped runs: one lock acquisition
+// and one count persist per stripe-run, items grouped by stripe rather
+// than placed in strict submission order, and a full table waits for
+// online expansion instead of failing. Either way the return is the
+// number of items placed plus the first error in submission order.
 func (s *Store) InsertBatch(items []Item) (int, error) {
-	if s.conc != nil {
-		return 0, fmt.Errorf("grouphash: InsertBatch is not supported on concurrent stores")
+	if s.conc == nil {
+		return s.tab.InsertBatch(items)
 	}
-	return s.tab.InsertBatch(items)
+	ops := make([]BatchOp, len(items))
+	out := make([]BatchResult, len(items))
+	for i, it := range items {
+		ops[i] = BatchOp{Kind: BatchInsert, Key: it.Key, Value: it.Value}
+	}
+	s.conc.ApplyBatch(ops, out, nil, nil)
+	placed := 0
+	var err error
+	for i := range out {
+		if out[i].Err == nil {
+			placed++
+		} else if err == nil {
+			err = out[i].Err
+		}
+	}
+	return placed, err
+}
+
+// ApplyBatch applies a burst of mutations as stripe-grouped runs with
+// one lock acquisition, one persistent count update, and one commit-
+// hook call per run — the batch extension of the PutHook/InsertHook/
+// DeleteHook contract, and the entry point the network server drives
+// for both OpBatch frames and coalesced pipelined bursts. Per-op
+// outcomes land in out (len(out) must equal len(ops)); within a stripe
+// ops apply in submission order, which is all the ordering same-key
+// sequences need. committed (if non-nil) runs inside each run's
+// critical section with the indices of the ops that mutated cells, in
+// apply order; the slice is scratch, so consume it before returning.
+//
+// Crash semantics: a crash mid-batch leaves some stripe-runs fully
+// committed, at most one committed up to a prefix, and the count word
+// stale — the state Algorithm 4's recovery already repairs. Run
+// Recover (which recomputes the count from the bitmaps) after a crash,
+// as always.
+//
+// On a sequential store the ops apply in submission order under the
+// caller's exclusivity, with one count persist for the whole batch and
+// one committed call at the end.
+func (s *Store) ApplyBatch(ops []BatchOp, out []BatchResult, sc *BatchScratch, committed func(applied []int)) {
+	if s.conc != nil {
+		s.conc.ApplyBatch(ops, out, sc, committed)
+		return
+	}
+	s.applyBatchSequential(ops, out, committed)
+}
+
+// applyBatchSequential is the non-concurrent fallback: ops in
+// submission order, automatic expansion on a full table (mirroring
+// Put), one count persist per mutation (the sequential Table funnels
+// every mutation through its own setCount; the amortisation here is
+// only the single committed call).
+func (s *Store) applyBatchSequential(ops []BatchOp, out []BatchResult, committed func(applied []int)) {
+	if len(ops) != len(out) {
+		panic("grouphash: ApplyBatch len(ops) != len(out)")
+	}
+	applied := make([]int, 0, len(ops))
+	for i := range ops {
+		out[i] = BatchResult{}
+		op := &ops[i]
+		switch op.Kind {
+		case BatchPut:
+			if s.tab.Update(op.Key, op.Value) {
+				out[i].Found = true
+				applied = append(applied, i)
+				continue
+			}
+			if err := s.insertExpanding(op.Key, op.Value); err != nil {
+				out[i].Err = err
+				continue
+			}
+			applied = append(applied, i)
+		case BatchInsert:
+			if err := s.insertExpanding(op.Key, op.Value); err != nil {
+				out[i].Err = err
+				continue
+			}
+			applied = append(applied, i)
+		case BatchDelete:
+			if s.tab.Delete(op.Key) {
+				out[i].Found = true
+				applied = append(applied, i)
+			}
+		default:
+			panic("grouphash: ApplyBatch: unknown BatchKind")
+		}
+	}
+	if len(applied) > 0 && committed != nil {
+		committed(applied)
+	}
+}
+
+// MGet looks up many keys in one call, filling the caller's parallel
+// slices: vals[i] holds the value iff found[i] (both must be len(keys);
+// panics otherwise). Reads take the same seqlock-validated path as Get
+// — no locks, racing writers simply force the odd retry — so MGet is
+// the bulk read to pair with ApplyBatch's bulk writes, and allocates
+// nothing.
+func (s *Store) MGet(keys []Key, vals []uint64, found []bool) {
+	if len(keys) != len(vals) || len(keys) != len(found) {
+		panic("grouphash: MGet len(keys) != len(vals) or len(found)")
+	}
+	for i := range keys {
+		vals[i], found[i] = s.Get(keys[i])
+	}
+}
+
+// insertExpanding inserts, expanding once on a full table when
+// expansion is enabled — Put's fallback, shared with the batch path.
+func (s *Store) insertExpanding(k Key, v uint64) error {
+	err := s.tab.Insert(k, v)
+	if err == hashtab.ErrTableFull && s.expand {
+		if err = s.tab.Expand(); err != nil {
+			return err
+		}
+		err = s.tab.Insert(k, v)
+	}
+	return err
 }
 
 // Get returns the value stored under k.
@@ -374,6 +520,11 @@ func (s *Store) Expansions() uint64 {
 	}
 	return s.conc.Expansions()
 }
+
+// CountPersists returns the number of count-word persist barriers the
+// table has issued — the NVM write amplification metric that batching
+// amortises (one bumpCount per stripe-run instead of one per op).
+func (s *Store) CountPersists() uint64 { return s.tab.CountPersists() }
 
 // Quiesce runs fn while every writer is excluded. On a concurrent
 // store it locks all stripes (in a fixed order, so concurrent Quiesce

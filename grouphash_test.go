@@ -296,9 +296,20 @@ func TestStoreInsertBatch(t *testing.T) {
 	if st.Len() != 100 {
 		t.Fatalf("Len = %d", st.Len())
 	}
+	// Concurrent stores batch through the stripe-grouped ApplyBatch now
+	// (one lock acquisition + one count persist per stripe-run).
 	cst, _ := New(Options{Capacity: 1 << 10, Concurrent: true})
-	if _, err := cst.InsertBatch(items); err == nil {
-		t.Fatal("concurrent store must reject InsertBatch")
+	n, err = cst.InsertBatch(items)
+	if err != nil || n != 100 {
+		t.Fatalf("concurrent batch: %d, %v", n, err)
+	}
+	if cst.Len() != 100 {
+		t.Fatalf("concurrent Len = %d", cst.Len())
+	}
+	for i := range items {
+		if v, ok := cst.Get(items[i].Key); !ok || v != items[i].Value {
+			t.Fatalf("concurrent Get(%d) = %d, %v", i, v, ok)
+		}
 	}
 }
 

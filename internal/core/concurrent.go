@@ -69,6 +69,10 @@ type Concurrent struct {
 	hookPreFlip     func()
 	hookStripeDone  func(si int)
 	hookMigrateFail func(si int) bool
+	// hookBatchRunCommitted runs after each ApplyBatch stripe-run's
+	// unlock — the deterministic stripe-boundary kill point the batch
+	// crash-injection tests capture at.
+	hookBatchRunCommitted func(si int)
 }
 
 // stripe is one lock unit: an exclusive/shared mutex for writers and

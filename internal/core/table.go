@@ -153,6 +153,12 @@ type Table struct {
 	// expandFailures forces the first n rehash attempts of Expand to
 	// report failure (test hook for the tripling-retry/reclaim path).
 	expandFailures int
+	// countPersists counts setCount calls — persist barriers on the
+	// count word, the hottest word in the table. Batch paths amortise
+	// these (one per batch/stripe-run instead of one per mutation); the
+	// counter makes the amortisation measurable, since the native
+	// backend's Persist is a hardware no-op the bench could not observe.
+	countPersists atomic.Uint64
 }
 
 // cur returns the current view. Callers load it once per operation so
@@ -337,7 +343,13 @@ func (t *Table) countAddr() uint64 { return t.hdr + hdrCount*layout.WordSize }
 func (t *Table) setCount(n uint64) {
 	t.mem.AtomicWrite8(t.countAddr(), n)
 	t.mem.Persist(t.countAddr(), layout.WordSize)
+	t.countPersists.Add(1)
 }
+
+// CountPersists returns the number of count-word persist barriers
+// issued so far (setCount calls). Mutations÷CountPersists is the
+// amortisation the batch paths achieve.
+func (t *Table) CountPersists() uint64 { return t.countPersists.Load() }
 
 // groupStart returns the first cell index of the group containing
 // level-1 index k (the "j = k - k % group_size" of the algorithms).

@@ -1,0 +1,103 @@
+package oplog
+
+import (
+	"testing"
+
+	"grouphash/internal/layout"
+)
+
+// TestAppendBatch pins the batch staging contract: one call stages N
+// records under one buffer-lock acquisition, assigns strictly
+// sequential LSNs starting at the returned first, interleaves correctly
+// with single Appends, and replays in exactly append order.
+func TestAppendBatch(t *testing.T) {
+	b := base(t)
+	l, err := Open(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.AppendBatch(nil); got != 0 {
+		t.Fatalf("empty AppendBatch returned %d, want 0", got)
+	}
+	if got := l.Appends(); got != 0 {
+		t.Fatalf("empty AppendBatch counted as an append (%d)", got)
+	}
+
+	if lsn := l.Append(OpPut, layout.Key{Lo: 1}, 10); lsn != 1 {
+		t.Fatalf("single Append LSN %d, want 1", lsn)
+	}
+	recs := []Record{
+		{Op: OpInsert, Key: layout.Key{Lo: 2}, Value: 20},
+		{Op: OpPut, Key: layout.Key{Lo: 3}, Value: 30},
+		{Op: OpDelete, Key: layout.Key{Lo: 4}},
+	}
+	first := l.AppendBatch(recs)
+	if first != 2 {
+		t.Fatalf("AppendBatch first LSN %d, want 2", first)
+	}
+	for i, r := range recs {
+		if r.LSN != first+uint64(i) {
+			t.Fatalf("recs[%d].LSN = %d, want %d", i, r.LSN, first+uint64(i))
+		}
+	}
+	if lsn := l.Append(OpPut, layout.Key{Lo: 5}, 50); lsn != 5 {
+		t.Fatalf("post-batch Append LSN %d, want 5", lsn)
+	}
+	if got := l.Appends(); got != 3 {
+		t.Fatalf("Appends() = %d, want 3 (two singles + one batch)", got)
+	}
+
+	if err := l.Sync(5); err != nil {
+		t.Fatal(err)
+	}
+	if l.DurableLSN() != 5 {
+		t.Fatalf("durable %d after Sync(5)", l.DurableLSN())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	replayed, next := collect(t, b, 0)
+	if len(replayed) != 5 || next != 6 {
+		t.Fatalf("replayed %d records, next=%d", len(replayed), next)
+	}
+	wantOps := []Op{OpPut, OpInsert, OpPut, OpDelete, OpPut}
+	wantLo := []uint64{1, 2, 3, 4, 5}
+	for i, r := range replayed {
+		if r.LSN != uint64(i+1) || r.Op != wantOps[i] || r.Key.Lo != wantLo[i] {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+}
+
+// TestAppendBatchAdaptive checks a batch staged into an empty buffer
+// opens a commit window (the kick fires) and WaitDurable releases every
+// record of the batch.
+func TestAppendBatchAdaptive(t *testing.T) {
+	b := base(t)
+	l, err := OpenConfig(b, 1, Config{SyncEvery: 100_000, SyncBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]Record, 64)
+	for i := range recs {
+		recs[i] = Record{Op: OpPut, Key: layout.Key{Lo: uint64(i + 1)}, Value: uint64(i)}
+	}
+	first := l.AppendBatch(recs)
+	if first != 1 {
+		t.Fatalf("first LSN %d, want 1", first)
+	}
+	if err := l.WaitDurable(first + uint64(len(recs)) - 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.DurableLSN(); got < 64 {
+		t.Fatalf("durable %d after WaitDurable(64)", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	replayed, _ := collect(t, b, 0)
+	if len(replayed) != 64 {
+		t.Fatalf("replayed %d records, want 64", len(replayed))
+	}
+}

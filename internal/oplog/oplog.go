@@ -148,8 +148,9 @@ type Log struct {
 	dir  string
 	cfg  Config
 
-	mu      sync.Mutex // buf, lastLSN, active file identity
+	mu      sync.Mutex // buf, spare, lastLSN, active file identity
 	buf     []byte
+	spare   []byte // the last flushed buffer, handed back to appenders
 	lastLSN uint64
 
 	flushMu  sync.Mutex // file writes + fsync + segment swap
@@ -179,6 +180,7 @@ type Log struct {
 	syncLat   stats.Histogram // fsync syscall latency, nanoseconds
 	batchRec  stats.Histogram // records made durable per fsync (group-commit batch)
 	fsyncs    atomic.Uint64
+	appends   atomic.Uint64 // Append/AppendBatch calls — buffer-lock acquisitions, not records
 	rotations atomic.Uint64
 	truncated atomic.Uint64
 	bytesOut  atomic.Uint64
@@ -391,6 +393,7 @@ func (l *Log) adaptive() bool { return l.cfg.SyncEvery > 0 }
 // within cfg.SyncEvery), and crossing cfg.SyncBytes closes the window
 // early.
 func (l *Log) Append(op Op, k layout.Key, v uint64) uint64 {
+	l.appends.Add(1)
 	l.mu.Lock()
 	l.lastLSN++
 	lsn := l.lastLSN
@@ -398,26 +401,61 @@ func (l *Log) Append(op Op, k layout.Key, v uint64) uint64 {
 	l.buf = appendRecord(l.buf, Record{LSN: lsn, Op: op, Key: k, Value: v})
 	staged := len(l.buf)
 	l.mu.Unlock()
-	if l.adaptive() {
-		// flushLocked grabs the whole buffer under l.mu, so exactly one
-		// appender observes each empty→non-empty transition: every
-		// commit window is opened by exactly one kick. A stale byte-kick
-		// (sent just as the committer drained the buffer) only closes
-		// the next window early — an extra fsync, never a lost one.
-		if wasEmpty {
-			select {
-			case l.kick <- struct{}{}:
-			default:
-			}
-		}
-		if l.cfg.SyncBytes > 0 && staged >= l.cfg.SyncBytes {
-			select {
-			case l.kickBytes <- struct{}{}:
-			default:
-			}
+	l.kickAfterStage(wasEmpty, staged)
+	return lsn
+}
+
+// AppendBatch stages every record of recs under ONE buffer-lock
+// acquisition — the stripe-grouped apply path's amortisation: a run of
+// N mutations costs one lock round trip and one staging pass instead of
+// N — assigning strictly sequential LSNs. recs[i].LSN is overwritten
+// with first+i, and first is returned; callers ack record i once
+// WaitDurable(first+i) (or a Sync covering it) returns nil. Like
+// Append, the records are NOT durable on return. An empty recs returns
+// 0 without touching the log.
+func (l *Log) AppendBatch(recs []Record) (first uint64) {
+	if len(recs) == 0 {
+		return 0
+	}
+	l.appends.Add(1)
+	l.mu.Lock()
+	first = l.lastLSN + 1
+	wasEmpty := len(l.buf) == 0
+	for i := range recs {
+		l.lastLSN++
+		recs[i].LSN = l.lastLSN
+		l.buf = appendRecord(l.buf, recs[i])
+	}
+	staged := len(l.buf)
+	l.mu.Unlock()
+	l.kickAfterStage(wasEmpty, staged)
+	return first
+}
+
+// kickAfterStage nudges the adaptive committer after records were
+// staged: wasEmpty opens a commit window, crossing cfg.SyncBytes closes
+// it early. No-op in legacy mode.
+func (l *Log) kickAfterStage(wasEmpty bool, staged int) {
+	if !l.adaptive() {
+		return
+	}
+	// flushLocked grabs the whole buffer under l.mu, so exactly one
+	// appender observes each empty→non-empty transition: every
+	// commit window is opened by exactly one kick. A stale byte-kick
+	// (sent just as the committer drained the buffer) only closes
+	// the next window early — an extra fsync, never a lost one.
+	if wasEmpty {
+		select {
+		case l.kick <- struct{}{}:
+		default:
 		}
 	}
-	return lsn
+	if l.cfg.SyncBytes > 0 && staged >= l.cfg.SyncBytes {
+		select {
+		case l.kickBytes <- struct{}{}:
+		default:
+		}
+	}
 }
 
 // committer is the adaptive-mode fsync clock: it sleeps until a kick
@@ -532,14 +570,19 @@ func (l *Log) fail(err error) error {
 
 // appendRecord encodes r onto buf.
 func appendRecord(buf []byte, r Record) []byte {
-	var b [recordLen]byte
+	// Encode in place in the staging buffer: a local scratch array is
+	// moved to the heap by escape analysis (the checksum call defeats
+	// it) and would cost one allocation per staged record.
+	n := len(buf)
+	buf = append(buf, make([]byte, recordLen)...)
+	b := buf[n : n+recordLen]
 	binary.LittleEndian.PutUint64(b[0:8], r.LSN)
 	binary.LittleEndian.PutUint64(b[8:16], r.Key.Lo)
 	binary.LittleEndian.PutUint64(b[16:24], r.Key.Hi)
 	binary.LittleEndian.PutUint64(b[24:32], r.Value)
 	b[32] = byte(r.Op)
 	binary.LittleEndian.PutUint32(b[36:40], crc32.Checksum(b[:36], crcTable))
-	return append(buf, b[:]...)
+	return buf
 }
 
 // parseRecord decodes and validates one record.
@@ -597,7 +640,12 @@ func (l *Log) flushLocked(fsync bool) (hw uint64, err error) {
 	}
 	l.mu.Lock()
 	buf := l.buf
-	l.buf = nil
+	// Hand appenders the spare buffer (the previously flushed one)
+	// instead of nil: under load an append almost always lands while
+	// the flush is writing, and regrowing from nil would cost one
+	// large zeroed allocation per commit window.
+	l.buf = l.spare[:0]
+	l.spare = nil
 	hw = l.lastLSN
 	l.mu.Unlock()
 	if len(buf) > 0 {
@@ -636,9 +684,7 @@ func (l *Log) flushLocked(fsync bool) (hw uint64, err error) {
 		l.notifyWaiters()
 	}
 	l.mu.Lock()
-	if l.buf == nil { // recycle the flushed buffer if nobody appended meanwhile
-		l.buf = buf[:0]
-	}
+	l.spare = buf[:0] // flushed: its capacity backs the next window
 	l.mu.Unlock()
 	return hw, nil
 }

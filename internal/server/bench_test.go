@@ -114,6 +114,95 @@ func benchAckedWrite(b *testing.B, withLog bool, lcfg oplog.Config) {
 	}
 }
 
+// BenchmarkServeBatchPipeline drives explicit 256-op OpBatch put
+// frames through a live adaptive-oplog server with an allocation-free
+// client (reused request/response slices, in-place wire codecs), so
+// allocs/op is the serving loop's own steady-state allocation rate:
+// pooled completion chunks, pooled batch-response buffers, in-place
+// frame codecs and recycled oplog staging buffers together hold it at
+// (near) zero. Gated by make bench-allocs.
+func BenchmarkServeBatchPipeline(b *testing.B) {
+	st, err := grouphash.New(grouphash.Options{Capacity: 1 << 20, Concurrent: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lg, err := oplog.OpenConfig(filepath.Join(b.TempDir(), "oplog"), 1,
+		oplog.Config{SyncEvery: 100 * time.Microsecond, SyncBytes: 64 << 10, PreallocBytes: 4 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(Config{Store: st, Oplog: lg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ln) }()
+	defer func() {
+		if err := s.Drain(); err != nil {
+			b.Fatal(err)
+		}
+		if err := <-serveDone; err != nil {
+			b.Errorf("Serve returned %v", err)
+		}
+	}()
+
+	conn, err := net.DialTimeout("tcp", ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	br := bufio.NewReaderSize(conn, 64<<10)
+
+	const frame = 256
+	subs := make([]wire.Request, frame)
+	resps := make([]wire.Response, frame)
+	var buf []byte
+	next := uint64(0)
+	send := func(n int) {
+		for j := 0; j < n; j++ {
+			k := next%(1<<18) + 1 // capped keyspace: no expansion mid-benchmark
+			next++
+			subs[j] = wire.Request{Op: wire.OpPut, Key: layout.Key{Lo: k}, Value: k}
+		}
+		buf = buf[:0]
+		var err error
+		if buf, err = wire.AppendBatchRequest(buf, subs[:n]); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := bw.Write(buf); err != nil {
+			b.Fatal(err)
+		}
+		if err := bw.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		if err := wire.ReadBatchResponses(br, resps[:n]); err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < n; j++ {
+			if resps[j].Status != wire.StatusOK {
+				b.Fatalf("put status %d", resps[j].Status)
+			}
+		}
+	}
+	for i := 0; i < 8; i++ {
+		send(frame) // warm the pools, scratch slices and staging buffers
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for sent := 0; sent < b.N; sent += frame {
+		n := frame
+		if b.N-sent < n {
+			n = b.N - sent
+		}
+		send(n)
+	}
+}
+
 // BenchmarkAckedWrite compares the acked-write path without a log,
 // with the legacy synchronous fsync-per-batch log, and with the
 // shipped adaptive group-commit window.

@@ -11,6 +11,19 @@
 // reads), and the façade's Quiesce/Snapshot hooks for consistent
 // images while serving.
 //
+// Batching: mutations reach the store through its stripe-grouped
+// ApplyBatch whenever more than one is in hand — explicit OpBatch
+// frames (N packed sub-ops, one packed response frame, all-or-nothing
+// ack) and, transparently, coalesced runs of consecutive single-frame
+// mutations within a pipelined burst. Either way each stripe-run costs
+// one lock acquisition, ONE oplog append, and one count persist for
+// the whole run instead of one of each per operation. Coalescing never
+// reorders what a client can observe: any read (or other non-mutation)
+// flushes the pending run first, and the k-th response still answers
+// the k-th request. The serving loop itself is allocation-free at
+// steady state — pooled completion-queue chunks and batch-response
+// frames, a per-connection reused request reader and batch scratch.
+//
 // Durability contract: snapshot + oplog — acked ⇒ durable. Every
 // mutating request is appended to the operation log (internal/oplog)
 // inside the store's own per-stripe critical section, and its response
@@ -80,6 +93,13 @@ type Config struct {
 	// class counters, oplog metrics — stays on. Used by ghbench's
 	// before/after overhead experiment.
 	DisableTiming bool
+	// DisableCoalescing turns off the transparent batching of
+	// pipelined single-op mutations: every mutation is applied (and
+	// oplog-appended) on its own, the pre-batching behaviour. Explicit
+	// OpBatch frames still batch. A benchmarking knob — ghbench's
+	// batch experiment uses it to measure what coalescing buys; never
+	// set it on a production server.
+	DisableCoalescing bool
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -151,10 +171,12 @@ type Server struct {
 	// nanoseconds, indexed by opcode (slot 0 collects unknown opcodes).
 	// Histograms are lock-free and zero-value-ready, so the hot path
 	// pays two atomic adds per request and registration needs no init.
-	opLat    [wire.OpStats + 1]stats.Histogram
-	snapDur  stats.Histogram // snapshot capture+write duration, ns
-	ackLat   stats.Histogram // write dispatch → durable-watermark release, ns
-	registry *stats.Registry
+	opLat          [wire.OpBatch + 1]stats.Histogram
+	snapDur        stats.Histogram // snapshot capture+write duration, ns
+	ackLat         stats.Histogram // write dispatch → durable-watermark release, ns
+	batchFrameSize stats.Histogram // sub-ops per explicit OpBatch frame
+	coalesceSize   stats.Histogram // mutations per coalesced pipelined run
+	registry       *stats.Registry
 }
 
 // New validates cfg and builds a Server (not yet listening).
@@ -189,8 +211,8 @@ func New(cfg Config) (*Server, error) {
 }
 
 // opNames maps opcodes to their metric label, indexed like opLat.
-var opNames = [wire.OpStats + 1]string{
-	"unknown", "ping", "get", "put", "insert", "delete", "len", "stats",
+var opNames = [wire.OpBatch + 1]string{
+	"unknown", "ping", "get", "put", "insert", "delete", "len", "stats", "batch",
 }
 
 // registerMetrics exports the server's own counters, gauges and
@@ -223,6 +245,10 @@ func (s *Server) registerMetrics(reg *stats.Registry) {
 			"Request dispatch latency by opcode (store + oplog append; excludes the group-commit fsync, which is amortised per batch).",
 			1e-9, &s.opLat[op])
 	}
+	reg.RegisterHistogram(p+"batch_size", stats.Label("source", "frame"),
+		"Sub-operations per applied batch: explicit OpBatch frames (source=frame) and coalesced pipelined mutation runs (source=coalesced).",
+		1, &s.batchFrameSize)
+	reg.RegisterHistogram(p+"batch_size", stats.Label("source", "coalesced"), "", 1, &s.coalesceSize)
 	reg.RegisterHistogram(p+"snapshot_duration_seconds", "",
 		"Snapshot duration, capture through durable image write.", 1e-9, &s.snapDur)
 	reg.RegisterHistogram(p+"ack_latency_seconds", "",
@@ -478,23 +504,36 @@ const (
 )
 
 // pendingResp is one applied request parked on the completion queue
-// until the durable-LSN watermark covers it.
+// until the durable-LSN watermark covers it. A batch frame's N packed
+// sub-responses park as ONE entry (batch non-nil, resp unused) whose
+// lsn is the frame's highest sub-op LSN — the all-or-nothing ack.
 type pendingResp struct {
 	resp  wire.Response
+	batch *respBuf  // non-nil: an OpBatch frame's pooled sub-responses
 	lsn   uint64    // oplog LSN the ack must not precede to the wire; 0 = unlogged
 	start time.Time // dispatch time for the ack-latency histogram; zero when untimed
 }
 
 // handle runs one connection as a two-goroutine pipeline. The reader
-// (this goroutine) decodes requests, applies them, and accumulates
-// the responses — each with the oplog LSN its ack must wait for —
-// into a chunk that is pushed onto the per-connection completion
-// queue at the pipelining boundaries: when the input buffer runs dry
-// (the next read would block) or the chunk hits ackChunkCap. Cutting
-// chunks at input-dry points is load-bearing — one client burst
-// becomes one chunk, so the acker parks in WaitDurable once per burst
-// rather than once per response, and a lone request is still released
-// immediately.
+// (this goroutine) decodes frames — single requests and OpBatch
+// frames — applies them, and accumulates the responses — each with
+// the oplog LSN its ack must wait for — into a pooled chunk that is
+// pushed onto the per-connection completion queue at the pipelining
+// boundaries: when the input buffer runs dry (the next read would
+// block) or the chunk hits ackChunkCap. Cutting chunks at input-dry
+// points is load-bearing — one client burst becomes one chunk, so the
+// acker parks in WaitDurable once per burst rather than once per
+// response, and a lone request is still released immediately.
+//
+// Mutations are not dispatched one at a time: consecutive single-frame
+// Put/Insert/Delete requests within a burst are coalesced and applied
+// together through the store's stripe-grouped batch path (one lock
+// acquisition + one oplog append + one count persist per stripe-run),
+// flushing whenever program order could become observable — before any
+// read or other non-mutation, before a batch frame, at every chunk cut,
+// and when the burst ends. A pipelined stream of N puts therefore costs
+// a handful of lock acquisitions and log appends instead of N of each,
+// while every response still answers its own request in order.
 //
 // The acker goroutine releases chunks: one WaitDurable on the chunk's
 // highest LSN (in adaptive mode the committer goroutine owns the
@@ -516,46 +555,72 @@ func (s *Server) handle(conn net.Conn) {
 		s.handlers.Done()
 	}()
 	br := bufio.NewReaderSize(conn, 64<<10)
-	queue := make(chan []pendingResp, ackQueueChunks)
+	rr := wire.NewRequestReader(br)
+	queue := make(chan *pendingChunk, ackQueueChunks)
 	ackerDone := make(chan struct{})
 	go s.acker(conn, queue, ackerDone)
 	timing := !s.cfg.DisableTiming
-	chunk := make([]pendingResp, 0, 64)
+	ba := newBatchState(s)
+	pc := getChunk()
 	for {
-		req, err := wire.ReadRequest(br)
+		req, subs, err := rr.Next()
 		if err != nil {
 			// Clean close, drain deadline, or protocol garbage: the
 			// acker releases everything already applied (those become
 			// acked, so their log records must be durable first), then
 			// the connection hangs up.
-			if len(chunk) > 0 {
-				queue <- chunk
+			ba.flushCoalesced(pc.resps, timing)
+			if len(pc.resps) > 0 {
+				queue <- pc
+			} else {
+				putChunk(pc)
 			}
 			close(queue)
 			<-ackerDone
 			return
 		}
-		var pr pendingResp
-		if timing {
-			start := time.Now()
-			pr.resp, pr.lsn = s.dispatch(req)
-			op := int(req.Op)
-			if op >= len(s.opLat) {
-				op = 0
+		switch {
+		case req.Op == wire.OpBatch:
+			ba.flushCoalesced(pc.resps, timing)
+			pc.resps = append(pc.resps, s.serveBatchFrame(subs, ba, timing))
+		case req.Op == wire.OpPut || req.Op == wire.OpInsert || req.Op == wire.OpDelete:
+			// Stage the mutation and park a placeholder at its response
+			// slot; flushCoalesced fills it before anything can observe
+			// or release it.
+			s.countClass(req.Op)
+			var pr pendingResp
+			if timing {
+				pr.start = time.Now()
+				s.bytesRead.Add(4 + wire.ReqBodyLen)
+				s.bytesWritten.Add(4 + wire.RespFixedLen)
 			}
-			s.opLat[op].Observe(uint64(time.Since(start)))
-			s.bytesRead.Add(4 + wire.ReqBodyLen)
-			s.bytesWritten.Add(uint64(4 + wire.RespFixedLen + len(pr.resp.Extra)))
-			if pr.lsn > 0 {
-				pr.start = start
+			pc.resps = append(pc.resps, pr)
+			ba.stage(req, len(pc.resps)-1)
+			if s.cfg.DisableCoalescing {
+				ba.flushCoalesced(pc.resps, timing) // run of one: per-op apply and append
 			}
-		} else {
-			pr.resp, pr.lsn = s.dispatch(req)
+		default:
+			ba.flushCoalesced(pc.resps, timing)
+			var pr pendingResp
+			if timing {
+				start := time.Now()
+				pr.resp, pr.lsn = s.dispatch(req)
+				op := int(req.Op)
+				if op >= len(s.opLat) {
+					op = 0
+				}
+				s.opLat[op].Observe(uint64(time.Since(start)))
+				s.bytesRead.Add(4 + wire.ReqBodyLen)
+				s.bytesWritten.Add(uint64(4 + wire.RespFixedLen + len(pr.resp.Extra)))
+			} else {
+				pr.resp, pr.lsn = s.dispatch(req)
+			}
+			pc.resps = append(pc.resps, pr)
 		}
-		chunk = append(chunk, pr)
-		if br.Buffered() == 0 || len(chunk) >= ackChunkCap {
-			queue <- chunk // ownership moves to the acker
-			chunk = make([]pendingResp, 0, 64)
+		if br.Buffered() == 0 || len(pc.resps) >= ackChunkCap {
+			ba.flushCoalesced(pc.resps, timing)
+			queue <- pc // ownership moves to the acker, which recycles it
+			pc = getChunk()
 		}
 	}
 }
@@ -566,18 +631,25 @@ func (s *Server) handle(conn net.Conn) {
 // highest LSN, then writes the responses and records their ack
 // latency. Responses reach bw only after their covering WaitDurable,
 // so bufio can never auto-flush an ack whose record is still
-// volatile. On a wait or write failure it closes the connection with
-// the batch unacked and keeps consuming the queue so the reader can
-// exit.
-func (s *Server) acker(conn net.Conn, queue <-chan []pendingResp, done chan<- struct{}) {
+// volatile. Chunks (and the batch-response buffers they carry) are
+// returned to their pools once written — on every exit path — with
+// their entries zeroed so the pools retain no references. On a wait
+// or write failure it closes the connection with the batch unacked
+// and keeps consuming the queue so the reader can exit.
+func (s *Server) acker(conn net.Conn, queue <-chan *pendingChunk, done chan<- struct{}) {
 	defer close(done)
 	bw := bufio.NewWriterSize(conn, 64<<10)
+	var held []*pendingChunk
 	discard := func() {
 		conn.Close()
-		for range queue { // unblock the reader until it closes the queue
+		for _, pc := range held {
+			putChunk(pc)
+		}
+		held = held[:0]
+		for pc := range queue { // unblock the reader until it closes the queue
+			putChunk(pc)
 		}
 	}
-	var held [][]pendingResp
 	for {
 		first, ok := <-queue
 		if !ok {
@@ -600,10 +672,10 @@ func (s *Server) acker(conn net.Conn, queue <-chan []pendingResp, done chan<- st
 			}
 		}
 		var hi uint64
-		for _, c := range held {
-			for _, p := range c {
-				if p.lsn > hi {
-					hi = p.lsn
+		for _, pc := range held {
+			for i := range pc.resps {
+				if pc.resps[i].lsn > hi {
+					hi = pc.resps[i].lsn
 				}
 			}
 		}
@@ -616,17 +688,30 @@ func (s *Server) acker(conn net.Conn, queue <-chan []pendingResp, done chan<- st
 			}
 		}
 		now := time.Now()
-		for _, c := range held {
-			for _, p := range c {
+		for _, pc := range held {
+			for i := range pc.resps {
+				p := &pc.resps[i]
 				if !p.start.IsZero() {
 					s.ackLat.Observe(uint64(now.Sub(p.start)))
 				}
-				if err := wire.WriteResponse(bw, p.resp); err != nil {
+				var werr error
+				if p.batch != nil {
+					werr = wire.WriteBatchResponses(bw, p.batch.resps)
+					putRespBuf(p.batch)
+					p.batch = nil
+				} else {
+					werr = wire.WriteResponse(bw, p.resp)
+				}
+				if werr != nil {
 					discard()
 					return
 				}
 			}
 		}
+		for _, pc := range held {
+			putChunk(pc)
+		}
+		held = held[:0]
 		if !open {
 			bw.Flush()
 			return

@@ -1,0 +1,306 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"grouphash/internal/layout"
+)
+
+// The response writers take an in-place encoding fast path when handed
+// a *bufio.Writer (the server's ack path) and the readers decode in
+// place from a *bufio.Reader (every real client). These tests drive
+// those paths with deliberately tiny buffers so every flush/refill
+// branch runs, and check byte-for-byte agreement with the generic
+// io.Writer slow path.
+
+// failWriter errors after n successful writes.
+type failWriter struct{ n int }
+
+var errSink = errors.New("sink failed")
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errSink
+	}
+	f.n--
+	return len(p), nil
+}
+
+func TestWriteResponseBufioMatchesSlowPath(t *testing.T) {
+	resps := []Response{
+		{Status: StatusOK, Value: 7},
+		{Status: StatusNotFound, Value: 0},
+		{Status: StatusOK, Value: 42, Extra: []byte("stats payload")},
+		{Status: StatusOK, Value: 1<<64 - 1},
+		{Status: StatusBadRequest, Value: 3, Extra: bytes.Repeat([]byte{0xAB}, 100)},
+	}
+	var slow bytes.Buffer
+	for _, r := range resps {
+		if err := WriteResponse(&slow, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A 16-byte bufio.Writer (the minimum) cannot hold even two fixed
+	// frames, so the mid-stream Flush branch runs on every response.
+	var fast bytes.Buffer
+	bw := bufio.NewWriterSize(&fast, 16)
+	for _, r := range resps {
+		if err := WriteResponse(bw, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(slow.Bytes(), fast.Bytes()) {
+		t.Fatalf("bufio fast path encoded differently:\nslow %x\nfast %x", slow.Bytes(), fast.Bytes())
+	}
+
+	// Decode back through both reader paths; the bufio reader is kept
+	// at the 16-byte minimum so fixed frames straddle refills.
+	for name, rd := range map[string]io.Reader{
+		"plain": bytes.NewReader(fast.Bytes()),
+		"bufio": bufio.NewReaderSize(bytes.NewReader(fast.Bytes()), 16),
+	} {
+		for i, want := range resps {
+			got, err := ReadResponse(rd)
+			if err != nil {
+				t.Fatalf("%s reader, resp %d: %v", name, i, err)
+			}
+			if got.Status != want.Status || got.Value != want.Value || !bytes.Equal(got.Extra, want.Extra) {
+				t.Fatalf("%s reader, resp %d: got %+v want %+v", name, i, got, want)
+			}
+		}
+		if _, err := ReadResponse(rd); err != io.EOF {
+			t.Fatalf("%s reader: want clean EOF after last frame, got %v", name, err)
+		}
+	}
+}
+
+func TestWriteResponseBufioFlushError(t *testing.T) {
+	// First write succeeds (fills the buffer), then the forced flush on
+	// the next response fails: the error must surface, not vanish into
+	// the buffer.
+	bw := bufio.NewWriterSize(&failWriter{n: 0}, 16)
+	if err := WriteResponse(bw, Response{Status: StatusOK}); err != nil {
+		t.Fatalf("buffered write should not touch the sink yet: %v", err)
+	}
+	if err := WriteResponse(bw, Response{Status: StatusOK}); !errors.Is(err, errSink) {
+		t.Fatalf("want sink error from forced flush, got %v", err)
+	}
+}
+
+func TestWriteResponseStickyBufioError(t *testing.T) {
+	// A large-enough buffer means no forced flush: the bw.Write calls
+	// themselves must surface bufio's sticky error.
+	bw := bufio.NewWriterSize(&failWriter{n: 0}, 64)
+	if err := WriteResponse(bw, Response{Status: StatusOK}); err != nil {
+		t.Fatalf("buffered write should succeed: %v", err)
+	}
+	if err := bw.Flush(); !errors.Is(err, errSink) {
+		t.Fatalf("want sink error from flush, got %v", err)
+	}
+	if err := WriteResponse(bw, Response{Status: StatusOK}); !errors.Is(err, errSink) {
+		t.Fatalf("sticky bufio error swallowed: %v", err)
+	}
+}
+
+func TestWriteResponseBufioExtraError(t *testing.T) {
+	// The fixed part buffers cleanly; the oversized Extra forces a
+	// flush into the dead sink.
+	bw := bufio.NewWriterSize(&failWriter{n: 0}, 64)
+	resp := Response{Status: StatusOK, Extra: bytes.Repeat([]byte{1}, 200)}
+	if err := WriteResponse(bw, resp); !errors.Is(err, errSink) {
+		t.Fatalf("want sink error from Extra write, got %v", err)
+	}
+}
+
+func TestWriteResponsePlainWriterErrors(t *testing.T) {
+	if err := WriteResponse(&failWriter{n: 0}, Response{Status: StatusOK}); !errors.Is(err, errSink) {
+		t.Fatalf("fixed-frame write error swallowed: %v", err)
+	}
+	resp := Response{Status: StatusOK, Extra: []byte("x")}
+	if err := WriteResponse(&failWriter{n: 1}, resp); !errors.Is(err, errSink) {
+		t.Fatalf("Extra write error swallowed: %v", err)
+	}
+}
+
+func TestWriteBatchResponsesPlainWriterErrors(t *testing.T) {
+	resps := make([]Response, 4)
+	if err := WriteBatchResponses(&failWriter{n: 0}, resps); !errors.Is(err, errSink) {
+		t.Fatalf("header write error swallowed: %v", err)
+	}
+	if err := WriteBatchResponses(&failWriter{n: 2}, resps); !errors.Is(err, errSink) {
+		t.Fatalf("sub-response write error swallowed: %v", err)
+	}
+}
+
+func TestReadBatchResponsesErrors(t *testing.T) {
+	// Wrong sub-response count, both reader kinds.
+	var frame bytes.Buffer
+	if err := WriteBatchResponses(&frame, make([]Response, 3)); err != nil {
+		t.Fatal(err)
+	}
+	for name, rd := range map[string]io.Reader{
+		"plain": bytes.NewReader(frame.Bytes()),
+		"bufio": bufio.NewReaderSize(bytes.NewReader(frame.Bytes()), 16),
+	} {
+		if err := ReadBatchResponses(rd, make([]Response, 4)); !errors.Is(err, ErrFrame) {
+			t.Fatalf("%s reader: count mismatch accepted: %v", name, err)
+		}
+	}
+	// Truncated body, both reader kinds.
+	cut := frame.Bytes()[:frame.Len()-2]
+	for name, rd := range map[string]io.Reader{
+		"plain": bytes.NewReader(cut),
+		"bufio": bufio.NewReaderSize(bytes.NewReader(cut), 16),
+	} {
+		if err := ReadBatchResponses(rd, make([]Response, 3)); err != io.ErrUnexpectedEOF {
+			t.Fatalf("%s reader: torn batch body: want ErrUnexpectedEOF, got %v", name, err)
+		}
+	}
+	// Dead stream before the header.
+	if err := ReadBatchResponses(bytes.NewReader(nil), make([]Response, 1)); err != io.EOF {
+		t.Fatalf("plain reader: want io.EOF on clean close, got %v", err)
+	}
+	if err := ReadBatchResponses(bufio.NewReaderSize(bytes.NewReader(nil), 16), make([]Response, 1)); err != io.EOF {
+		t.Fatalf("bufio reader: want io.EOF on clean close, got %v", err)
+	}
+	// Torn header on the bufio path.
+	if err := ReadBatchResponses(bufio.NewReaderSize(bytes.NewReader([]byte{1, 2}), 16), make([]Response, 1)); err != io.ErrUnexpectedEOF {
+		t.Fatalf("bufio reader: torn header: want ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+func TestWriteResponseExtraTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	resp := Response{Status: StatusOK, Extra: make([]byte, MaxFrame)}
+	if err := WriteResponse(&buf, resp); !errors.Is(err, ErrFrame) {
+		t.Fatalf("oversized Extra accepted: %v", err)
+	}
+	if err := WriteResponse(bufio.NewWriter(&buf), resp); !errors.Is(err, ErrFrame) {
+		t.Fatalf("oversized Extra accepted on the bufio path: %v", err)
+	}
+}
+
+func TestWriteBatchResponsesBufioMatchesSlowPath(t *testing.T) {
+	resps := make([]Response, 64)
+	for i := range resps {
+		resps[i] = Response{Status: byte(i % 3), Value: uint64(i) * 0x9e3779b97f4a7c15}
+	}
+	var slow bytes.Buffer
+	if err := WriteBatchResponses(&slow, resps); err != nil {
+		t.Fatal(err)
+	}
+	var fast bytes.Buffer
+	bw := bufio.NewWriterSize(&fast, 16) // every sub-response forces a flush
+	if err := WriteBatchResponses(bw, resps); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(slow.Bytes(), fast.Bytes()) {
+		t.Fatalf("bufio batch fast path encoded differently:\nslow %x\nfast %x", slow.Bytes(), fast.Bytes())
+	}
+
+	for name, rd := range map[string]io.Reader{
+		"plain": bytes.NewReader(fast.Bytes()),
+		"bufio": bufio.NewReaderSize(bytes.NewReader(fast.Bytes()), 16),
+	} {
+		got := make([]Response, len(resps))
+		if err := ReadBatchResponses(rd, got); err != nil {
+			t.Fatalf("%s reader: %v", name, err)
+		}
+		for i := range resps {
+			if got[i].Status != resps[i].Status || got[i].Value != resps[i].Value {
+				t.Fatalf("%s reader, sub %d: got %+v want %+v", name, i, got[i], resps[i])
+			}
+		}
+	}
+}
+
+func TestWriteBatchResponsesBufioFlushError(t *testing.T) {
+	// Header goes through (one sink write), then the first sub-response
+	// flush fails.
+	bw := bufio.NewWriterSize(&failWriter{n: 1}, 16)
+	resps := make([]Response, 8)
+	if err := WriteBatchResponses(bw, resps); !errors.Is(err, errSink) {
+		t.Fatalf("want sink error from sub-response flush, got %v", err)
+	}
+}
+
+func TestWriteBatchResponsesSizeLimits(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBatchResponses(&buf, nil); !errors.Is(err, ErrFrame) {
+		t.Fatalf("empty batch accepted: %v", err)
+	}
+	if err := WriteBatchResponses(&buf, make([]Response, MaxBatchOps+1)); !errors.Is(err, ErrFrame) {
+		t.Fatalf("oversized batch accepted: %v", err)
+	}
+}
+
+func TestReadResponseBufferedErrors(t *testing.T) {
+	// Truncated header: one byte then EOF is a torn frame.
+	if _, err := ReadResponse(bufio.NewReaderSize(bytes.NewReader([]byte{1}), 16)); err != io.ErrUnexpectedEOF {
+		t.Fatalf("torn header: want ErrUnexpectedEOF, got %v", err)
+	}
+	// Clean EOF before any bytes stays io.EOF.
+	if _, err := ReadResponse(bufio.NewReaderSize(bytes.NewReader(nil), 16)); err != io.EOF {
+		t.Fatalf("clean close: want io.EOF, got %v", err)
+	}
+	// Hostile length: below the fixed size.
+	bad := []byte{3, 0, 0, 0}
+	if _, err := ReadResponse(bufio.NewReaderSize(bytes.NewReader(bad), 16)); !errors.Is(err, ErrFrame) {
+		t.Fatalf("undersized body length accepted: %v", err)
+	}
+	// Truncated fixed body.
+	torn := []byte{9, 0, 0, 0, StatusOK, 1, 2}
+	if _, err := ReadResponse(bufio.NewReaderSize(bytes.NewReader(torn), 16)); err != io.ErrUnexpectedEOF {
+		t.Fatalf("torn body: want ErrUnexpectedEOF, got %v", err)
+	}
+	// Truncated Extra body.
+	var full bytes.Buffer
+	if err := WriteResponse(&full, Response{Status: StatusOK, Extra: []byte("abcdef")}); err != nil {
+		t.Fatal(err)
+	}
+	cut := full.Bytes()[:full.Len()-3]
+	if _, err := ReadResponse(bufio.NewReaderSize(bytes.NewReader(cut), 16)); err != io.ErrUnexpectedEOF {
+		t.Fatalf("torn extra: want ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+// TestBatchRequestResponseWireRoundTrip drives the whole batch frame
+// cycle the way the server does: AppendBatchRequest → RequestReader →
+// WriteBatchResponses → ReadBatchResponses, all through small bufio
+// buffers.
+func TestBatchRequestResponseWireRoundTrip(t *testing.T) {
+	subs := make([]Request, 17)
+	for i := range subs {
+		subs[i] = Request{Op: OpPut, Key: layout.Key{Lo: uint64(i + 1)}, Value: uint64(i) << 8}
+	}
+	frame, err := AppendBatchRequest(nil, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := NewRequestReader(bufio.NewReaderSize(bytes.NewReader(frame), 16))
+	req, got, err := rr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Op != OpBatch || len(got) != len(subs) {
+		t.Fatalf("batch frame decoded as op %d with %d subs, want OpBatch with %d", req.Op, len(got), len(subs))
+	}
+	for i := range subs {
+		if got[i] != subs[i] {
+			t.Fatalf("sub %d: got %+v want %+v", i, got[i], subs[i])
+		}
+	}
+	if _, _, err := rr.Next(); err != io.EOF {
+		t.Fatalf("want clean EOF after the batch frame, got %v", err)
+	}
+}

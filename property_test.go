@@ -15,6 +15,11 @@ import (
 // fully re-verified, so the property covers the persistence path too:
 //
 //   - Get/Put/Insert/Delete agree with a per-key last-writer oracle;
+//   - so do the batch entry points: each worker interleaves ApplyBatch
+//     bursts (mixed puts/inserts/deletes, per-op outcomes checked
+//     against the oracle) and MGet sweeps with its single-op stream,
+//     so stripe-grouped apply races single ops, seqlock reads, the
+//     chaos quiescer, and forced mid-batch online expansions;
 //   - Len equals the union of the oracles after every phase;
 //   - a Snapshot → LoadSnapshot round trip preserves exactly the
 //     oracle contents (no losses, no resurrections, no extras);
@@ -125,10 +130,11 @@ func TestConcurrentPropertyOracle(t *testing.T) {
 				defer wg.Done()
 				rng := rand.New(rand.NewSource(int64(phase*workers + w + 1)))
 				oracle := oracles[w]
+				var sc BatchScratch
 				for i := 0; i < opsPer; i++ {
 					n := rng.Uint64() % span
 					k := key(w, n)
-					switch op := rng.Intn(10); {
+					switch op := rng.Intn(12); {
 					case op < 4: // Put (upsert)
 						v := rng.Uint64() >> 1
 						if err := st.Put(k, v); err != nil {
@@ -156,13 +162,67 @@ func TestConcurrentPropertyOracle(t *testing.T) {
 							return
 						}
 						delete(oracle, k.Lo)
-					default: // Get
+					case op < 9: // Get
 						want, present := oracle[k.Lo]
 						got, ok := st.Get(k)
 						if ok != present || (present && got != want) {
 							t.Errorf("Get(w=%d n=%d) = (%d, %v), oracle (%d, %v)",
 								w, n, got, ok, want, present)
 							return
+						}
+					case op < 11: // ApplyBatch burst of mixed mutations
+						bn := 1 + rng.Intn(16)
+						ops := make([]BatchOp, 0, bn)
+						expectFound := make([]bool, 0, bn)
+						for j := 0; j < bn; j++ {
+							bk := key(w, rng.Uint64()%span)
+							_, present := oracle[bk.Lo]
+							switch {
+							case rng.Intn(3) == 0: // delete
+								ops = append(ops, BatchOp{Kind: BatchDelete, Key: bk})
+								expectFound = append(expectFound, present)
+								delete(oracle, bk.Lo)
+							case present: // upsert an existing key in place
+								v := rng.Uint64() >> 1
+								ops = append(ops, BatchOp{Kind: BatchPut, Key: bk, Value: v})
+								expectFound = append(expectFound, true)
+								oracle[bk.Lo] = v
+							default: // fresh insert
+								v := rng.Uint64() >> 1
+								ops = append(ops, BatchOp{Kind: BatchInsert, Key: bk, Value: v})
+								expectFound = append(expectFound, false)
+								oracle[bk.Lo] = v
+							}
+						}
+						out := make([]BatchResult, len(ops))
+						st.ApplyBatch(ops, out, &sc, nil)
+						for j := range out {
+							if out[j].Err != nil {
+								t.Errorf("ApplyBatch(w=%d) op %d: %v", w, j, out[j].Err)
+								return
+							}
+							if out[j].Found != expectFound[j] {
+								t.Errorf("ApplyBatch(w=%d) op %d Found = %v, oracle %v",
+									w, j, out[j].Found, expectFound[j])
+								return
+							}
+						}
+					default: // MGet sweep over a random window
+						const bn = 8
+						keys := make([]Key, bn)
+						vals := make([]uint64, bn)
+						found := make([]bool, bn)
+						for j := range keys {
+							keys[j] = key(w, rng.Uint64()%span)
+						}
+						st.MGet(keys, vals, found)
+						for j := range keys {
+							want, present := oracle[keys[j].Lo]
+							if found[j] != present || (present && vals[j] != want) {
+								t.Errorf("MGet(w=%d)[%d] = (%d, %v), oracle (%d, %v)",
+									w, j, vals[j], found[j], want, present)
+								return
+							}
 						}
 					}
 				}
