@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-json bench-baseline bench-diff bench-allocs race torture fuzz fuzz-smoke cover serve-smoke figures figures-paper examples clean
+.PHONY: all build test vet bench bench-json bench-engines bench-baseline bench-diff bench-allocs race torture fuzz fuzz-smoke cover serve-smoke figures figures-paper examples clean
 
 all: build vet test
 
@@ -20,10 +20,10 @@ vet:
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/core ./internal/server ./internal/client ./internal/native
+	$(GO) test -race ./internal/core ./internal/engine ./internal/server ./internal/client ./internal/native
 
 race: torture fuzz-smoke
-	$(GO) test -race ./internal/core ./internal/server ./internal/client ./internal/native ./internal/oplog ./internal/harness .
+	$(GO) test -race ./internal/core ./internal/engine ./internal/server ./internal/client ./internal/native ./internal/oplog ./internal/harness .
 	$(GO) test -race -run 'OnlineExpansion' -count=4 -cpu 1,2,4 ./internal/core
 
 # torture is the durability gate: the in-process crash-torture test
@@ -52,6 +52,14 @@ bench:
 # its pre-adaptive shape -> BENCH_PR4.json).
 bench-json:
 	$(GO) run ./cmd/ghbench -exp batch -scale default -json BENCH_PR8.json
+
+# bench-engines regenerates the engine shoot-out: every scheme behind
+# the internal/engine seam serving the batch experiment's strongest
+# shape (16 conns, 256-op OpBatch frames, adaptive oplog) over loopback
+# TCP. The grouphash rows here against BENCH_PR8's batch=256 rows bound
+# the cost of the engine interface itself (acceptance: <= 1.05x).
+bench-engines:
+	$(GO) run ./cmd/ghbench -exp engines -scale default -json BENCH_PR9.json
 
 # The Go-benchmark set bench-baseline/bench-diff track: the substrate
 # microbenchmarks, the fingerprint-sensitive lookup benchmarks, the
@@ -99,20 +107,30 @@ bench-substrate:
 	$(GO) test -run XXX -bench 'BenchmarkConcurrent.*Parallel' -cpu 1,2,4 ./internal/core
 	$(GO) test -run XXX -bench 'BenchmarkExpandRehash' -cpu 1,2,4 ./internal/core
 
-# serve-smoke exercises the ghserver/ghload pair end to end: start a
+# serve-smoke exercises the ghserver/ghload pair end to end for every
+# engine behind the -engine flag: two generations per engine — start a
 # server, push a short YCSB-B burst through it, SIGTERM it mid-serve,
-# and check the graceful drain left a loadable image behind.
+# check the graceful drain left an image behind, then boot a second
+# generation FROM that image and do it again. The generation-2 log must
+# show the image actually loaded, so the real-binary snapshot/restart
+# cycle is proven for the comparison schemes, not just the flagship.
 serve-smoke:
 	$(GO) build -o /tmp/gh-smoke/ ./cmd/ghserver ./cmd/ghload
-	rm -f /tmp/gh-smoke/store.pmfs
-	/tmp/gh-smoke/ghserver -addr 127.0.0.1:47790 -image /tmp/gh-smoke/store.pmfs \
-		>/tmp/gh-smoke/server.log 2>&1 & \
-	SRV=$$!; \
-	/tmp/gh-smoke/ghload -addr 127.0.0.1:47790 -records 20000 -ops 200000 -conns 4 || exit 1; \
-	kill -TERM $$SRV && wait $$SRV || exit 1; \
-	test -s /tmp/gh-smoke/store.pmfs || { echo "serve-smoke: no image saved"; exit 1; }; \
-	grep -q "final snapshot" /tmp/gh-smoke/server.log || { echo "serve-smoke: no drain snapshot"; exit 1; }; \
-	echo "serve-smoke: OK (drained image saved)"
+	@for e in grouphash pfht pathhash chained linearprobe; do \
+		rm -f /tmp/gh-smoke/store-$$e.pmfs; \
+		for gen in 1 2; do \
+			/tmp/gh-smoke/ghserver -addr 127.0.0.1:47790 -engine $$e -capacity 262144 \
+				-image /tmp/gh-smoke/store-$$e.pmfs \
+				>/tmp/gh-smoke/server-$$e-$$gen.log 2>&1 & \
+			SRV=$$!; sleep 0.2; \
+			/tmp/gh-smoke/ghload -addr 127.0.0.1:47790 -records 8000 -ops 60000 -conns 4 || exit 1; \
+			kill -TERM $$SRV && wait $$SRV || exit 1; \
+			test -s /tmp/gh-smoke/store-$$e.pmfs || { echo "serve-smoke($$e): no image saved"; exit 1; }; \
+			grep -q "final snapshot" /tmp/gh-smoke/server-$$e-$$gen.log || { echo "serve-smoke($$e): no drain snapshot"; exit 1; }; \
+		done; \
+		grep -q "loaded .* items" /tmp/gh-smoke/server-$$e-2.log || { echo "serve-smoke($$e): restart did not load the image"; exit 1; }; \
+		echo "serve-smoke($$e): OK (two generations, image reloaded)"; \
+	done
 
 fuzz:
 	$(GO) test -fuzz=FuzzTableOps -fuzztime=30s ./internal/core

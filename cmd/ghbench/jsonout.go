@@ -60,6 +60,9 @@ type jsonReport struct {
 	// vs explicit OpBatch frames across batch sizes, with allocation
 	// and write-amplification counters. See cmd/ghbench/batch.go.
 	BatchThroughput []batchRow `json:"batch_throughput,omitempty"`
+	// Engine shoot-out: every scheme behind the internal/engine seam
+	// serving the same wire workloads. See cmd/ghbench/engines.go.
+	Engines []engineRow `json:"engines,omitempty"`
 }
 
 // addLatency flattens LatencyResult rows (insert/query/delete phases)

@@ -31,7 +31,7 @@ import (
 func traceRandomNum(seed int64) trace.Trace { return trace.NewRandomNum(seed) }
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: all, fig2, fig5, fig6, fig7, fig8, table3, wear, ycsb, excluded, curve, repeat, expand, probe, oplog, metrics, batch")
+	exp := flag.String("exp", "all", "comma-separated experiments: all, fig2, fig5, fig6, fig7, fig8, table3, wear, ycsb, excluded, curve, repeat, expand, probe, oplog, metrics, batch, engines")
 	scaleName := flag.String("scale", "default", "experiment scale: test, default, paper")
 	csvDir := flag.String("csv", "", "also write each experiment's data as CSV into this directory")
 	plotOut := flag.Bool("plot", false, "render figures additionally as terminal bar charts")
@@ -272,6 +272,24 @@ func main() {
 					if _, err := fmt.Fprintf(f, "%s,%s,%d,%d,%d,%.3f,%.3f,%.3f,%.4f,%.3f,%.3f\n",
 						r.Workload, r.Shape, r.Batch, r.Conns, r.Ops, r.WallMs, r.KopsSec, r.Speedup,
 						r.AllocsPerOp, r.OplogAppendsPerKop, r.CountPersistsPerKop); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+	}
+	if want("engines") {
+		timed("engines", func() {
+			runEnginesExperiment(w, scale, &report)
+			writeCSV("engines.csv", func(f *os.File) error {
+				if _, err := fmt.Fprintln(f, "engine,workload,batch,conns,ops,wall_ms,kops_per_sec,items,capacity,load_factor,rel_vs_flagship,allocs_per_op"); err != nil {
+					return err
+				}
+				for _, r := range report.Engines {
+					if _, err := fmt.Fprintf(f, "%s,%s,%d,%d,%d,%.3f,%.3f,%d,%d,%.4f,%.3f,%.4f\n",
+						r.Engine, r.Workload, r.Batch, r.Conns, r.Ops, r.WallMs, r.KopsSec,
+						r.Items, r.Capacity, r.LoadFactor, r.RelVsFlagship, r.AllocsPerOp); err != nil {
 						return err
 					}
 				}

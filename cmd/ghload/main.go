@@ -1,6 +1,10 @@
 // Command ghload is the load generator for ghserver: it preloads a
 // keyspace, then drives a YCSB mix (internal/trace) over pipelined
 // connections and reports achieved throughput and latency percentiles.
+// The storage engine is the server's choice (ghserver -engine); the
+// wire protocol is identical for all of them, so the same ghload
+// invocation compares schemes by pointing at differently-booted
+// servers.
 //
 // Usage:
 //

@@ -1,13 +1,15 @@
-// Command ghserver serves a grouphash store over TCP: the concurrent
-// native-backend table behind the length-prefixed wire protocol, with
-// group-committed operation logging, periodic background snapshots and
-// a graceful drain on SIGINT/SIGTERM that refuses late writes, saves a
-// final image and seals the log.
+// Command ghserver serves a storage engine over TCP: by default the
+// concurrent native-backend group-hash table, or — via -engine — any
+// of the paper's comparison schemes behind the same wire protocol,
+// with group-committed operation logging, periodic background
+// snapshots and a graceful drain on SIGINT/SIGTERM that refuses late
+// writes, saves a final image and seals the log.
 //
 // Usage:
 //
 //	ghserver -addr :4777 -capacity 1048576 \
 //	    -image /var/lib/gh/store.pmfs -oplog /var/lib/gh/oplog
+//	ghserver -engine pathhash -capacity 65536 -image /tmp/path.pmfs
 //
 // Durability: with -oplog, acked means durable — every mutating
 // request is appended to the operation log and its response is held
@@ -24,15 +26,17 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
-	"grouphash"
+	"grouphash/internal/engine"
 	"grouphash/internal/oplog"
 	"grouphash/internal/server"
 )
@@ -40,8 +44,10 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", ":4777", "TCP listen address")
-		capacity = flag.Uint64("capacity", 1<<20, "initial item capacity (the store expands online when it fills)")
-		group    = flag.Uint64("group-size", 0, "cells per group (0 = the paper's 256)")
+		engName  = flag.String("engine", "grouphash", fmt.Sprintf("storage engine: %s (grouphash is the paper's scheme and expands online; the comparison schemes are fixed-size; pfht/pathhash/linearprobe accept an -l suffix for the undo-WAL variants)", strings.Join(engine.Names(), "|")))
+		capacity = flag.Uint64("capacity", 1<<20, "initial item capacity (the grouphash engine expands online when it fills; comparison engines allocate ~2x headroom in cells and stay fixed)")
+		group    = flag.Uint64("group-size", 0, "cells per group (grouphash only; 0 = the paper's 256)")
+		seed     = flag.Uint64("seed", 0, "hash-function seed (must match across restarts of the same image)")
 		image    = flag.String("image", "", "pmfs image path: loaded at start if present, snapshot target while serving")
 		logBase  = flag.String("oplog", "", "operation log base path: acked writes are fsynced here before the ack and replayed over the image at start (\"\" = snapshots only; a crash then loses acked writes since the last image)")
 		syncT    = flag.Duration("oplog-sync-every", 100*time.Microsecond, "adaptive group-commit window: acks are released when a batch has aged this long (0 = fsync synchronously per pipelined batch, the pre-adaptive behaviour)")
@@ -55,36 +61,38 @@ func main() {
 	log.SetPrefix("ghserver: ")
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
 
-	var st *grouphash.Store
+	spec := engine.Spec{
+		Name:      *engName,
+		Capacity:  *capacity,
+		GroupSize: *group,
+		Seed:      *seed,
+	}
+	var eng engine.Engine
 	var mark uint64
 	var err error
 	if *image != "" {
 		if _, statErr := os.Stat(*image); statErr == nil {
-			if st, mark, err = grouphash.LoadSnapshotMark(*image, true); err != nil {
+			if eng, mark, err = engine.Load(spec, *image); err != nil {
 				log.Fatalf("loading image %s: %v", *image, err)
 			}
-			log.Printf("loaded %d items from %s (oplog mark %d)", st.Len(), *image, mark)
+			log.Printf("loaded %d items from %s (engine %s, oplog mark %d)", eng.Len(), *image, eng.Name(), mark)
 		}
 	}
-	if st == nil {
-		st, err = grouphash.New(grouphash.Options{
-			Capacity:   *capacity,
-			GroupSize:  *group,
-			Concurrent: true,
-		})
-		if err != nil {
-			log.Fatalf("creating store: %v", err)
+	if eng == nil {
+		if eng, err = engine.New(spec); err != nil {
+			log.Fatalf("creating engine: %v", err)
 		}
+		log.Printf("engine %s (capacity %d)", eng.Name(), *capacity)
 	}
 
 	var lg *oplog.Log
 	if *logBase != "" {
-		applied, next, err := st.ReplayOplog(*logBase, mark)
+		applied, next, err := eng.ReplayOplog(*logBase, mark)
 		if err != nil {
 			log.Fatalf("oplog replay from %s: %v", *logBase, err)
 		}
 		if applied > 0 {
-			log.Printf("replayed %d acked writes from %s (through LSN %d); %d items now", applied, *logBase, next-1, st.Len())
+			log.Printf("replayed %d acked writes from %s (through LSN %d); %d items now", applied, *logBase, next-1, eng.Len())
 		} else {
 			log.Printf("oplog %s: nothing to replay past mark %d", *logBase, mark)
 		}
@@ -100,7 +108,7 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		Store:         st,
+		Engine:        eng,
 		SnapshotPath:  *image,
 		SnapshotEvery: *every,
 		Oplog:         lg,

@@ -471,9 +471,16 @@ func (s *Store) Len() uint64 {
 // Capacity returns the total cell count of the table.
 func (s *Store) Capacity() uint64 { return s.tab.Capacity() }
 
-// LoadFactor returns Len/Capacity.
+// Name identifies the scheme behind the engine seam.
+func (s *Store) Name() string { return "grouphash" }
+
+// LoadFactor returns Len/Capacity, 0 on a zero-capacity table.
 func (s *Store) LoadFactor() float64 {
-	return float64(s.Len()) / float64(s.Capacity())
+	capacity := s.Capacity()
+	if capacity == 0 {
+		return 0
+	}
+	return float64(s.Len()) / float64(capacity)
 }
 
 // GroupSize returns the cells-per-group parameter.

@@ -105,8 +105,13 @@ func (t *Table) Len() uint64 { return t.count.Get() }
 // items; bucket heads are not storage).
 func (t *Table) Capacity() uint64 { return t.pool.Blocks() }
 
-// LoadFactor returns items per node slot.
-func (t *Table) LoadFactor() float64 { return float64(t.Len()) / float64(t.Capacity()) }
+// LoadFactor returns items per node slot, 0 on a zero-capacity table.
+func (t *Table) LoadFactor() float64 {
+	if t.Capacity() == 0 {
+		return 0
+	}
+	return float64(t.Len()) / float64(t.Capacity())
+}
 
 // FootprintBytes reports persistent bytes used: heads + pool — the
 // memory-overhead comparison of the exclusion experiment.
@@ -238,4 +243,43 @@ func (t *Table) Recover() (hashtab.RecoveryReport, error) {
 	rep.CountCorrected = t.count.Get() != n
 	t.count.Set(n)
 	return rep, nil
+}
+
+// CheckConsistency audits the structural invariants without repairing:
+// every chain terminates (no cycles through torn next pointers), every
+// node's key is valid and hashes to the bucket whose chain holds it,
+// the persistent count matches the nodes on chains, and the allocator's
+// in-use tally agrees (a mismatch means leaked or double-linked
+// blocks).
+func (t *Table) CheckConsistency() []string {
+	var bad []string
+	n := uint64(0)
+	for b := uint64(0); b < t.buckets; b++ {
+		ptr := t.mem.Read8(t.headAddr(b))
+		for steps := uint64(0); ; steps++ {
+			node, ok := dec(ptr)
+			if !ok {
+				break
+			}
+			if steps >= t.pool.Blocks() {
+				bad = append(bad, "chain is longer than the node pool (cycle)")
+				break
+			}
+			n++
+			k := t.keyAt(node)
+			if !t.l.ValidKey(k) {
+				bad = append(bad, "chain node holds an invalid key")
+			} else if t.h.Index(k.Lo, k.Hi) != b {
+				bad = append(bad, "chain node holds a key that hashes to a different bucket")
+			}
+			ptr = t.mem.Read8(t.nodeNext(node))
+		}
+	}
+	if t.count.Get() != n {
+		bad = append(bad, "persistent count does not match nodes on chains")
+	}
+	if t.pool.InUse() != n {
+		bad = append(bad, "allocator in-use tally does not match nodes on chains")
+	}
+	return bad
 }

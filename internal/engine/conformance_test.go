@@ -1,0 +1,550 @@
+package engine
+
+// The engine conformance suite: one set of table-driven contract tests
+// run identically against all five engines (plus the -L undo-WAL
+// variants). The suite asserts the FAÇADE contract — zero-key
+// rejection under the 8-byte layout, Put-upserts-Insert-duplicates,
+// delete-absent leaves the count alone, NaN-free LoadFactor, snapshot
+// round-trips, idempotent recovery. When a scheme disagrees, the
+// scheme gets fixed, never the suite.
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"grouphash/internal/core"
+	"grouphash/internal/hashtab"
+	"grouphash/internal/layout"
+	"grouphash/internal/stats"
+)
+
+// conformanceSpecs lists every engine build the suite runs against.
+func conformanceSpecs() []Spec {
+	return []Spec{
+		{Name: "grouphash", Capacity: 1 << 10},
+		{Name: "pfht", Capacity: 1 << 10},
+		{Name: "pfht", Capacity: 1 << 10, Logged: true},
+		{Name: "pathhash", Capacity: 1 << 10},
+		{Name: "pathhash", Capacity: 1 << 10, Logged: true},
+		{Name: "chained", Capacity: 1 << 10},
+		{Name: "linearprobe", Capacity: 1 << 10},
+		{Name: "linearprobe", Capacity: 1 << 10, Logged: true},
+	}
+}
+
+func specLabel(spec Spec) string {
+	if spec.Logged {
+		return spec.Name + "-l"
+	}
+	return spec.Name
+}
+
+// forEachEngine runs fn as a subtest per conformance spec.
+func forEachEngine(t *testing.T, fn func(t *testing.T, spec Spec, e Engine)) {
+	t.Helper()
+	for _, spec := range conformanceSpecs() {
+		spec := spec
+		t.Run(specLabel(spec), func(t *testing.T) {
+			e, err := New(spec)
+			if err != nil {
+				t.Fatalf("New(%+v): %v", spec, err)
+			}
+			fn(t, spec, e)
+		})
+	}
+}
+
+func key(i uint64) layout.Key {
+	return layout.Key{Lo: i, Hi: i * 0x9e3779b97f4a7c15}
+}
+
+// requireClean fails the test if the engine's own audit finds
+// violations — every conformance scenario ends with it, so any
+// count/bitmap/placement damage a contract test causes is caught even
+// when the observable return values look right.
+func requireClean(t *testing.T, e Engine) {
+	t.Helper()
+	if bad := e.CheckConsistency(); len(bad) != 0 {
+		t.Fatalf("CheckConsistency: %v", bad)
+	}
+}
+
+func TestConformanceNames(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, spec Spec, e Engine) {
+		if e.Name() != spec.Name {
+			t.Fatalf("Name() = %q, want %q", e.Name(), spec.Name)
+		}
+	})
+}
+
+func TestConformanceZeroKeyRejected(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, spec Spec, e Engine) {
+		zero := layout.Key{}
+		if err := e.Insert(zero, 7); !errors.Is(err, hashtab.ErrInvalidKey) {
+			t.Errorf("Insert(zero) = %v, want ErrInvalidKey", err)
+		}
+		if err := e.Put(zero, 7); !errors.Is(err, hashtab.ErrInvalidKey) {
+			t.Errorf("Put(zero) = %v, want ErrInvalidKey", err)
+		}
+		if _, ok := e.Get(zero); ok {
+			t.Error("Get(zero) found an item in an empty table")
+		}
+		if e.Delete(zero) {
+			t.Error("Delete(zero) = true in an empty table")
+		}
+		if e.Len() != 0 {
+			t.Errorf("Len = %d after rejected zero-key ops, want 0", e.Len())
+		}
+		// The zero key must stay invisible even when the table has
+		// items: an empty cell's key word is 0, so an accepted zero
+		// key would false-positive against empty cells.
+		for i := uint64(1); i <= 64; i++ {
+			if err := e.Put(key(i), i); err != nil {
+				t.Fatalf("Put(%d): %v", i, err)
+			}
+		}
+		if _, ok := e.Get(zero); ok {
+			t.Error("Get(zero) false-positived against a populated table")
+		}
+		if e.Delete(zero) {
+			t.Error("Delete(zero) = true against a populated table")
+		}
+		if e.Len() != 64 {
+			t.Errorf("Len = %d, want 64", e.Len())
+		}
+		requireClean(t, e)
+	})
+}
+
+func TestConformancePutUpserts(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, spec Spec, e Engine) {
+		k := key(1)
+		if err := e.Put(k, 100); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		if v, ok := e.Get(k); !ok || v != 100 {
+			t.Fatalf("Get = (%d, %t), want (100, true)", v, ok)
+		}
+		if err := e.Put(k, 200); err != nil {
+			t.Fatalf("Put (overwrite): %v", err)
+		}
+		if v, ok := e.Get(k); !ok || v != 200 {
+			t.Fatalf("Get after overwrite = (%d, %t), want (200, true)", v, ok)
+		}
+		if e.Len() != 1 {
+			t.Fatalf("Len = %d after upsert of one key, want 1", e.Len())
+		}
+		requireClean(t, e)
+	})
+}
+
+func TestConformanceInsertAllowsDuplicates(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, spec Spec, e Engine) {
+		// Algorithm-1 semantics: Insert does no existing-key check, so
+		// a duplicate occupies a second cell and Delete removes one
+		// instance at a time.
+		k := key(2)
+		if err := e.Insert(k, 1); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		if err := e.Insert(k, 2); err != nil {
+			t.Fatalf("Insert (duplicate): %v", err)
+		}
+		if e.Len() != 2 {
+			t.Fatalf("Len = %d after duplicate Insert, want 2", e.Len())
+		}
+		if !e.Delete(k) {
+			t.Fatal("Delete #1 = false, want true")
+		}
+		if e.Len() != 1 {
+			t.Fatalf("Len = %d after first Delete, want 1", e.Len())
+		}
+		if !e.Delete(k) {
+			t.Fatal("Delete #2 = false, want true")
+		}
+		if e.Delete(k) {
+			t.Fatal("Delete #3 = true on an absent key")
+		}
+		if e.Len() != 0 {
+			t.Fatalf("Len = %d, want 0", e.Len())
+		}
+		requireClean(t, e)
+	})
+}
+
+func TestConformanceDeleteAbsentLeavesCount(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, spec Spec, e Engine) {
+		for i := uint64(1); i <= 16; i++ {
+			if err := e.Insert(key(i), i); err != nil {
+				t.Fatalf("Insert(%d): %v", i, err)
+			}
+		}
+		if e.Delete(key(999)) {
+			t.Error("Delete(absent) = true")
+		}
+		if e.Len() != 16 {
+			t.Errorf("Len = %d after delete-absent, want 16 (count must not move)", e.Len())
+		}
+		requireClean(t, e)
+	})
+}
+
+func TestConformanceMGet(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, spec Spec, e Engine) {
+		for i := uint64(1); i <= 32; i++ {
+			if err := e.Put(key(i), i*10); err != nil {
+				t.Fatalf("Put(%d): %v", i, err)
+			}
+		}
+		keys := make([]layout.Key, 0, 48)
+		for i := uint64(1); i <= 48; i++ {
+			keys = append(keys, key(i)) // 33..48 are absent
+		}
+		vals := make([]uint64, len(keys))
+		found := make([]bool, len(keys))
+		e.MGet(keys, vals, found)
+		for i := range keys {
+			wantFound := uint64(i) < 32
+			if found[i] != wantFound {
+				t.Fatalf("MGet key %d: found = %t, want %t", i+1, found[i], wantFound)
+			}
+			if wantFound && vals[i] != uint64(i+1)*10 {
+				t.Fatalf("MGet key %d: val = %d, want %d", i+1, vals[i], uint64(i+1)*10)
+			}
+		}
+	})
+}
+
+func TestConformanceApplyBatch(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, spec Spec, e Engine) {
+		if err := e.Put(key(1), 1); err != nil {
+			t.Fatal(err)
+		}
+		ops := []core.BatchOp{
+			{Kind: core.BatchPut, Key: key(1), Value: 11},    // upsert existing → Found
+			{Kind: core.BatchPut, Key: key(2), Value: 22},    // fresh put
+			{Kind: core.BatchInsert, Key: key(3), Value: 33}, // insert
+			{Kind: core.BatchDelete, Key: key(2)},            // delete just-written (same batch)
+			{Kind: core.BatchDelete, Key: key(99)},           // delete absent → NOT applied
+			{Kind: core.BatchPut, Key: layout.Key{}, Value: 1}, // zero key → error
+		}
+		out := make([]core.BatchResult, len(ops))
+		var sc core.BatchScratch
+		var applied []int
+		e.ApplyBatch(ops, out, &sc, func(idx []int) {
+			applied = append(applied, idx...)
+		})
+
+		if !out[0].Found || out[0].Err != nil {
+			t.Errorf("op0 (upsert existing) = %+v, want Found", out[0])
+		}
+		if out[1].Found || out[1].Err != nil {
+			t.Errorf("op1 (fresh put) = %+v, want !Found", out[1])
+		}
+		if out[2].Err != nil {
+			t.Errorf("op2 (insert) err = %v", out[2].Err)
+		}
+		if !out[3].Found || out[3].Err != nil {
+			t.Errorf("op3 (delete present) = %+v, want Found", out[3])
+		}
+		if out[4].Found || out[4].Err != nil {
+			t.Errorf("op4 (delete absent) = %+v, want !Found no err", out[4])
+		}
+		if !errors.Is(out[5].Err, hashtab.ErrInvalidKey) {
+			t.Errorf("op5 (zero key) err = %v, want ErrInvalidKey", out[5].Err)
+		}
+
+		// applied carries exactly the mutating ops: 0,1,2,3 — never the
+		// absent delete (4) or the failed op (5), which must not reach
+		// the oplog.
+		got := map[int]bool{}
+		for _, i := range applied {
+			if got[i] {
+				t.Fatalf("op %d reported applied twice", i)
+			}
+			got[i] = true
+		}
+		for _, i := range []int{0, 1, 2, 3} {
+			if !got[i] {
+				t.Errorf("op %d missing from applied set %v", i, applied)
+			}
+		}
+		if got[4] || got[5] {
+			t.Errorf("non-mutating op in applied set %v", applied)
+		}
+
+		if v, ok := e.Get(key(1)); !ok || v != 11 {
+			t.Errorf("Get(1) = (%d, %t), want (11, true)", v, ok)
+		}
+		if _, ok := e.Get(key(2)); ok {
+			t.Error("Get(2) found a key deleted in the same batch")
+		}
+		if e.Len() != 2 { // key 1 + key 3
+			t.Errorf("Len = %d, want 2", e.Len())
+		}
+		requireClean(t, e)
+	})
+}
+
+func TestConformanceHooks(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, spec Spec, e Engine) {
+		fired := 0
+		hook := func() { fired++ }
+		if err := e.PutHook(key(1), 1, hook); err != nil || fired != 1 {
+			t.Fatalf("PutHook: err=%v fired=%d", err, fired)
+		}
+		if err := e.InsertHook(key(2), 2, hook); err != nil || fired != 2 {
+			t.Fatalf("InsertHook: err=%v fired=%d", err, fired)
+		}
+		if !e.DeleteHook(key(2), hook) || fired != 3 {
+			t.Fatalf("DeleteHook(present): fired=%d", fired)
+		}
+		// Non-mutations must not fire the hook: nothing to log.
+		if e.DeleteHook(key(99), hook) {
+			t.Fatal("DeleteHook(absent) = true")
+		}
+		if err := e.PutHook(layout.Key{}, 1, hook); !errors.Is(err, hashtab.ErrInvalidKey) {
+			t.Fatalf("PutHook(zero) = %v, want ErrInvalidKey", err)
+		}
+		if fired != 3 {
+			t.Fatalf("hook fired %d times, want 3 (non-mutations must not fire)", fired)
+		}
+		requireClean(t, e)
+	})
+}
+
+func TestConformanceLoadFactorNeverNaN(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, spec Spec, e Engine) {
+		check := func(when string) {
+			lf := e.LoadFactor()
+			if math.IsNaN(lf) || math.IsInf(lf, 0) || lf < 0 {
+				t.Fatalf("LoadFactor %s = %v", when, lf)
+			}
+		}
+		check("on empty table")
+		if err := e.Put(key(1), 1); err != nil {
+			t.Fatal(err)
+		}
+		check("after put")
+		if e.Capacity() == 0 {
+			t.Fatal("Capacity = 0")
+		}
+		if e.Expanding() {
+			t.Fatal("Expanding = true on an idle table")
+		}
+	})
+}
+
+func TestConformanceSnapshotRoundTrip(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, spec Spec, e Engine) {
+		const n = 200
+		for i := uint64(1); i <= n; i++ {
+			if err := e.Put(key(i), i*3); err != nil {
+				t.Fatalf("Put(%d): %v", i, err)
+			}
+		}
+		path := filepath.Join(t.TempDir(), "snap.img")
+
+		// SnapshotWriterAt is the server's path: the cut fixes the
+		// oplog mark inside the writer-exclusion window and the image
+		// must carry it back out through Load.
+		write, err := e.SnapshotWriterAt(func() (uint64, error) { return 42, nil })
+		if err != nil {
+			t.Fatalf("SnapshotWriterAt: %v", err)
+		}
+		if err := write(path); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+
+		re, mark, err := Load(spec, path)
+		if err != nil {
+			t.Fatalf("Load: %v", err)
+		}
+		if mark != 42 {
+			t.Fatalf("mark = %d, want 42", mark)
+		}
+		if re.Len() != n {
+			t.Fatalf("reloaded Len = %d, want %d", re.Len(), n)
+		}
+		for i := uint64(1); i <= n; i++ {
+			if v, ok := re.Get(key(i)); !ok || v != i*3 {
+				t.Fatalf("reloaded Get(%d) = (%d, %t), want (%d, true)", i, v, ok, i*3)
+			}
+		}
+		// The reloaded engine must be fully live, not read-only.
+		if err := re.Put(key(n+1), 1); err != nil {
+			t.Fatalf("Put on reloaded engine: %v", err)
+		}
+		if !re.Delete(key(1)) {
+			t.Fatal("Delete on reloaded engine = false")
+		}
+		requireClean(t, re)
+	})
+}
+
+// TestConformanceSnapshotSpecMismatch pins the adapter images' spec
+// fingerprint: reopening with different geometry flags must fail
+// loudly instead of silently misreading every cell. (The flagship's
+// image is self-describing, so it is exempt.)
+func TestConformanceSnapshotSpecMismatch(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, spec Spec, e Engine) {
+		if spec.Name == "grouphash" {
+			t.Skip("flagship images are self-describing")
+		}
+		if err := e.Put(key(1), 1); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "snap.img")
+		if err := e.Snapshot(path); err != nil {
+			t.Fatalf("Snapshot: %v", err)
+		}
+		bad := spec
+		bad.Capacity = spec.Capacity * 2
+		if _, _, err := Load(bad, path); err == nil {
+			t.Fatal("Load with mismatched capacity succeeded, want spec-fingerprint error")
+		}
+		other := spec
+		other.Seed = spec.Seed + 1
+		if _, _, err := Load(other, path); err == nil {
+			t.Fatal("Load with mismatched seed succeeded, want spec-fingerprint error")
+		}
+	})
+}
+
+func TestConformanceRecoveryIdempotent(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, spec Spec, e Engine) {
+		for i := uint64(1); i <= 100; i++ {
+			if err := e.Put(key(i), i); err != nil {
+				t.Fatalf("Put(%d): %v", i, err)
+			}
+		}
+		for i := uint64(1); i <= 50; i++ {
+			if !e.Delete(key(i)) {
+				t.Fatalf("Delete(%d) = false", i)
+			}
+		}
+		want := e.Len()
+		if _, err := e.Recover(); err != nil {
+			t.Fatalf("Recover #1: %v", err)
+		}
+		rep, err := e.Recover()
+		if err != nil {
+			t.Fatalf("Recover #2: %v", err)
+		}
+		// Recovery of an already-consistent table must be a no-op: no
+		// correction on the second pass, nothing undone, count intact.
+		if rep.CountCorrected {
+			t.Error("second Recover corrected the count on a consistent table")
+		}
+		if rep.UndoneOps != 0 {
+			t.Errorf("second Recover undid %d ops on a quiesced table", rep.UndoneOps)
+		}
+		if e.Len() != want {
+			t.Errorf("Len = %d after recovery, want %d", e.Len(), want)
+		}
+		for i := uint64(51); i <= 100; i++ {
+			if v, ok := e.Get(key(i)); !ok || v != i {
+				t.Fatalf("Get(%d) after recovery = (%d, %t), want (%d, true)", i, v, ok, i)
+			}
+		}
+		requireClean(t, e)
+	})
+}
+
+// TestConformanceFullTableDrain fills each engine to structural
+// capacity (ErrTableFull) and then deletes every inserted key. This is
+// the regression test for the linear-probing backward-shift walk,
+// which spun forever on a 100% full table (no empty cell terminates
+// the cluster scan), and generally pins that delete works at the
+// occupancy extreme on every scheme.
+func TestConformanceFullTableDrain(t *testing.T) {
+	for _, spec := range conformanceSpecs() {
+		spec := spec
+		spec.Capacity = 64 // tiny: filling to ErrTableFull must be cheap
+		t.Run(specLabel(spec), func(t *testing.T) {
+			if spec.Name == "grouphash" {
+				t.Skip("flagship expands instead of filling up")
+			}
+			e, err := New(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var stored []layout.Key
+			for i := uint64(1); ; i++ {
+				k := key(i)
+				err := e.Insert(k, i)
+				if errors.Is(err, hashtab.ErrTableFull) {
+					break
+				}
+				if err != nil {
+					t.Fatalf("Insert(%d): %v", i, err)
+				}
+				stored = append(stored, k)
+				if uint64(len(stored)) > e.Capacity() {
+					t.Fatalf("stored %d items into capacity %d without ErrTableFull", len(stored), e.Capacity())
+				}
+			}
+			if e.Len() != uint64(len(stored)) {
+				t.Fatalf("Len = %d, want %d", e.Len(), len(stored))
+			}
+			for i, k := range stored {
+				if !e.Delete(k) {
+					t.Fatalf("Delete #%d = false on a full-table drain", i)
+				}
+			}
+			if e.Len() != 0 {
+				t.Fatalf("Len = %d after drain, want 0", e.Len())
+			}
+			requireClean(t, e)
+		})
+	}
+}
+
+func TestConformanceMetricsRegistration(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, spec Spec, e Engine) {
+		r := stats.NewRegistry()
+		e.RegisterMetrics(r, "gh")
+		if err := e.Put(key(1), 1); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatalf("WritePrometheus: %v", err)
+		}
+		text := buf.String()
+		for _, name := range []string{"gh_store_items", "gh_store_capacity_cells", "gh_store_load_factor"} {
+			if !strings.Contains(text, name) {
+				t.Errorf("rendered metrics missing %s", name)
+			}
+		}
+		if strings.Contains(text, "NaN") {
+			t.Error("rendered metrics contain NaN")
+		}
+	})
+}
+
+func TestEngineSpecNormalization(t *testing.T) {
+	if _, err := New(Spec{Name: "nosuch"}); err == nil {
+		t.Error("New(nosuch) succeeded")
+	}
+	if _, err := New(Spec{Name: "grouphash", Logged: true}); err == nil {
+		t.Error("New(grouphash, Logged) succeeded, want error")
+	}
+	if _, err := New(Spec{Name: "chained-l"}); err == nil {
+		t.Error("New(chained-l) succeeded, want error")
+	}
+	e, err := New(Spec{Name: "Linearprobe-L", Capacity: 64})
+	if err != nil {
+		t.Fatalf("New(Linearprobe-L): %v", err)
+	}
+	if e.Name() != "linearprobe" {
+		t.Errorf("Name = %q, want linearprobe", e.Name())
+	}
+	if e2, err := New(Spec{}); err != nil || e2.Name() != "grouphash" {
+		t.Errorf("New(zero spec) = %v, %v; want flagship default", e2, err)
+	}
+}

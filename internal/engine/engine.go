@@ -1,0 +1,216 @@
+// Package engine defines the storage-engine seam the serving stack is
+// built on: one small interface every hash scheme in the repository
+// can stand behind, so the network server, the commands and the
+// end-to-end benchmarks are substrate-agnostic (ROADMAP item 5).
+//
+// The group-hash façade (grouphash.Store) is the flagship
+// implementation — it satisfies Engine directly, with its striped
+// locks, seqlock reads, stripe-grouped batching and online expansion
+// intact. The paper's comparison schemes (internal/pfht,
+// internal/pathhash, internal/chained, internal/linearprobe) are
+// wrapped by a thin adapter (adapter.go): a single RWMutex for
+// concurrency, a sequential fallback for the batch path, and snapshots
+// through the same pmfs image format the flagship uses. That turns
+// every serving benchmark into a scheme shoot-out — the paper's
+// Fig. 2/6 comparisons end-to-end over the wire.
+//
+// The interface is also a CONTRACT, pinned by the conformance suite
+// (conformance_test.go) running identically against all five engines:
+// the zero key is rejected under the 8-byte layout, Put upserts while
+// Insert allows duplicates (Algorithm-1 semantics), delete-absent
+// returns false without touching the persisted count, LoadFactor never
+// divides by zero, snapshots round-trip, and recovery is idempotent.
+// Where a scheme historically disagreed with the façade, the scheme
+// was fixed — not the suite.
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"grouphash"
+	"grouphash/internal/core"
+	"grouphash/internal/hashtab"
+	"grouphash/internal/layout"
+	"grouphash/internal/stats"
+)
+
+// Engine is the storage-engine interface the serving stack programs
+// against. All methods must be safe for concurrent use; the batch and
+// hook methods carry the commit-hook contract the oplog depends on
+// (the hook runs inside the engine's own critical section, so an
+// applied mutation and its log append are atomic against Quiesce and
+// the snapshot cut).
+type Engine interface {
+	// Name identifies the engine (the -engine flag value).
+	Name() string
+
+	// Get returns the value stored under k.
+	Get(k layout.Key) (uint64, bool)
+	// MGet looks up many keys, filling the parallel slices (all three
+	// must have equal length).
+	MGet(keys []layout.Key, vals []uint64, found []bool)
+	// Put upserts: overwrite in place when k exists, insert otherwise.
+	Put(k layout.Key, v uint64) error
+	// Insert stores a new item with Algorithm-1 semantics: no
+	// existing-key check, duplicates allowed.
+	Insert(k layout.Key, v uint64) error
+	// Delete removes one item stored under k, reporting whether one
+	// was present. Deleting an absent key must not touch the count.
+	Delete(k layout.Key) bool
+
+	// PutHook/InsertHook/DeleteHook are the logged-mutation entry
+	// points: committed (when non-nil) runs inside the engine's
+	// critical section iff the mutation took effect — the server's
+	// oplog append rides there.
+	PutHook(k layout.Key, v uint64, committed func()) error
+	InsertHook(k layout.Key, v uint64, committed func()) error
+	DeleteHook(k layout.Key, committed func()) bool
+	// ApplyBatch applies a burst of mutations, writing per-op outcomes
+	// into out (len(out) must equal len(ops)). Same-key ops apply in
+	// submission order; committed (when non-nil) runs inside the
+	// engine's critical section(s) with the indices of the ops that
+	// mutated cells, in apply order (the slice is scratch — consume it
+	// before returning). sc may be nil.
+	ApplyBatch(ops []core.BatchOp, out []core.BatchResult, sc *core.BatchScratch, committed func(applied []int))
+
+	// Len returns the number of stored items; Capacity the structural
+	// bound; LoadFactor their ratio, 0 (never NaN) on an empty or
+	// zero-capacity table.
+	Len() uint64
+	Capacity() uint64
+	LoadFactor() float64
+	// Expanding/Expansions report stop-less online growth; engines
+	// with fixed capacity return false/0.
+	Expanding() bool
+	Expansions() uint64
+
+	// Quiesce runs fn with every writer excluded. fn must not call
+	// back into the engine.
+	Quiesce(fn func())
+	// Recover runs the scheme's crash-recovery procedure.
+	Recover() (hashtab.RecoveryReport, error)
+	// CheckConsistency audits the structural invariants without
+	// repairing, returning human-readable violations (empty = clean).
+	CheckConsistency() []string
+	// RegisterMetrics exports occupancy (and whatever else the engine
+	// tracks) into r under prefix (e.g. "gh" → gh_store_items).
+	RegisterMetrics(r *stats.Registry, prefix string)
+
+	// Snapshot persists a consistent pmfs image to path;
+	// SnapshotWriterAt captures the image under writer exclusion —
+	// calling cut() inside the window to fix the oplog mark — and
+	// returns a deferred writer, so file I/O happens after writers
+	// resume. Reopen with Load.
+	Snapshot(path string) error
+	SnapshotWriterAt(cut func() (uint64, error)) (func(path string) error, error)
+	// ReplayOplog re-applies every oplog record past `after` and
+	// returns (ops applied, next LSN to continue the log from).
+	ReplayOplog(base string, after uint64) (applied int, next uint64, err error)
+}
+
+// The flagship implements the interface directly — any signature
+// drift between the façade and the seam is a compile error here.
+var _ Engine = (*grouphash.Store)(nil)
+
+// Spec describes an engine build. The same Spec must be used to create
+// an engine and to reopen its snapshots (Load verifies this via a spec
+// fingerprint stored in the image header).
+type Spec struct {
+	// Name selects the scheme: grouphash, pfht, pathhash, chained or
+	// linearprobe. The comparison schemes also accept an "-l" suffix
+	// (e.g. "linearprobe-l") attaching the paper's undo WAL.
+	Name string
+	// Capacity is the target item capacity. The flagship expands
+	// online past it; the comparison schemes are fixed-size and are
+	// allocated with ~2x headroom in cells, so the target is reachable
+	// at a moderate load factor.
+	Capacity uint64
+	// GroupSize is the flagship's cells-per-group (0 = the paper's
+	// 256); ignored by the comparison schemes.
+	GroupSize uint64
+	// KeyBytes is 8 or 16 (0 = 8).
+	KeyBytes int
+	// Seed selects the hash functions.
+	Seed uint64
+	// Logged attaches the undo WAL to pfht/pathhash/linearprobe (the
+	// paper's -L variants); equivalent to the "-l" name suffix.
+	Logged bool
+}
+
+// Names lists the engines the -engine flag accepts, flagship first.
+func Names() []string {
+	return []string{"grouphash", "pfht", "pathhash", "chained", "linearprobe"}
+}
+
+// normalize canonicalises spec: lower-cases the name, folds an "-l"
+// suffix into Logged, and applies defaults.
+func normalize(spec Spec) (Spec, error) {
+	spec.Name = strings.ToLower(spec.Name)
+	if base, ok := strings.CutSuffix(spec.Name, "-l"); ok {
+		spec.Name = base
+		spec.Logged = true
+	}
+	if spec.Capacity == 0 {
+		spec.Capacity = 1 << 16
+	}
+	if spec.KeyBytes == 0 {
+		spec.KeyBytes = 8
+	}
+	switch spec.Name {
+	case "grouphash", "pfht", "pathhash", "chained", "linearprobe":
+	case "":
+		spec.Name = "grouphash"
+	default:
+		return spec, fmt.Errorf("engine: unknown engine %q (want one of %s)",
+			spec.Name, strings.Join(Names(), "|"))
+	}
+	if spec.Logged && (spec.Name == "grouphash" || spec.Name == "chained") {
+		return spec, fmt.Errorf("engine: %s has no undo-WAL variant (its commits are failure-atomic already)", spec.Name)
+	}
+	return spec, nil
+}
+
+// New builds an engine per spec, ready for concurrent serving.
+func New(spec Spec) (Engine, error) {
+	spec, err := normalize(spec)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Name == "grouphash" {
+		return grouphash.New(grouphash.Options{
+			Capacity:   spec.Capacity,
+			GroupSize:  spec.GroupSize,
+			KeyBytes:   spec.KeyBytes,
+			Seed:       spec.Seed,
+			Concurrent: true,
+		})
+	}
+	return newAdapter(spec)
+}
+
+// Load reopens an engine from a pmfs snapshot written by the same
+// spec, returning the engine and the image's oplog mark. For the
+// flagship the image is self-describing; for the comparison schemes
+// the table geometry is rebuilt from spec and the image header's spec
+// fingerprint guards against reopening with mismatched parameters.
+func Load(spec Spec, path string) (Engine, uint64, error) {
+	spec, err := normalize(spec)
+	if err != nil {
+		return nil, 0, err
+	}
+	if spec.Name == "grouphash" {
+		return grouphash.LoadSnapshotMark(path, true)
+	}
+	return loadAdapter(spec, path)
+}
+
+// safeLoadFactor is Len/Capacity with the divide-by-zero guarded: an
+// empty or zero-capacity table reports 0, never NaN (which would leak
+// into /metrics gauges and benchmark JSON).
+func safeLoadFactor(n, capacity uint64) float64 {
+	if capacity == 0 {
+		return 0
+	}
+	return float64(n) / float64(capacity)
+}

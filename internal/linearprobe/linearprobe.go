@@ -80,8 +80,13 @@ func (t *Table) Len() uint64 { return t.count.Get() }
 // Capacity returns the number of cells.
 func (t *Table) Capacity() uint64 { return t.cells.N }
 
-// LoadFactor returns Len/Capacity.
-func (t *Table) LoadFactor() float64 { return float64(t.Len()) / float64(t.Capacity()) }
+// LoadFactor returns Len/Capacity, 0 on a zero-capacity table.
+func (t *Table) LoadFactor() float64 {
+	if t.Capacity() == 0 {
+		return 0
+	}
+	return float64(t.Len()) / float64(t.Capacity())
+}
 
 func (t *Table) mask() uint64 { return t.cells.N - 1 }
 
@@ -184,7 +189,11 @@ func (t *Table) Delete(k layout.Key) bool {
 	j := hole
 	for {
 		j = (j + 1) & t.mask()
-		if !t.cells.Occupied(j) {
+		// On a 100% full table no empty cell exists to stop the walk
+		// (the hole's bitmap stays set until the final DeleteAt below);
+		// j coming back around to the hole means the whole cluster —
+		// the entire table — has been compacted.
+		if j == hole || !t.cells.Occupied(j) {
 			break
 		}
 		kj := t.cells.Key(j)
@@ -247,4 +256,40 @@ func (t *Table) Recover() (hashtab.RecoveryReport, error) {
 	rep.CountCorrected = t.count.Get() != n
 	t.count.Set(n)
 	return rep, nil
+}
+
+// CheckConsistency audits the structural invariants without repairing:
+// the persistent count matches the occupied cells, empty cells hide no
+// payload, every stored key is valid, and every occupied cell is
+// reachable from its home position without crossing an empty cell (the
+// cluster invariant backward-shift deletion maintains — a gap between
+// home and cell would make the item unreachable to Lookup).
+func (t *Table) CheckConsistency() []string {
+	var bad []string
+	n := uint64(0)
+	for i := uint64(0); i < t.cells.N; i++ {
+		if !t.cells.Occupied(i) {
+			if !t.cells.PayloadZero(i) {
+				bad = append(bad, "empty cell has a non-zero payload")
+			}
+			continue
+		}
+		n++
+		k := t.cells.Key(i)
+		if !t.l.ValidKey(k) {
+			bad = append(bad, "occupied cell holds an invalid key")
+			continue
+		}
+		home := t.h.Index(k.Lo, k.Hi)
+		for j := home; j != i; j = (j + 1) & t.mask() {
+			if !t.cells.Occupied(j) {
+				bad = append(bad, "occupied cell is unreachable from its home position (gap in cluster)")
+				break
+			}
+		}
+	}
+	if t.count.Get() != n {
+		bad = append(bad, "persistent count does not match occupied cells")
+	}
+	return bad
 }

@@ -114,8 +114,13 @@ func (t *Table) Len() uint64 { return t.count.Get() }
 // Capacity returns the total cells across all levels.
 func (t *Table) Capacity() uint64 { return t.total }
 
-// LoadFactor returns Len/Capacity.
-func (t *Table) LoadFactor() float64 { return float64(t.Len()) / float64(t.Capacity()) }
+// LoadFactor returns Len/Capacity, 0 on a zero-capacity table.
+func (t *Table) LoadFactor() float64 {
+	if t.Capacity() == 0 {
+		return 0
+	}
+	return float64(t.Len()) / float64(t.Capacity())
+}
 
 func (t *Table) logCell(c hashtab.Cells, i uint64) {
 	if t.log == nil {
@@ -237,4 +242,39 @@ func (t *Table) Recover() (hashtab.RecoveryReport, error) {
 	rep.CountCorrected = t.count.Get() != n
 	t.count.Set(n)
 	return rep, nil
+}
+
+// CheckConsistency audits the structural invariants without repairing:
+// the persistent count matches the occupied cells, empty cells hide no
+// payload, every stored key is valid, and every occupied cell at level
+// d lies on one of its key's two root paths (position p>>d — an item
+// anywhere else would be invisible to Lookup).
+func (t *Table) CheckConsistency() []string {
+	var bad []string
+	n := uint64(0)
+	for d, c := range t.levels {
+		for i := uint64(0); i < c.N; i++ {
+			if !c.Occupied(i) {
+				if !c.PayloadZero(i) {
+					bad = append(bad, "empty cell has a non-zero payload")
+				}
+				continue
+			}
+			n++
+			k := c.Key(i)
+			if !t.l.ValidKey(k) {
+				bad = append(bad, "occupied cell holds an invalid key")
+				continue
+			}
+			p1 := t.h1.Index(k.Lo, k.Hi) >> uint(d)
+			p2 := t.h2.Index(k.Lo, k.Hi) >> uint(d)
+			if p1 != i && p2 != i {
+				bad = append(bad, "cell holds a key whose root paths do not pass through it")
+			}
+		}
+	}
+	if t.count.Get() != n {
+		bad = append(bad, "persistent count does not match occupied cells")
+	}
+	return bad
 }

@@ -102,8 +102,13 @@ func (t *Table) Len() uint64 { return t.count.Get() }
 // Capacity returns main-table plus stash cells.
 func (t *Table) Capacity() uint64 { return t.cells.N + t.stash.N }
 
-// LoadFactor returns Len/Capacity.
-func (t *Table) LoadFactor() float64 { return float64(t.Len()) / float64(t.Capacity()) }
+// LoadFactor returns Len/Capacity, 0 on a zero-capacity table.
+func (t *Table) LoadFactor() float64 {
+	if t.Capacity() == 0 {
+		return 0
+	}
+	return float64(t.Len()) / float64(t.Capacity())
+}
 
 // StashLen returns the number of items currently in the stash.
 func (t *Table) StashLen() uint64 { return t.stashed.Get() }
@@ -336,4 +341,51 @@ func (t *Table) Recover() (hashtab.RecoveryReport, error) {
 	t.count.Set(n + ns)
 	t.stashed.Set(ns)
 	return rep, nil
+}
+
+// CheckConsistency audits the structural invariants without repairing:
+// both persistent counters match the occupied cells, empty cells hide
+// no payload, every stored key is valid, and every main-table item sits
+// in one of its two buckets (a displaced item that landed elsewhere
+// would be invisible to Lookup).
+func (t *Table) CheckConsistency() []string {
+	var bad []string
+	n, ns := uint64(0), uint64(0)
+	for i := uint64(0); i < t.cells.N; i++ {
+		if !t.cells.Occupied(i) {
+			if !t.cells.PayloadZero(i) {
+				bad = append(bad, "empty cell has a non-zero payload")
+			}
+			continue
+		}
+		n++
+		k := t.cells.Key(i)
+		if !t.l.ValidKey(k) {
+			bad = append(bad, "occupied cell holds an invalid key")
+			continue
+		}
+		b := i / BucketSize
+		if t.h1.Index(k.Lo, k.Hi) != b && t.h2.Index(k.Lo, k.Hi) != b {
+			bad = append(bad, "cell holds a key that hashes to neither of its buckets")
+		}
+	}
+	for i := uint64(0); i < t.stash.N; i++ {
+		if !t.stash.Occupied(i) {
+			if !t.stash.PayloadZero(i) {
+				bad = append(bad, "empty stash cell has a non-zero payload")
+			}
+			continue
+		}
+		ns++
+		if !t.l.ValidKey(t.stash.Key(i)) {
+			bad = append(bad, "occupied stash cell holds an invalid key")
+		}
+	}
+	if t.count.Get() != n+ns {
+		bad = append(bad, "persistent count does not match occupied cells")
+	}
+	if t.stashed.Get() != ns {
+		bad = append(bad, "persistent stash count does not match occupied stash cells")
+	}
+	return bad
 }

@@ -180,7 +180,7 @@ func (ba *batchState) apply() {
 	for i := range ba.lsns {
 		ba.lsns[i] = 0
 	}
-	ba.s.cfg.Store.ApplyBatch(ba.ops, ba.outs, &ba.sc, ba.committed)
+	ba.s.eng.ApplyBatch(ba.ops, ba.outs, &ba.sc, ba.committed)
 }
 
 // response maps staged op j's outcome to its wire response, bumping the

@@ -59,6 +59,7 @@ import (
 	"time"
 
 	"grouphash"
+	"grouphash/internal/engine"
 	"grouphash/internal/hashtab"
 	"grouphash/internal/oplog"
 	"grouphash/internal/stats"
@@ -67,7 +68,12 @@ import (
 
 // Config configures a Server.
 type Config struct {
-	// Store is the store to serve. It must have been built with
+	// Engine is the storage engine to serve — the flagship group-hash
+	// store or any internal/engine adapter. Exactly one of Engine and
+	// Store must be set.
+	Engine engine.Engine
+	// Store is the flagship store to serve, a convenience alias for
+	// Engine (the store IS an engine). It must have been built with
 	// Options.Concurrent (every connection gets its own goroutine).
 	Store *grouphash.Store
 	// SnapshotPath, when non-empty, enables snapshots: a final image
@@ -135,6 +141,7 @@ type Metrics struct {
 // crash).
 type Server struct {
 	cfg  Config
+	eng  engine.Engine // resolved from cfg.Engine / cfg.Store
 	ln   net.Listener
 	logf func(string, ...any)
 
@@ -181,11 +188,17 @@ type Server struct {
 
 // New validates cfg and builds a Server (not yet listening).
 func New(cfg Config) (*Server, error) {
-	if cfg.Store == nil {
-		return nil, fmt.Errorf("server: Config.Store is required")
-	}
-	if !cfg.Store.Concurrent() {
-		return nil, fmt.Errorf("server: the store must be built with Options.Concurrent")
+	eng := cfg.Engine
+	switch {
+	case eng == nil && cfg.Store == nil:
+		return nil, fmt.Errorf("server: one of Config.Engine or Config.Store is required")
+	case eng != nil && cfg.Store != nil:
+		return nil, fmt.Errorf("server: Config.Engine and Config.Store are mutually exclusive")
+	case eng == nil:
+		if !cfg.Store.Concurrent() {
+			return nil, fmt.Errorf("server: the store must be built with Options.Concurrent")
+		}
+		eng = cfg.Store
 	}
 	logf := cfg.Logf
 	if logf == nil {
@@ -193,6 +206,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:        cfg,
+		eng:        eng,
 		logf:       logf,
 		conns:      make(map[net.Conn]struct{}),
 		stop:       make(chan struct{}),
@@ -203,7 +217,7 @@ func New(cfg Config) (*Server, error) {
 		s.registry = stats.NewRegistry()
 	}
 	s.registerMetrics(s.registry)
-	cfg.Store.RegisterMetrics(s.registry, "gh")
+	eng.RegisterMetrics(s.registry, "gh")
 	if cfg.Oplog != nil {
 		cfg.Oplog.RegisterMetrics(s.registry, "gh")
 	}
@@ -454,16 +468,16 @@ func (s *Server) snapshot(kind string) error {
 	defer s.snapMu.Unlock()
 	start := time.Now()
 	if s.cfg.Oplog == nil {
-		if err := s.cfg.Store.Snapshot(s.cfg.SnapshotPath); err != nil {
+		if err := s.eng.Snapshot(s.cfg.SnapshotPath); err != nil {
 			return err
 		}
 		s.snapshots.Inc()
 		s.snapDur.Observe(uint64(time.Since(start)))
-		s.logf("server: %s snapshot (%d items) in %s", kind, s.cfg.Store.Len(), time.Since(start).Round(time.Millisecond))
+		s.logf("server: %s snapshot (%d items) in %s", kind, s.eng.Len(), time.Since(start).Round(time.Millisecond))
 		return nil
 	}
 	var mark uint64
-	write, err := s.cfg.Store.SnapshotWriterAt(func() (uint64, error) {
+	write, err := s.eng.SnapshotWriterAt(func() (uint64, error) {
 		// All stripes are held here: no (apply, append) pair is in
 		// flight, so the log's last LSN is exactly the image's content.
 		mark = s.cfg.Oplog.LastLSN()
@@ -488,7 +502,7 @@ func (s *Server) snapshot(kind string) error {
 		s.logf("server: oplog truncation after %s snapshot: %v", kind, err)
 	}
 	s.logf("server: %s snapshot (%d items, oplog mark %d) in %s",
-		kind, s.cfg.Store.Len(), mark, time.Since(start).Round(time.Millisecond))
+		kind, s.eng.Len(), mark, time.Since(start).Round(time.Millisecond))
 	return nil
 }
 
@@ -727,7 +741,7 @@ func (s *Server) acker(conn net.Conn, queue <-chan *pendingChunk, done chan<- st
 // response and, for a logged mutation, the oplog LSN the ack must wait
 // for.
 func (s *Server) dispatch(req wire.Request) (wire.Response, uint64) {
-	st := s.cfg.Store
+	st := s.eng
 	switch req.Op {
 	case wire.OpPing:
 		s.others.Inc()
@@ -782,7 +796,7 @@ func (s *Server) applyWrite(op oplog.Op, req wire.Request) (wire.Response, uint6
 		s.drainRejects.Inc()
 		return wire.Response{Status: wire.StatusDraining}, 0
 	}
-	st := s.cfg.Store
+	st := s.eng
 	var lsn uint64
 	var hook func()
 	if s.cfg.Oplog != nil {
@@ -834,7 +848,7 @@ func (s *Server) Stats() Metrics {
 		BadRequest:    s.badreq.Load(),
 		DrainRejects:  s.drainRejects.Load(),
 		Snapshots:     s.snapshots.Load(),
-		Expansions:    s.cfg.Store.Expansions(),
+		Expansions:    s.eng.Expansions(),
 	}
 	if s.cfg.Oplog != nil {
 		m.OplogLastLSN = s.cfg.Oplog.LastLSN()
@@ -889,12 +903,12 @@ func (s *Server) StatsText() string {
 			"full=%d invalid=%d bad=%d drain_rejects=%d snapshots=%d oplog_lsn=%d/%d "+
 			"expansions=%d expanding=%v draining=%v "+
 			"latency_us{p50=%.1f p90=%.1f p99=%.1f max=%.1f n=%d}",
-		s.cfg.Store.Len(), s.cfg.Store.LoadFactor(),
+		s.eng.Len(), s.eng.LoadFactor(),
 		m.ConnsActive, m.ConnsAccepted,
 		m.Reads, m.Writes, m.Deletes, m.Others,
 		m.Full, m.InvalidKey, m.BadRequest, m.DrainRejects, m.Snapshots,
 		m.OplogDurableLSN, m.OplogLastLSN,
-		m.Expansions, s.cfg.Store.Expanding(), s.draining.Load(),
+		m.Expansions, s.eng.Expanding(), s.draining.Load(),
 		us(0.5), us(0.9), us(0.99), sample.Max()/1e3, sample.Count)
 }
 
@@ -922,9 +936,9 @@ type statsDoc struct {
 func (s *Server) StatsJSON() []byte {
 	doc := statsDoc{
 		Metrics:    s.Stats(),
-		Items:      s.cfg.Store.Len(),
-		LoadFactor: s.cfg.Store.LoadFactor(),
-		Expanding:  s.cfg.Store.Expanding(),
+		Items:      s.eng.Len(),
+		LoadFactor: s.eng.LoadFactor(),
+		Expanding:  s.eng.Expanding(),
 		Draining:   s.draining.Load(),
 	}
 	sample := s.Latency()
