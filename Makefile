@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-json bench-engines bench-baseline bench-diff bench-allocs race torture fuzz fuzz-smoke cover serve-smoke figures figures-paper examples clean
+.PHONY: all build test vet bench bench-json bench-engines bench-workload bench-baseline bench-diff bench-allocs race torture fuzz fuzz-smoke chaos-smoke soak cover serve-smoke figures figures-paper examples clean
 
 all: build vet test
 
@@ -22,7 +22,7 @@ test:
 	$(GO) test ./...
 	$(GO) test -race ./internal/core ./internal/engine ./internal/server ./internal/client ./internal/native
 
-race: torture fuzz-smoke
+race: torture fuzz-smoke chaos-smoke
 	$(GO) test -race ./internal/core ./internal/engine ./internal/server ./internal/client ./internal/native ./internal/oplog ./internal/harness .
 	$(GO) test -race -run 'OnlineExpansion' -count=4 -cpu 1,2,4 ./internal/core
 
@@ -39,6 +39,29 @@ torture:
 	$(GO) run -race ./cmd/ghtorture -cycles 20
 	$(GO) run -race ./cmd/ghtorture -cycles 12 -sync-every 100us -sync-bytes 65536 -prealloc 1048576
 	$(GO) run -race ./cmd/ghtorture -cycles 12 -sync-every 1ms -sync-bytes 262144 -prealloc 1048576
+
+# chaos-smoke is the randomized-schedule gate: 21 seeded schedules
+# (flagship + both logged comparison engines × seven seeds) of six
+# events each — kills, torn tails, sticky fsync faults, drains,
+# snapshot cycles, forced online expansions — against a live in-process
+# serving stack under the race detector, a full recovery and map-oracle
+# audit after every event. Deterministic: a failure prints the exact
+# (engine, seed) reproduction command. The tight -timeout turns any
+# future wedge into a fast failure with a full goroutine dump instead
+# of a ten-minute stall.
+chaos-smoke:
+	$(GO) test -race -count=1 -timeout 240s -run 'TestChaosMatrix|TestScheduleDeterminism' ./internal/chaos
+
+# soak is the opt-in real-process arm of the chaos matrix: ghchaos
+# wraps ghtorture's supervisor/SIGKILL machinery around the same
+# schedule generator — real child processes, real SIGKILL and SIGTERM,
+# power-failure garbage on the live oplog segment — across the engine
+# seam. Bounded here; pass -duration for an open-ended soak, e.g.
+#   go run ./cmd/ghchaos -duration 30m -engine grouphash -capacity 4096
+soak:
+	$(GO) run ./cmd/ghchaos -cycles 20 -engine grouphash -capacity 4096 -seed 1
+	$(GO) run ./cmd/ghchaos -cycles 12 -engine pfht-l -seed 2
+	$(GO) run ./cmd/ghchaos -cycles 12 -engine linearprobe-l -seed 3
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -60,6 +83,13 @@ bench-json:
 # the cost of the engine interface itself (acceptance: <= 1.05x).
 bench-engines:
 	$(GO) run ./cmd/ghbench -exp engines -scale default -json BENCH_PR9.json
+
+# bench-workload regenerates the workload-shape table: uniform vs
+# Zipfian θ=0.99 vs flash-crowd vs four-tenant load on the flagship,
+# through the same loadgen machinery cmd/ghload exposes on the command
+# line.
+bench-workload:
+	$(GO) run ./cmd/ghbench -exp workload -scale default -json BENCH_PR10.json
 
 # The Go-benchmark set bench-baseline/bench-diff track: the substrate
 # microbenchmarks, the fingerprint-sensitive lookup benchmarks, the

@@ -63,6 +63,9 @@ type jsonReport struct {
 	// Engine shoot-out: every scheme behind the internal/engine seam
 	// serving the same wire workloads. See cmd/ghbench/engines.go.
 	Engines []engineRow `json:"engines,omitempty"`
+	// Workload shapes: uniform vs Zipfian vs flash-crowd vs
+	// multi-tenant load on the flagship. See cmd/ghbench/workload.go.
+	Workload []workloadRow `json:"workload,omitempty"`
 }
 
 // addLatency flattens LatencyResult rows (insert/query/delete phases)

@@ -31,7 +31,7 @@ import (
 func traceRandomNum(seed int64) trace.Trace { return trace.NewRandomNum(seed) }
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: all, fig2, fig5, fig6, fig7, fig8, table3, wear, ycsb, excluded, curve, repeat, expand, probe, oplog, metrics, batch, engines")
+	exp := flag.String("exp", "all", "comma-separated experiments: all, fig2, fig5, fig6, fig7, fig8, table3, wear, ycsb, excluded, curve, repeat, expand, probe, oplog, metrics, batch, engines, workload")
 	scaleName := flag.String("scale", "default", "experiment scale: test, default, paper")
 	csvDir := flag.String("csv", "", "also write each experiment's data as CSV into this directory")
 	plotOut := flag.Bool("plot", false, "render figures additionally as terminal bar charts")
@@ -290,6 +290,24 @@ func main() {
 					if _, err := fmt.Fprintf(f, "%s,%s,%d,%d,%d,%.3f,%.3f,%d,%d,%.4f,%.3f,%.4f\n",
 						r.Engine, r.Workload, r.Batch, r.Conns, r.Ops, r.WallMs, r.KopsSec,
 						r.Items, r.Capacity, r.LoadFactor, r.RelVsFlagship, r.AllocsPerOp); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+	}
+	if want("workload") {
+		timed("workload", func() {
+			runWorkloadExperiment(w, scale, &report)
+			writeCSV("workload.csv", func(f *os.File) error {
+				if _, err := fmt.Fprintln(f, "shape,engine,zipf_theta,tenants,flash_peak,conns,depth,batch,records,steps,acked_ops,wall_ms,kops_per_sec,burst_p50_us,burst_p99_us"); err != nil {
+					return err
+				}
+				for _, r := range report.Workload {
+					if _, err := fmt.Fprintf(f, "%s,%s,%.2f,%d,%.2f,%d,%d,%d,%d,%d,%d,%.3f,%.3f,%.1f,%.1f\n",
+						r.Shape, r.Engine, r.Theta, r.Tenants, r.Flash, r.Conns, r.Depth, r.Batch,
+						r.Records, r.Steps, r.Acked, r.WallMs, r.KopsSec, r.BurstP50Us, r.BurstP99Us); err != nil {
 						return err
 					}
 				}

@@ -1,22 +1,30 @@
-// Command ghload is the load generator for ghserver: it preloads a
-// keyspace, then drives a YCSB mix (internal/trace) over pipelined
-// connections and reports achieved throughput and latency percentiles.
-// The storage engine is the server's choice (ghserver -engine); the
-// wire protocol is identical for all of them, so the same ghload
-// invocation compares schemes by pointing at differently-booted
-// servers.
+// Command ghload is the workload lab's command-line front end: it
+// preloads a (possibly multi-tenant) keyspace and drives an
+// internal/trace Mix over pipelined or batched connections against a
+// ghserver, reporting achieved throughput and latency percentiles —
+// overall and per tenant. The storage engine is the server's choice
+// (ghserver -engine); the wire protocol is identical for all of them,
+// so the same ghload invocation compares schemes by pointing at
+// differently-booted servers.
 //
-// Usage:
+// The classic YCSB letters set the operation mix; the lab knobs shape
+// everything else:
 //
-//	ghload -addr 127.0.0.1:4777 -workload b -records 100000 -ops 1000000 -conns 4 -depth 64
+//	-zipf-theta 1.2            key skew (0 = uniform; 0.99 = YCSB default)
+//	-tenants 8                 isolated per-tenant key prefixes + metrics
+//	-value-dist web            value-size mixture (fixed, web, "1:90,16:10")
+//	-flash-crowd 10000:5000:40000:0.3
+//	                           hot-key spike: start:ramp:hold ops, peak share
+//	-duration 30s              time-bounded run (instead of -ops)
 //
-// Each connection runs its own YCSB generator (seeded differently) and
-// pipelines -depth operations per batch; reads, updates and
-// read-modify-writes follow the mix's ratios (YCSB inserts are sent as
-// upserts so repeated runs against one server don't grow duplicate
-// items). A server drain mid-run is handled gracefully: the worker
-// stops and only acked operations are counted — the number a restarted
-// server must still hold.
+// Example — a flash crowd where one key ramps to 30% of traffic:
+//
+//	ghload -addr 127.0.0.1:4777 -workload a -records 100000 \
+//	    -duration 30s -flash-crowd 100000:50000:400000:0.30
+//
+// A server drain mid-run is handled gracefully: workers finish their
+// in-flight burst and only acked operations are counted — the number a
+// restarted server must still hold (exit status 3 marks such a run).
 package main
 
 import (
@@ -24,189 +32,150 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"sync"
+	"strconv"
+	"strings"
 	"time"
 
 	"grouphash/internal/client"
-	"grouphash/internal/layout"
+	"grouphash/internal/loadgen"
 	"grouphash/internal/stats"
 	"grouphash/internal/trace"
-	"grouphash/internal/wire"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:4777", "server address")
-		workload = flag.String("workload", "b", "YCSB mix: a, b, c, d or f")
-		records  = flag.Uint64("records", 100_000, "keys preloaded before the mix runs")
-		ops      = flag.Uint64("ops", 1_000_000, "total operations across all connections")
-		conns    = flag.Int("conns", 4, "concurrent connections (one goroutine each)")
-		depth    = flag.Int("depth", 64, "pipelined operations per batch")
-		batch    = flag.Int("batch", 0, "send operations as explicit OpBatch frames of this many sub-ops (0 = pipelined single frames); the -depth burst still travels in one flush")
-		seed     = flag.Int64("seed", 1, "workload seed (each connection derives its own)")
-		skipLoad = flag.Bool("skip-load", false, "skip the preload phase (server already holds the records)")
+		addr      = flag.String("addr", "127.0.0.1:4777", "server address")
+		workload  = flag.String("workload", "b", "YCSB mix letter: a, b, c, d or f")
+		records   = flag.Uint64("records", 100_000, "keys preloaded per tenant before the mix runs")
+		ops       = flag.Uint64("ops", 1_000_000, "total steps across all connections (ignored when -duration is set)")
+		duration  = flag.Duration("duration", 0, "run for a wall-clock window instead of an op budget (workers drain in-flight bursts at the deadline)")
+		conns     = flag.Int("conns", 4, "concurrent connections (one goroutine each)")
+		depth     = flag.Int("depth", 64, "pipelined operations per burst")
+		batch     = flag.Int("batch", 0, "send bursts as explicit OpBatch frames of this many sub-ops (0 = pipelined single frames); preload uses the same framing")
+		seed      = flag.Int64("seed", 1, "workload seed (each connection derives its own)")
+		skipLoad  = flag.Bool("skip-load", false, "skip the preload phase (server already holds the records)")
+		theta     = flag.Float64("zipf-theta", 0.99, "Zipfian skew over existing keys (0 = uniform)")
+		tenants   = flag.Int("tenants", 1, "tenant count: isolated key prefixes, per-tenant throughput/latency")
+		valueDist = flag.String("value-dist", "fixed", `value-size mixture: "fixed", "web", or "span:weight,..." (records span that many keys)`)
+		flash     = flag.String("flash-crowd", "", `hot-key spike "start:ramp:hold:peak" — at op start, one key ramps over ramp ops to peak share of traffic, holds for hold ops, ramps down`)
+		dumpProm  = flag.Bool("metrics-dump", false, "print the client-side Prometheus exposition (per-tenant series) after the run")
 	)
 	flag.Parse()
 	log.SetPrefix("ghload: ")
 	log.SetFlags(0)
-	if *conns < 1 || *depth < 1 || *records == 0 {
-		log.Fatal("need -conns ≥ 1, -depth ≥ 1, -records ≥ 1")
-	}
 	if len(*workload) != 1 {
 		log.Fatal("-workload must be a single letter")
 	}
+	read, update, insert, rmw, err := trace.MixFracs((*workload)[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	values, err := trace.ParseValueDist(*valueDist)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mix := trace.MixConfig{
+		Records:    *records,
+		Theta:      *theta,
+		Tenants:    *tenants,
+		ReadFrac:   read,
+		UpdateFrac: update,
+		InsertFrac: insert,
+		RMWFrac:    rmw,
+		Values:     values,
+		Seed:       *seed,
+		Flash:      parseFlash(*flash),
+	}
+	if _, err := trace.NewMix(mix); err != nil {
+		log.Fatal(err)
+	}
 
-	fmt.Printf("ghload: addr=%s workload=YCSB-%s records=%d ops=%d conns=%d depth=%d batch=%d\n",
-		*addr, *workload, *records, *ops, *conns, *depth, *batch)
+	fmt.Printf("ghload: addr=%s workload=YCSB-%s records=%d tenants=%d theta=%g value-dist=%s conns=%d depth=%d batch=%d",
+		*addr, *workload, *records, *tenants, *theta, values, *conns, *depth, *batch)
+	if *duration > 0 {
+		fmt.Printf(" duration=%v\n", *duration)
+	} else {
+		fmt.Printf(" ops=%d\n", *ops)
+	}
 
+	cfg := loadgen.Config{
+		Addr:  *addr,
+		Mix:   mix,
+		Conns: *conns,
+		Depth: *depth,
+		Batch: *batch,
+	}
 	if !*skipLoad {
 		start := time.Now()
-		loaded := preload(*addr, *records, *conns, *depth, *batch)
+		loaded, err := loadgen.Preload(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
 		dur := time.Since(start)
 		fmt.Printf("load:  %d keys in %.2fs (%.0f ops/s)\n",
 			loaded, dur.Seconds(), float64(loaded)/dur.Seconds())
 	}
 
-	acked, drained, rtt, dur := run(*addr, (*workload)[0], *records, *ops, *conns, *depth, *batch, *seed)
-	fmt.Printf("run:   %d ops acked in %.2fs (%.0f ops/s)\n",
-		acked, dur.Seconds(), float64(acked)/dur.Seconds())
-	us := func(q float64) float64 { return rtt.Quantile(q) / 1e3 }
-	fmt.Printf("batch RTT (%d ops/batch, %d batches): p50=%.0fµs p90=%.0fµs p99=%.0fµs max=%.0fµs mean=%.0fµs\n",
-		*depth, rtt.Count, us(0.5), us(0.9), us(0.99), rtt.Max()/1e3, rtt.Mean()/1e3)
+	reg := stats.NewRegistry()
+	cfg.Registry = reg
+	if *duration > 0 {
+		cfg.Duration = *duration
+	} else {
+		cfg.Ops = *ops
+	}
+	res, err := loadgen.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("run:   %d steps, %d wire ops acked in %.2fs (%.0f ops/s)\n",
+		res.Steps, res.Acked, res.Wall.Seconds(), float64(res.Acked)/res.Wall.Seconds())
+	us := func(h *stats.HistSnapshot, q float64) float64 { return h.Quantile(q) / 1e3 }
+	fmt.Printf("batch RTT (%d batches): p50=%.0fµs p90=%.0fµs p99=%.0fµs max=%.0fµs mean=%.0fµs\n",
+		res.RTT.Count, us(res.RTT, 0.5), us(res.RTT, 0.9), us(res.RTT, 0.99), res.RTT.Max()/1e3, res.RTT.Mean()/1e3)
+	if *tenants > 1 {
+		for _, tr := range res.Tenants {
+			share := float64(tr.Acked) / float64(res.Acked) * 100
+			fmt.Printf("tenant %d: %d ops (%.1f%%) p50=%.0fµs p99=%.0fµs\n",
+				tr.Tenant, tr.Acked, share, us(tr.RTT, 0.5), us(tr.RTT, 0.99))
+		}
+	}
+	if *dumpProm {
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if c, err := client.Dial(*addr, 0); err == nil {
 		if text, err := c.ServerStats(); err == nil {
 			fmt.Printf("server: %s\n", text)
 		}
 		c.Close()
 	}
-	if drained {
+	if res.Drained {
 		fmt.Println("ghload: server drained mid-run; counts above cover acked operations only")
 		os.Exit(3)
 	}
 }
 
-// send ships one burst: pipelined single frames by default, explicit
-// OpBatch frames of batch sub-ops when -batch is set.
-func send(c *client.Client, reqs []wire.Request, batch int) ([]wire.Response, error) {
-	if batch > 0 {
-		return c.DoBatchN(reqs, batch)
+// parseFlash parses the -flash-crowd spec "start:ramp:hold:peak".
+func parseFlash(spec string) *trace.FlashCrowd {
+	if spec == "" {
+		return nil
 	}
-	return c.Do(reqs)
-}
-
-// preload puts keys 1..records (value = key) through pipelined
-// batches, split across conns connections. Returns acked count.
-func preload(addr string, records uint64, conns, depth, batch int) uint64 {
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var total uint64
-	per := records / uint64(conns)
-	for w := 0; w < conns; w++ {
-		lo := uint64(w)*per + 1
-		hi := lo + per - 1
-		if w == conns-1 {
-			hi = records
+	parts := strings.Split(spec, ":")
+	if len(parts) != 4 {
+		log.Fatalf(`-flash-crowd %q: want "start:ramp:hold:peak"`, spec)
+	}
+	nums := make([]uint64, 3)
+	for i := 0; i < 3; i++ {
+		n, err := strconv.ParseUint(parts[i], 10, 64)
+		if err != nil {
+			log.Fatalf("-flash-crowd %q: %v", spec, err)
 		}
-		wg.Add(1)
-		go func(lo, hi uint64) {
-			defer wg.Done()
-			c, err := client.Dial(addr, 5*time.Second)
-			if err != nil {
-				log.Fatalf("dial: %v", err)
-			}
-			defer c.Close()
-			var acked uint64
-			reqs := make([]wire.Request, 0, depth)
-			for k := lo; k <= hi; {
-				reqs = reqs[:0]
-				for ; k <= hi && len(reqs) < depth; k++ {
-					reqs = append(reqs, wire.Request{Op: wire.OpPut, Key: layout.Key{Lo: k}, Value: k})
-				}
-				resps, err := send(c, reqs, batch)
-				if err != nil {
-					log.Fatalf("preload batch: %v", err)
-				}
-				for _, r := range resps {
-					if r.Status != wire.StatusOK {
-						log.Fatalf("preload status %d", r.Status)
-					}
-					acked++
-				}
-			}
-			mu.Lock()
-			total += acked
-			mu.Unlock()
-		}(lo, hi)
+		nums[i] = n
 	}
-	wg.Wait()
-	return total
-}
-
-// run drives the mix and returns (acked ops, drained?, batch RTT
-// distribution, wall time). The RTT histogram is the server's own
-// latency type — lock-free, so every worker observes into one shared
-// instance with no mutex on the timing path, and the client-side view
-// is directly comparable against the server's per-op scrape.
-func run(addr string, workload byte, records, ops uint64, conns, depth, batch int, seed int64) (uint64, bool, *stats.HistSnapshot, time.Duration) {
-	rtt := &stats.Histogram{}
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var total uint64
-	var drained bool
-	per := ops / uint64(conns)
-	start := time.Now()
-	for w := 0; w < conns; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			c, err := client.Dial(addr, 5*time.Second)
-			if err != nil {
-				log.Fatalf("dial: %v", err)
-			}
-			defer c.Close()
-			gen := trace.NewYCSB(workload, records, seed+int64(w)*7919)
-			var acked uint64
-			reqs := make([]wire.Request, 0, depth+1)
-			for done := uint64(0); done < per; {
-				reqs = reqs[:0]
-				for uint64(len(reqs)) < uint64(depth) && done+uint64(len(reqs)) < per {
-					step := gen.Next()
-					switch step.Op {
-					case trace.YCSBRead:
-						reqs = append(reqs, wire.Request{Op: wire.OpGet, Key: step.Item.Key})
-					case trace.YCSBUpdate, trace.YCSBInsert:
-						reqs = append(reqs, wire.Request{Op: wire.OpPut, Key: step.Item.Key, Value: step.Item.Value})
-					case trace.YCSBRMW:
-						// Read-modify-write: the read and the write of
-						// one RMW travel in the same pipeline and count
-						// as two wire operations.
-						reqs = append(reqs,
-							wire.Request{Op: wire.OpGet, Key: step.Item.Key},
-							wire.Request{Op: wire.OpPut, Key: step.Item.Key, Value: step.Item.Value})
-					}
-				}
-				t0 := time.Now()
-				resps, err := send(c, reqs, batch)
-				rtt.Observe(uint64(time.Since(t0)))
-				if err != nil {
-					mu.Lock()
-					drained = true
-					mu.Unlock()
-					break
-				}
-				for _, r := range resps {
-					if r.Status == wire.StatusFull || r.Status == wire.StatusInvalidKey || r.Status == wire.StatusBadRequest {
-						log.Fatalf("server rejected an operation: status %d", r.Status)
-					}
-				}
-				acked += uint64(len(resps))
-				done += uint64(len(resps))
-			}
-			mu.Lock()
-			total += acked
-			mu.Unlock()
-		}(w)
+	peak, err := strconv.ParseFloat(parts[3], 64)
+	if err != nil {
+		log.Fatalf("-flash-crowd %q: %v", spec, err)
 	}
-	wg.Wait()
-	return total, drained, rtt.Snapshot(), time.Since(start)
+	return &trace.FlashCrowd{Start: nums[0], Ramp: nums[1], Hold: nums[2], Peak: peak}
 }

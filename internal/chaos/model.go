@@ -1,0 +1,250 @@
+package chaos
+
+import (
+	"fmt"
+
+	"grouphash/internal/client"
+	"grouphash/internal/engine"
+	"grouphash/internal/layout"
+	"grouphash/internal/wire"
+)
+
+// The client-side map oracle, shared with the crash-torture suite's
+// model: every key a worker ever touched is in one of four states, and
+// a batch that dies unacked taints its ops into the two-outcome states
+// until the next recovery observes which outcome survived.
+const (
+	ackedPresent = iota // server said OK; must be present with the value
+	ackedAbsent         // deleted OK, refused, or observed lost while unacked
+	taintInsert         // insert's batch died unacked: absent, or present once
+	taintDelete         // delete's batch died unacked: old value, or absent
+)
+
+type kstate struct {
+	val   uint64
+	state int
+}
+
+// worker owns a disjoint key range and mirrors, on the client side,
+// what the server has promised about every key it touched. It survives
+// across generations; only its connection dies.
+type worker struct {
+	id   int
+	base uint64 // key-range base; base itself is the put-overwrite slot
+
+	seq    uint64 // next insert suffix
+	delSeq uint64 // next delete suffix (always trails seq)
+	opn    uint64 // monotone op counter; doubles as the slot value
+	keys   map[uint64]*kstate
+
+	slotAcked uint64
+	slotHas   bool
+	slotTaint bool
+	slotCands []uint64
+
+	// insertOnly makes the worker a pure-insert flooder (the
+	// expansion filler).
+	insertOnly bool
+}
+
+func newWorker(id int) *worker {
+	return &worker{
+		id:     id,
+		base:   uint64(id+1) << 40,
+		seq:    1,
+		delSeq: 1,
+		keys:   make(map[uint64]*kstate),
+	}
+}
+
+type planOp struct {
+	kind byte // 'i' insert, 'd' delete, 'p' put-overwrite
+	key  uint64
+	val  uint64
+}
+
+// run hammers batches until the connection dies under it (the event),
+// the server starts refusing (drain), stop is closed, or the batch cap
+// is reached. Every third burst travels as an explicit OpBatch frame
+// so the frame path sees the same adversity as the pipelined path.
+// Responses update the model; a transport error yields no responses,
+// so every op of that burst becomes tainted.
+func (w *worker) run(c *client.Client, stop <-chan struct{}, maxBatches int) error {
+	const batch = 16
+	for b := 0; b < maxBatches; b++ {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		plan := make([]planOp, 0, batch)
+		reqs := make([]wire.Request, 0, batch)
+		for j := 0; j < batch; j++ {
+			w.opn++
+			if !w.insertOnly {
+				if w.opn%5 == 0 {
+					plan = append(plan, planOp{'p', w.base, w.opn})
+					reqs = append(reqs, wire.Request{Op: wire.OpPut, Key: layout.Key{Lo: w.base}, Value: w.opn})
+					continue
+				}
+				if w.opn%7 == 0 {
+					if ks, ok := w.keys[w.base+w.delSeq]; ok {
+						k := w.base + w.delSeq
+						w.delSeq++
+						plan = append(plan, planOp{'d', k, ks.val})
+						reqs = append(reqs, wire.Request{Op: wire.OpDelete, Key: layout.Key{Lo: k}})
+						continue
+					}
+				}
+			}
+			k := w.base + w.seq
+			w.seq++
+			v := k ^ 0x5aa5
+			plan = append(plan, planOp{'i', k, v})
+			reqs = append(reqs, wire.Request{Op: wire.OpInsert, Key: layout.Key{Lo: k}, Value: v})
+		}
+		var resps []wire.Response
+		var err error
+		if b%3 == 2 {
+			resps, err = c.DoBatch(reqs)
+		} else {
+			resps, err = c.Do(reqs)
+		}
+		if err != nil {
+			w.taint(plan)
+			return nil
+		}
+		drained := false
+		for i, r := range resps {
+			op := plan[i]
+			switch op.kind {
+			case 'i':
+				switch r.Status {
+				case wire.StatusOK:
+					w.keys[op.key] = &kstate{op.val, ackedPresent}
+				case wire.StatusDraining, wire.StatusFull:
+					w.keys[op.key] = &kstate{op.val, ackedAbsent}
+					drained = drained || r.Status == wire.StatusDraining
+				default:
+					return fmt.Errorf("worker %d: insert %#x: status %d", w.id, op.key, r.Status)
+				}
+			case 'd':
+				prior := w.keys[op.key]
+				switch r.Status {
+				case wire.StatusOK:
+					prior.state = ackedAbsent
+				case wire.StatusNotFound:
+					if prior.state == ackedPresent {
+						return fmt.Errorf("worker %d: delete %#x: NotFound for an acked-present key", w.id, op.key)
+					}
+					prior.state = ackedAbsent
+				case wire.StatusDraining:
+					drained = true // refused: key keeps its prior state
+				default:
+					return fmt.Errorf("worker %d: delete %#x: status %d", w.id, op.key, r.Status)
+				}
+			case 'p':
+				switch r.Status {
+				case wire.StatusOK:
+					w.slotAcked, w.slotHas = op.val, true
+					w.slotTaint, w.slotCands = false, nil
+				case wire.StatusDraining, wire.StatusFull:
+					drained = drained || r.Status == wire.StatusDraining
+					// refused: slot unchanged
+				default:
+					return fmt.Errorf("worker %d: put slot: status %d", w.id, r.Status)
+				}
+			}
+		}
+		if drained {
+			return nil
+		}
+	}
+	return nil
+}
+
+// taint records a burst whose acks never arrived: each op's outcome is
+// now two-valued until the next recovery pins it.
+func (w *worker) taint(plan []planOp) {
+	for _, op := range plan {
+		switch op.kind {
+		case 'i':
+			w.keys[op.key] = &kstate{op.val, taintInsert}
+		case 'd':
+			w.keys[op.key].state = taintDelete
+		case 'p':
+			w.slotTaint = true
+			w.slotCands = append(w.slotCands, op.val)
+		}
+	}
+}
+
+// verify audits a freshly recovered engine against every worker's
+// model: acked-present keys must hold their exact value, acked-absent
+// keys must not resurrect, taints resolve to what survived (and feed
+// the next generation's expectations), and the engine's Len must equal
+// the distinct present keys — any double-applied replay shows up as an
+// excess. CheckConsistency audits the structural invariants on top.
+func verify(eng engine.Engine, ws []*worker, gen int, ev string) error {
+	var expected uint64
+	for _, w := range ws {
+		for k, ks := range w.keys {
+			v, ok := eng.Get(layout.Key{Lo: k})
+			switch ks.state {
+			case ackedPresent:
+				if !ok || v != ks.val {
+					return fmt.Errorf("gen %d (after %s): ACKED WRITE LOST: key %#x = (%d, %v), want (%d, true)", gen, ev, k, v, ok, ks.val)
+				}
+				expected++
+			case ackedAbsent:
+				if ok {
+					return fmt.Errorf("gen %d (after %s): PHANTOM KEY: %#x was deleted/refused, resurrected with %d", gen, ev, k, v)
+				}
+			case taintInsert, taintDelete:
+				if ok {
+					if v != ks.val {
+						return fmt.Errorf("gen %d (after %s): tainted key %#x has impossible value %d (want %d)", gen, ev, k, v, ks.val)
+					}
+					ks.state = ackedPresent
+					expected++
+				} else {
+					ks.state = ackedAbsent
+				}
+			}
+		}
+		v, ok := eng.Get(layout.Key{Lo: w.base})
+		switch {
+		case w.slotTaint:
+			if ok {
+				allowed := w.slotHas && v == w.slotAcked
+				for _, cand := range w.slotCands {
+					allowed = allowed || v == cand
+				}
+				if !allowed {
+					return fmt.Errorf("gen %d (after %s): slot %#x = %d, not among acked %d or in-flight %v", gen, ev, w.base, v, w.slotAcked, w.slotCands)
+				}
+				w.slotAcked, w.slotHas = v, true
+				expected++
+			} else if w.slotHas {
+				return fmt.Errorf("gen %d (after %s): ACKED WRITE LOST: slot %#x (last acked %d) vanished", gen, ev, w.base, w.slotAcked)
+			}
+			w.slotTaint, w.slotCands = false, nil
+		case w.slotHas:
+			if !ok || v != w.slotAcked {
+				return fmt.Errorf("gen %d (after %s): ACKED WRITE LOST: slot %#x = (%d, %v), want (%d, true)", gen, ev, w.base, v, ok, w.slotAcked)
+			}
+			expected++
+		default:
+			if ok {
+				return fmt.Errorf("gen %d (after %s): PHANTOM KEY: slot %#x never acked yet present with %d", gen, ev, w.base, v)
+			}
+		}
+	}
+	if got := eng.Len(); got != expected {
+		return fmt.Errorf("gen %d (after %s): Len = %d, want %d distinct present keys — replay applied something twice", gen, ev, got, expected)
+	}
+	if bad := eng.CheckConsistency(); len(bad) != 0 {
+		return fmt.Errorf("gen %d (after %s): recovered engine inconsistent: %v", gen, ev, bad)
+	}
+	return nil
+}

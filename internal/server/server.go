@@ -434,6 +434,18 @@ func (s *Server) oplogFailure(err error) {
 }
 
 // snapshotLoop saves periodic background images until drain.
+// SnapshotNow saves an on-demand image (same protocol as the periodic
+// and final snapshots: capture under writer exclusion, rotate the
+// oplog, truncate covered segments). For chaos schedules and
+// operational tooling that want a snapshot/reload cycle at a moment of
+// their choosing. Requires SnapshotPath.
+func (s *Server) SnapshotNow() error {
+	if s.cfg.SnapshotPath == "" {
+		return errors.New("server: SnapshotNow without a SnapshotPath")
+	}
+	return s.snapshot("requested")
+}
+
 func (s *Server) snapshotLoop() {
 	defer s.loops.Done()
 	t := time.NewTicker(s.cfg.SnapshotEvery)

@@ -1,0 +1,389 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"grouphash/internal/layout"
+)
+
+// The workload lab: Mix generalises the fixed YCSB mixes into a
+// parameter space — tunable Zipfian skew, per-tenant key prefixes,
+// hot-key flash crowds, value-size mixtures and read-modify-write
+// transactions — while staying fully deterministic for a (config,
+// seed) pair so any run (including a failing chaos schedule) can be
+// replayed bit-for-bit.
+
+// Mix key layout (single 8-byte word, layout.Key.Lo):
+//
+//	bits 48..63  tenant+1   (tenant prefix; +1 keeps the reserved zero key impossible)
+//	bits 40..47  chunk      (value-size mixtures: record spans chunk 0..span-1)
+//	bits  0..39  record id  (1-based; dense per tenant)
+const (
+	mixIDBits  = 40
+	mixIDMask  = 1<<mixIDBits - 1
+	mixChunkSh = mixIDBits
+	mixTenSh   = 48
+	// MaxMixTenants is the widest tenant fan the key layout encodes.
+	MaxMixTenants = 1<<(64-mixTenSh) - 1
+	// MaxMixSpan is the largest value span (chunks per record) the key
+	// layout encodes.
+	MaxMixSpan = 1 << (mixTenSh - mixChunkSh)
+)
+
+// MixKey builds the wire key for one chunk of a tenant's record.
+func MixKey(tenant int, id uint64, chunk int) layout.Key {
+	return layout.Key{Lo: uint64(tenant+1)<<mixTenSh | uint64(chunk)<<mixChunkSh | id&mixIDMask}
+}
+
+// ChunkKey rebases a record's chunk-0 key (as carried by Step.Key)
+// onto another chunk of the same record.
+func ChunkKey(k layout.Key, chunk int) layout.Key {
+	k.Lo = k.Lo&^uint64((MaxMixSpan-1)<<mixChunkSh) | uint64(chunk)<<mixChunkSh
+	return k
+}
+
+// FlashCrowd describes a hot-key traffic spike: starting at op Start,
+// the probability that an operation targets the tenant's hottest
+// record ramps linearly from 0 to Peak over Ramp operations, holds at
+// Peak for Hold operations, then ramps back down over Ramp operations.
+// Peak 0.30 reproduces the "one key at 30% of traffic" scenario.
+type FlashCrowd struct {
+	Start uint64
+	Ramp  uint64
+	Hold  uint64
+	Peak  float64
+}
+
+// HotProb returns the hot-key probability at operation number op
+// (1-based, as counted by Mix).
+func (f *FlashCrowd) HotProb(op uint64) float64 {
+	if f == nil || f.Peak <= 0 || op < f.Start {
+		return 0
+	}
+	x := op - f.Start
+	if x < f.Ramp {
+		return f.Peak * float64(x) / float64(f.Ramp)
+	}
+	x -= f.Ramp
+	if x < f.Hold {
+		return f.Peak
+	}
+	x -= f.Hold
+	if x < f.Ramp {
+		return f.Peak * (1 - float64(x)/float64(f.Ramp))
+	}
+	return 0
+}
+
+// ValueDist is a value-size mixture: a weighted set of spans, where a
+// record of span s occupies chunks 0..s-1 (s wire operations per
+// logical read or write). Which span a record has is a deterministic
+// function of (tenant, id), so every reader and writer of a record
+// agrees on its size without coordination.
+type ValueDist struct {
+	name    string
+	spans   []int
+	weights []float64
+	cum     []float64
+}
+
+// ParseValueDist parses a mixture spec: the named presets "fixed"
+// (every record one chunk) and "web" (80% 1-chunk, 15% 8-chunk,
+// 5% 64-chunk — a small-dominant web-object mix), or an explicit
+// "span:weight,span:weight,..." list such as "1:90,16:10".
+func ParseValueDist(spec string) (ValueDist, error) {
+	switch spec {
+	case "", "fixed":
+		return mustValueDist("fixed", []int{1}, []float64{1}), nil
+	case "web":
+		return mustValueDist("web", []int{1, 8, 64}, []float64{80, 15, 5}), nil
+	}
+	var spans []int
+	var weights []float64
+	for _, part := range strings.Split(spec, ",") {
+		sw := strings.SplitN(part, ":", 2)
+		if len(sw) != 2 {
+			return ValueDist{}, fmt.Errorf("value-dist %q: want span:weight pairs", spec)
+		}
+		span, err1 := strconv.Atoi(strings.TrimSpace(sw[0]))
+		weight, err2 := strconv.ParseFloat(strings.TrimSpace(sw[1]), 64)
+		if err1 != nil || err2 != nil || span < 1 || span > MaxMixSpan || weight <= 0 {
+			return ValueDist{}, fmt.Errorf("value-dist %q: bad pair %q (span 1..%d, weight > 0)", spec, part, MaxMixSpan)
+		}
+		spans = append(spans, span)
+		weights = append(weights, weight)
+	}
+	if len(spans) == 0 {
+		return ValueDist{}, fmt.Errorf("value-dist %q: empty", spec)
+	}
+	return mustValueDist(spec, spans, weights), nil
+}
+
+func mustValueDist(name string, spans []int, weights []float64) ValueDist {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	cum := make([]float64, len(weights))
+	var acc float64
+	for i, w := range weights {
+		acc += w / total
+		cum[i] = acc
+	}
+	cum[len(cum)-1] = 1
+	return ValueDist{name: name, spans: spans, weights: weights, cum: cum}
+}
+
+// String names the mixture (round-trips the parse spec for presets).
+func (d ValueDist) String() string { return d.name }
+
+// MaxSpan returns the largest span in the mixture.
+func (d ValueDist) MaxSpan() int {
+	max := 1
+	for _, s := range d.spans {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// MeanSpan returns the expected chunks per record under the mixture.
+func (d ValueDist) MeanSpan() float64 {
+	if len(d.spans) == 0 {
+		return 1
+	}
+	var mean, prev float64
+	for i, s := range d.spans {
+		mean += float64(s) * (d.cum[i] - prev)
+		prev = d.cum[i]
+	}
+	return mean
+}
+
+// SpanFor returns the span of a tenant's record — deterministic, so
+// independent workers agree on every record's size.
+func (d ValueDist) SpanFor(tenant int, id uint64) int {
+	if len(d.spans) <= 1 {
+		if len(d.spans) == 1 {
+			return d.spans[0]
+		}
+		return 1
+	}
+	u := float64(splitmix64(id*0x9e3779b97f4a7c15^uint64(tenant+1)<<mixTenSh)>>11) / (1 << 53)
+	i := sort.SearchFloat64s(d.cum, u)
+	if i >= len(d.spans) {
+		i = len(d.spans) - 1
+	}
+	return d.spans[i]
+}
+
+// splitmix64 is the SplitMix64 finaliser — a cheap, well-mixed hash
+// for deterministic per-record decisions.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ x>>30) * 0xbf58476d1ce4e5b9
+	x = (x ^ x>>27) * 0x94d049bb133111eb
+	return x ^ x>>31
+}
+
+// MixConfig parameterises a Mix. Fractions must sum to 1.
+type MixConfig struct {
+	// Records is the per-tenant preloaded keyspace (ids 1..Records).
+	Records uint64
+	// Theta is the Zipfian skew over existing records; 0 draws
+	// uniformly.
+	Theta float64
+	// Tenants is the number of isolated key prefixes (≥ 1).
+	Tenants int
+	// ReadFrac, UpdateFrac, InsertFrac and RMWFrac set the operation
+	// mix.
+	ReadFrac   float64
+	UpdateFrac float64
+	InsertFrac float64
+	RMWFrac    float64
+	// Flash optionally schedules a hot-key flash crowd.
+	Flash *FlashCrowd
+	// Values is the value-size mixture (zero value = single-chunk).
+	Values ValueDist
+	// Seed makes the run reproducible.
+	Seed int64
+}
+
+// MixFracs returns the operation fractions of a classic YCSB mix
+// letter, for configuring a Mix from the familiar names.
+func MixFracs(workload byte) (read, update, insert, rmw float64, err error) {
+	switch workload {
+	case 'a':
+		return 0.5, 0.5, 0, 0, nil
+	case 'b':
+		return 0.95, 0.05, 0, 0, nil
+	case 'c':
+		return 1, 0, 0, 0, nil
+	case 'd':
+		return 0.95, 0, 0.05, 0, nil
+	case 'f':
+		return 0.5, 0, 0, 0.5, nil
+	}
+	return 0, 0, 0, 0, fmt.Errorf("trace: unknown YCSB mix %q (want a, b, c, d or f)", string(workload))
+}
+
+// Step is one operation of a Mix run. A step of span s expands to s
+// wire operations (chunks 0..s-1 of Key's record), and an RMW step to
+// a read followed by a write of the same chunks.
+type Step struct {
+	Op     YCSBOp
+	Tenant int
+	Key    layout.Key
+	Value  uint64
+	Span   int
+	// Hot marks flash-crowd operations (for reporting).
+	Hot bool
+}
+
+// Mix generates the workload-lab operation stream. Deterministic for a
+// given config: the same seed yields the same step sequence, and the
+// per-tenant step streams are independent of how steps interleave
+// across tenants only in aggregate — use Next for a round-robin tenant
+// schedule or NextFor to drive one tenant from a dedicated connection.
+type Mix struct {
+	cfg MixConfig
+
+	rng     *rand.Rand
+	zipf    *Zipfian
+	maxKey  []uint64
+	counter uint64
+	rr      int
+}
+
+// NewMix validates the config and creates a generator positioned at
+// the first operation.
+func NewMix(cfg MixConfig) (*Mix, error) {
+	if cfg.Records < 2 {
+		return nil, fmt.Errorf("trace: mix needs records >= 2, got %d", cfg.Records)
+	}
+	if cfg.Records > mixIDMask/2 {
+		return nil, fmt.Errorf("trace: mix records %d exceeds the %d-bit id space", cfg.Records, mixIDBits)
+	}
+	if cfg.Tenants < 1 || cfg.Tenants > MaxMixTenants {
+		return nil, fmt.Errorf("trace: mix needs 1..%d tenants, got %d", MaxMixTenants, cfg.Tenants)
+	}
+	sum := cfg.ReadFrac + cfg.UpdateFrac + cfg.InsertFrac + cfg.RMWFrac
+	if sum < 0.999 || sum > 1.001 ||
+		cfg.ReadFrac < 0 || cfg.UpdateFrac < 0 || cfg.InsertFrac < 0 || cfg.RMWFrac < 0 {
+		return nil, fmt.Errorf("trace: mix fractions must be non-negative and sum to 1, got %g", sum)
+	}
+	if cfg.Theta < 0 {
+		return nil, fmt.Errorf("trace: mix needs theta >= 0, got %g", cfg.Theta)
+	}
+	if f := cfg.Flash; f != nil && (f.Peak < 0 || f.Peak > 1 || (f.Peak > 0 && f.Ramp == 0)) {
+		return nil, fmt.Errorf("trace: flash crowd needs 0 <= peak <= 1 and ramp > 0, got peak %g ramp %d", f.Peak, f.Ramp)
+	}
+	if len(cfg.Values.spans) == 0 {
+		cfg.Values = mustValueDist("fixed", []int{1}, []float64{1})
+	}
+	m := &Mix{cfg: cfg}
+	m.Reset()
+	return m, nil
+}
+
+// Config returns the generator's (validated) configuration.
+func (m *Mix) Config() MixConfig { return m.cfg }
+
+// Reset rewinds the generator to the first operation.
+func (m *Mix) Reset() {
+	m.rng = rand.New(rand.NewSource(m.cfg.Seed))
+	if m.cfg.Theta > 0 {
+		m.zipf = NewZipfian(m.cfg.Seed^0x1f3a5c96, m.cfg.Records, m.cfg.Theta)
+	} else {
+		m.zipf = nil
+	}
+	m.maxKey = make([]uint64, m.cfg.Tenants)
+	for t := range m.maxKey {
+		m.maxKey[t] = m.cfg.Records
+	}
+	m.counter = 0
+	m.rr = 0
+}
+
+// Ops returns how many steps have been generated.
+func (m *Mix) Ops() uint64 { return m.counter }
+
+// Next produces the next step, rotating round-robin across tenants.
+func (m *Mix) Next() Step {
+	t := m.rr
+	m.rr++
+	if m.rr == m.cfg.Tenants {
+		m.rr = 0
+	}
+	return m.NextFor(t)
+}
+
+// NextFor produces the next step pinned to one tenant — for drivers
+// that dedicate connections (and latency accounting) per tenant.
+func (m *Mix) NextFor(tenant int) Step {
+	m.counter++
+	if p := m.cfg.Flash.HotProb(m.counter); p > 0 && m.rng.Float64() < p {
+		// Flash crowd: the tenant's hottest record (id 1, which is
+		// also the Zipfian's rank-0 key) absorbs the spike. Writes in
+		// the mix become updates of the hot key — a flash crowd
+		// hammers one existing object, it doesn't mint new ones.
+		op := YCSBUpdate
+		if m.rng.Float64() < m.readShare() {
+			op = YCSBRead
+		}
+		return m.step(op, tenant, 1, true)
+	}
+	r := m.rng.Float64()
+	switch {
+	case r < m.cfg.ReadFrac:
+		return m.step(YCSBRead, tenant, m.pick(tenant), false)
+	case r < m.cfg.ReadFrac+m.cfg.UpdateFrac:
+		return m.step(YCSBUpdate, tenant, m.pick(tenant), false)
+	case r < m.cfg.ReadFrac+m.cfg.UpdateFrac+m.cfg.InsertFrac:
+		m.maxKey[tenant]++
+		return m.step(YCSBInsert, tenant, m.maxKey[tenant], false)
+	default:
+		return m.step(YCSBRMW, tenant, m.pick(tenant), false)
+	}
+}
+
+// readShare is the read fraction of the non-insert mix, used to keep a
+// flash crowd's read/write ratio consistent with the base workload.
+func (m *Mix) readShare() float64 {
+	w := m.cfg.ReadFrac + m.cfg.UpdateFrac + m.cfg.RMWFrac
+	if w <= 0 {
+		return 0
+	}
+	return m.cfg.ReadFrac / w
+}
+
+func (m *Mix) step(op YCSBOp, tenant int, id uint64, hot bool) Step {
+	return Step{
+		Op:     op,
+		Tenant: tenant,
+		Key:    MixKey(tenant, id, 0),
+		Value:  m.counter,
+		Span:   m.cfg.Values.SpanFor(tenant, id),
+		Hot:    hot,
+	}
+}
+
+// pick draws an existing record id in [1, maxKey] for the tenant —
+// Zipfian-skewed when theta > 0, uniform otherwise.
+func (m *Mix) pick(tenant int) uint64 {
+	var id uint64
+	if m.zipf != nil {
+		id = m.zipf.Next() + 1
+	} else {
+		id = uint64(m.rng.Int63n(int64(m.cfg.Records))) + 1
+	}
+	if max := m.maxKey[tenant]; id > max {
+		id = max
+	}
+	return id
+}

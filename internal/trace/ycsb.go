@@ -61,7 +61,7 @@ type YCSB struct {
 	seed     int64
 
 	rng     *rand.Rand
-	zipf    *rand.Zipf
+	zipf    *Zipfian
 	maxKey  uint64
 	counter uint64
 }
@@ -95,16 +95,17 @@ func (y *YCSB) Records() uint64 { return y.records }
 // Reset rewinds the generator.
 func (y *YCSB) Reset() {
 	y.rng = rand.New(rand.NewSource(y.seed))
-	// YCSB's default zipfian constant is 0.99; rand.NewZipf needs
-	// s > 1, so 1.001 approximates it over the record range.
-	y.zipf = rand.NewZipf(y.rng, 1.001, 10, y.records-1)
+	// YCSB's default zipfian constant, at its actual value now that
+	// the tunable generator exists (earlier revisions approximated it
+	// with rand.NewZipf s=1.001, which needs s > 1).
+	y.zipf = NewZipfian(y.seed ^ 0x5bd1e995, y.records, 0.99)
 	y.maxKey = y.records
 	y.counter = 0
 }
 
 // pick draws a skewed existing key in [1, maxKey].
 func (y *YCSB) pick() uint64 {
-	k := y.zipf.Uint64() + 1
+	k := y.zipf.Next() + 1
 	if k > y.maxKey {
 		k = y.maxKey
 	}
@@ -112,9 +113,9 @@ func (y *YCSB) pick() uint64 {
 }
 
 // pickLatest draws a key skewed towards the most recent inserts
-// (workload D's "latest" distribution).
+// (workload D's "latest" distribution): rank 0 is the newest key.
 func (y *YCSB) pickLatest() uint64 {
-	off := y.zipf.Uint64()
+	off := y.zipf.Next()
 	if off >= y.maxKey {
 		off = y.maxKey - 1
 	}

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// TestZipfianTopKMass checks the empirical head mass of the generator
+// against the analytic Zipf pmf at the three skews the workload lab
+// advertises: θ=0.5 (mild), θ=0.99 (the YCSB default, Gray-inversion
+// path) and θ=1.2 (heavy tail, stdlib path). The two code paths must
+// both land on the same closed-form target.
+func TestZipfianTopKMass(t *testing.T) {
+	const (
+		n     = 10_000
+		k     = 10
+		draws = 200_000
+	)
+	for _, theta := range []float64{0.5, 0.99, 1.2} {
+		z := NewZipfian(42, n, theta)
+		var topK, top1 int
+		for i := 0; i < draws; i++ {
+			r := z.Next()
+			if r >= n {
+				t.Fatalf("theta=%.2f: rank %d out of range [0,%d)", theta, r, n)
+			}
+			if r < k {
+				topK++
+			}
+			if r == 0 {
+				top1++
+			}
+		}
+		gotK := float64(topK) / draws
+		wantK := RankMass(n, k, theta)
+		if relErr(gotK, wantK) > 0.10 {
+			t.Errorf("theta=%.2f: top-%d mass %.4f, analytic %.4f (rel err > 10%%)", theta, k, gotK, wantK)
+		}
+		got1 := float64(top1) / draws
+		want1 := RankMass(n, 1, theta)
+		if relErr(got1, want1) > 0.15 {
+			t.Errorf("theta=%.2f: top-1 mass %.4f, analytic %.4f (rel err > 15%%)", theta, got1, want1)
+		}
+		t.Logf("theta=%.2f: top-%d mass %.4f (analytic %.4f), top-1 %.4f (analytic %.4f)",
+			theta, k, gotK, wantK, got1, want1)
+	}
+}
+
+func relErr(got, want float64) float64 {
+	return math.Abs(got-want) / want
+}
+
+// TestZipfianSkewMonotonic pins the defining property of the θ knob:
+// more θ concentrates more mass on the head.
+func TestZipfianSkewMonotonic(t *testing.T) {
+	const (
+		n     = 10_000
+		k     = 10
+		draws = 100_000
+	)
+	var prev float64 = -1
+	for _, theta := range []float64{0.3, 0.7, 0.99, 1.2, 1.5} {
+		z := NewZipfian(7, n, theta)
+		var topK int
+		for i := 0; i < draws; i++ {
+			if z.Next() < k {
+				topK++
+			}
+		}
+		mass := float64(topK) / draws
+		if mass <= prev {
+			t.Fatalf("theta=%.2f: top-%d mass %.4f not above previous skew's %.4f", theta, k, mass, prev)
+		}
+		prev = mass
+	}
+}
+
+// TestZipfianDeterminism: same (seed, n, θ) → identical rank sequence;
+// Reset rewinds; a different seed diverges.
+func TestZipfianDeterminism(t *testing.T) {
+	for _, theta := range []float64{0.5, 0.99, 1.2} {
+		a := NewZipfian(123, 1<<20, theta)
+		b := NewZipfian(123, 1<<20, theta)
+		seq := make([]uint64, 4096)
+		for i := range seq {
+			seq[i] = a.Next()
+			if got := b.Next(); got != seq[i] {
+				t.Fatalf("theta=%.2f: draw %d diverged between same-seed generators: %d vs %d", theta, i, seq[i], got)
+			}
+		}
+		a.Reset()
+		for i := range seq {
+			if got := a.Next(); got != seq[i] {
+				t.Fatalf("theta=%.2f: draw %d after Reset diverged: %d vs %d", theta, i, got, seq[i])
+			}
+		}
+		c := NewZipfian(124, 1<<20, theta)
+		same := 0
+		for i := range seq {
+			if c.Next() == seq[i] {
+				same++
+			}
+		}
+		if same == len(seq) {
+			t.Fatalf("theta=%.2f: different seed reproduced the full sequence", theta)
+		}
+	}
+}
+
+// TestZipfianThetaOneNudge: θ=1 must not hit the inversion's pole.
+func TestZipfianThetaOneNudge(t *testing.T) {
+	z := NewZipfian(1, 1000, 1)
+	if z.Theta() >= 1 {
+		t.Fatalf("theta 1 not nudged below the pole: %g", z.Theta())
+	}
+	for i := 0; i < 10_000; i++ {
+		if r := z.Next(); r >= 1000 {
+			t.Fatalf("rank %d out of range", r)
+		}
+	}
+}
+
+// TestRankMass sanity-pins the analytic oracle itself.
+func TestRankMass(t *testing.T) {
+	if got := RankMass(100, 100, 0.99); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("full mass = %g, want 1", got)
+	}
+	if got := RankMass(100, 200, 0.99); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("k > n mass = %g, want 1", got)
+	}
+	if RankMass(10_000, 10, 1.2) <= RankMass(10_000, 10, 0.5) {
+		t.Fatal("analytic mass not increasing in theta")
+	}
+}
